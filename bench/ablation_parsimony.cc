@@ -1,0 +1,47 @@
+// Ablation for the one documented deviation from the paper's text: the
+// parsimony constant. The paper prints fitness = MCC - 0.05*operators;
+// this bench measures learning on Cora under 0.05 (literal), 0.005 (our
+// default) and 0 (no pressure), reporting final validation F1 and rule
+// sizes. Expected shape (DESIGN.md §3): the literal constant collapses
+// rules to single comparisons and caps F1; 0.005 reaches the paper's
+// quality with compact rules; 0 reaches similar F1 with visibly larger
+// rules (bloat).
+
+#include <cstdio>
+
+#include "datasets/cora.h"
+#include "harness.h"
+
+using namespace genlink;
+using namespace genlink::bench;
+
+int main() {
+  BenchScale scale = GetBenchScale();
+
+  CoraConfig data;
+  data.scale = scale.data_scale;
+  MatchingTask task = GenerateCora(data);
+  std::printf("cora: %zu citations, %zu/%zu links\n", task.a.size(),
+              task.links.positives().size(), task.links.negatives().size());
+
+  std::printf("\nParsimony ablation (fitness = MCC - w * operators)\n");
+  std::printf("%10s  %14s  %14s  %16s\n", "w", "train F1 (s)", "val F1 (s)",
+              "best-rule ops (s)");
+
+  for (double weight : {0.05, 0.005, 0.0}) {
+    GenLinkConfig config = MakeGenLinkConfig(scale);
+    config.fitness.parsimony_weight = weight;
+    CrossValidationResult result = RunGenLinkCv(
+        task, config, scale.runs, /*seed=*/16001 + static_cast<uint64_t>(weight * 1000));
+    const AggregatedIteration& last = result.iterations.back();
+    std::printf("%10.3f  %6.3f (%5.3f)  %6.3f (%5.3f)  %8.1f (%5.1f)\n", weight,
+                last.train_f1.mean, last.train_f1.stddev, last.val_f1.mean,
+                last.val_f1.stddev, last.best_operators.mean,
+                last.best_operators.stddev);
+  }
+  std::printf(
+      "\n(0.05 is the paper's printed constant; 0.005 is this library's\n"
+      "default - see DESIGN.md §3 for why the literal value cannot be what\n"
+      "the original implementation used.)\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "datasets/cora.h"
+#include "datasets/dbpedia_drugbank.h"
+#include "datasets/linkedmdb.h"
+#include "datasets/nyt.h"
+#include "datasets/restaurant.h"
+#include "datasets/sider_drugbank.h"
+
+namespace genlink {
+namespace bench {
+
+BenchScale GetBenchScale() {
+  const char* env = std::getenv("GENLINK_BENCH_SCALE");
+  BenchScale scale;
+  if (env != nullptr && std::strcmp(env, "paper") == 0) {
+    scale = {"paper", 1.0, 500, 50, 10};
+  } else if (env != nullptr && std::strcmp(env, "smoke") == 0) {
+    scale = {"smoke", 0.1, 50, 5, 1};
+  } else {
+    scale = {"default", 0.25, 150, 25, 3};
+  }
+  std::printf("bench scale: %s (data x%.2f, population %zu, %zu iterations, "
+              "%zu runs)\n",
+              scale.name.c_str(), scale.data_scale, scale.population,
+              scale.iterations, scale.runs);
+  return scale;
+}
+
+GenLinkConfig MakeGenLinkConfig(const BenchScale& scale) {
+  GenLinkConfig config;
+  config.population_size = scale.population;
+  config.max_iterations = scale.iterations;
+  return config;
+}
+
+CrossValidationResult RunGenLinkCv(const MatchingTask& task,
+                                   const GenLinkConfig& config, size_t runs,
+                                   uint64_t seed) {
+  GenLink learner(task.Source(), task.Target(), config);
+  CrossValidationConfig cv;
+  cv.num_runs = runs;
+  cv.seed = seed;
+  return RunCrossValidation(
+      task.links, cv,
+      [&](const ReferenceLinkSet& train, const ReferenceLinkSet& val,
+          Rng& rng) -> RunTrajectory {
+        auto result = learner.Learn(train, &val, rng);
+        if (!result.ok()) {
+          std::fprintf(stderr, "learn failed: %s\n",
+                       result.status().ToString().c_str());
+          return {};
+        }
+        return std::move(result->trajectory);
+      });
+}
+
+CrossValidationResult RunCarvalhoCv(const MatchingTask& task,
+                                    const CarvalhoConfig& config, size_t runs,
+                                    uint64_t seed) {
+  CarvalhoGP learner(task.Source(), task.Target(), config);
+  CrossValidationConfig cv;
+  cv.num_runs = runs;
+  cv.seed = seed;
+  return RunCrossValidation(
+      task.links, cv,
+      [&](const ReferenceLinkSet& train, const ReferenceLinkSet& val,
+          Rng& rng) -> RunTrajectory {
+        auto result = learner.Learn(train, &val, rng);
+        if (!result.ok()) {
+          std::fprintf(stderr, "baseline failed: %s\n",
+                       result.status().ToString().c_str());
+          return {};
+        }
+        return std::move(result->trajectory);
+      });
+}
+
+void PrintTrajectoryTable(const std::string& title,
+                          const CrossValidationResult& result,
+                          const std::vector<size_t>& checkpoints,
+                          const std::vector<PaperRow>& paper_rows) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%5s  %16s  %16s  %16s", "Iter.", "Time in s (s)",
+              "Train. F1 (s)", "Val. F1 (s)");
+  if (!paper_rows.empty()) std::printf("  %13s  %13s", "[paper train]", "[paper val]");
+  std::printf("\n");
+
+  for (size_t checkpoint : checkpoints) {
+    if (result.iterations.empty()) break;
+    size_t max_iter = result.iterations.back().iteration;
+    if (checkpoint > max_iter && checkpoint != checkpoints.front()) {
+      // Converged runs: the final row already covers this checkpoint.
+      continue;
+    }
+    const AggregatedIteration* row = result.FindIteration(checkpoint);
+    if (row == nullptr) continue;
+    std::printf("%5zu  %8.1f (%5.1f)  %8.3f (%5.3f)  %8.3f (%5.3f)",
+                checkpoint, row->seconds.mean, row->seconds.stddev,
+                row->train_f1.mean, row->train_f1.stddev, row->val_f1.mean,
+                row->val_f1.stddev);
+    for (const PaperRow& paper : paper_rows) {
+      if (paper.iteration == checkpoint) {
+        std::printf("  %13.3f  %13.3f", paper.train_f1, paper.val_f1);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void PrintReferenceLine(const std::string& system, double f1) {
+  std::printf("%-24s F1 = %.3f\n", system.c_str(), f1);
+}
+
+std::vector<size_t> StandardCheckpoints(size_t max_iterations) {
+  std::vector<size_t> checkpoints;
+  for (size_t i : {0UL, 1UL, 5UL, 10UL, 20UL, 25UL, 30UL, 40UL, 50UL}) {
+    if (i <= max_iterations) checkpoints.push_back(i);
+  }
+  return checkpoints;
+}
+
+std::vector<MatchingTask> AllTasks(const BenchScale& scale) {
+  double small_scale = scale.name == "smoke" ? 0.4 : 1.0;
+  std::vector<MatchingTask> tasks;
+  {
+    CoraConfig config;
+    config.scale = scale.data_scale;
+    tasks.push_back(GenerateCora(config));
+  }
+  {
+    RestaurantConfig config;
+    config.scale = small_scale;
+    tasks.push_back(GenerateRestaurant(config));
+  }
+  {
+    SiderDrugbankConfig config;
+    config.scale = scale.data_scale;
+    tasks.push_back(GenerateSiderDrugbank(config));
+  }
+  {
+    NytConfig config;
+    config.scale = scale.data_scale;
+    tasks.push_back(GenerateNyt(config));
+  }
+  {
+    LinkedMdbConfig config;
+    config.scale = small_scale;
+    tasks.push_back(GenerateLinkedMdb(config));
+  }
+  {
+    DbpediaDrugbankConfig config;
+    config.scale = scale.data_scale;
+    tasks.push_back(GenerateDbpediaDrugbank(config));
+  }
+  return tasks;
+}
+
+}  // namespace bench
+}  // namespace genlink

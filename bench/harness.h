@@ -1,0 +1,87 @@
+// Shared infrastructure for the table benches: scale selection (via the
+// GENLINK_BENCH_SCALE environment variable), cross-validated learning
+// runs, and table printing in the paper's format.
+//
+// Scales:
+//   smoke   - seconds-long sanity run (scale 0.1, pop 50, 5 iterations,
+//             1 run)
+//   default - minutes-long run preserving the paper's shapes (scale
+//             0.25, pop 150, 25 iterations, 3 runs)
+//   paper   - the full experimental protocol of Section 6.1 (scale 1.0,
+//             pop 500, 50 iterations, 10 runs x 2-fold CV); hours-long
+//             on a small machine.
+
+#ifndef GENLINK_BENCH_HARNESS_H_
+#define GENLINK_BENCH_HARNESS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "baseline/carvalho_gp.h"
+#include "datasets/matching_task.h"
+#include "eval/cross_validation.h"
+#include "gp/genlink.h"
+
+namespace genlink {
+namespace bench {
+
+/// Benchmark scale parameters.
+struct BenchScale {
+  std::string name;
+  double data_scale = 0.25;
+  size_t population = 150;
+  size_t iterations = 25;
+  size_t runs = 3;
+};
+
+/// Reads GENLINK_BENCH_SCALE (smoke|default|paper); default when unset.
+BenchScale GetBenchScale();
+
+/// Builds a GenLink config from a scale (population/iterations set;
+/// other fields at library defaults).
+GenLinkConfig MakeGenLinkConfig(const BenchScale& scale);
+
+/// Runs the paper's protocol: `runs` independent 2-fold splits, training
+/// GenLink on fold 0 and validating on fold 1.
+CrossValidationResult RunGenLinkCv(const MatchingTask& task,
+                                   const GenLinkConfig& config, size_t runs,
+                                   uint64_t seed);
+
+/// Same protocol for the Carvalho et al. baseline.
+CrossValidationResult RunCarvalhoCv(const MatchingTask& task,
+                                    const CarvalhoConfig& config, size_t runs,
+                                    uint64_t seed);
+
+/// A reference row from the paper for side-by-side printing.
+struct PaperRow {
+  size_t iteration;
+  double train_f1;
+  double val_f1;
+};
+
+/// Prints the per-iteration table in the paper's format:
+///   Iter.  Time in s (σ)  Train. F1 (σ)  Val. F1 (σ)  [paper columns]
+/// `checkpoints` selects the iterations to print (missing ones are
+/// skipped); `paper_rows` may be empty.
+void PrintTrajectoryTable(const std::string& title,
+                          const CrossValidationResult& result,
+                          const std::vector<size_t>& checkpoints,
+                          const std::vector<PaperRow>& paper_rows);
+
+/// Prints a one-line reference entry (e.g. the OAEI baselines).
+void PrintReferenceLine(const std::string& system, double f1);
+
+/// The paper's standard checkpoints for Tables 7-12.
+std::vector<size_t> StandardCheckpoints(size_t max_iterations);
+
+/// Generates all six evaluation tasks at the bench scale (the small
+/// data sets Restaurant and LinkedMDB stay at full size except in smoke
+/// mode), in the paper's order: cora, restaurant, sider-drugbank, nyt,
+/// linkedmdb, dbpedia-drugbank.
+std::vector<MatchingTask> AllTasks(const BenchScale& scale);
+
+}  // namespace bench
+}  // namespace genlink
+
+#endif  // GENLINK_BENCH_HARNESS_H_

@@ -1,0 +1,84 @@
+// Microbenchmarks for the distance-measure library (not a paper table;
+// characterizes the substrate that dominates GP fitness evaluation).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "datasets/noise.h"
+#include "distance/registry.h"
+
+namespace genlink {
+namespace {
+
+ValueSet MakeValues(size_t count, size_t length, uint64_t seed) {
+  Rng rng(seed);
+  ValueSet values;
+  for (size_t i = 0; i < count; ++i) {
+    values.push_back(RandomWord(length, rng));
+  }
+  return values;
+}
+
+void BM_Levenshtein(benchmark::State& state) {
+  const DistanceMeasure* m = DistanceRegistry::Default().Find("levenshtein");
+  ValueSet a = MakeValues(1, static_cast<size_t>(state.range(0)), 1);
+  ValueSet b = MakeValues(1, static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->Distance(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Jaro(benchmark::State& state) {
+  const DistanceMeasure* m = DistanceRegistry::Default().Find("jaro");
+  ValueSet a = MakeValues(1, static_cast<size_t>(state.range(0)), 3);
+  ValueSet b = MakeValues(1, static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->Distance(a, b));
+  }
+}
+BENCHMARK(BM_Jaro)->Arg(8)->Arg(32);
+
+void BM_JaccardTokens(benchmark::State& state) {
+  const DistanceMeasure* m = DistanceRegistry::Default().Find("jaccard");
+  ValueSet a = MakeValues(static_cast<size_t>(state.range(0)), 6, 5);
+  ValueSet b = MakeValues(static_cast<size_t>(state.range(0)), 6, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->Distance(a, b));
+  }
+}
+BENCHMARK(BM_JaccardTokens)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Geographic(benchmark::State& state) {
+  const DistanceMeasure* m = DistanceRegistry::Default().Find("geographic");
+  ValueSet a{"52.5200 13.4050"};
+  ValueSet b{"48.8566 2.3522"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->Distance(a, b));
+  }
+}
+BENCHMARK(BM_Geographic);
+
+void BM_Date(benchmark::State& state) {
+  const DistanceMeasure* m = DistanceRegistry::Default().Find("date");
+  ValueSet a{"1997-11-05"};
+  ValueSet b{"2003-02-17"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->Distance(a, b));
+  }
+}
+BENCHMARK(BM_Date);
+
+// Multi-valued lift: min over value pairs.
+void BM_SetLift(benchmark::State& state) {
+  const DistanceMeasure* m = DistanceRegistry::Default().Find("levenshtein");
+  ValueSet a = MakeValues(static_cast<size_t>(state.range(0)), 10, 7);
+  ValueSet b = MakeValues(static_cast<size_t>(state.range(0)), 10, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->Distance(a, b));
+  }
+}
+BENCHMARK(BM_SetLift)->Arg(1)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace genlink

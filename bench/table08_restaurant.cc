@@ -1,0 +1,41 @@
+// Table 8 of the paper: learning trajectory on the Restaurant
+// (Fodor's/Zagat's) data set with the Carvalho et al. reference row.
+
+#include <cstdio>
+
+#include "datasets/restaurant.h"
+#include "harness.h"
+
+using namespace genlink;
+using namespace genlink::bench;
+
+int main() {
+  BenchScale scale = GetBenchScale();
+
+  RestaurantConfig data;
+  // Restaurant is already small (864 records); only shrink for smoke.
+  data.scale = scale.name == "smoke" ? 0.3 : 1.0;
+  MatchingTask task = GenerateRestaurant(data);
+  std::printf("restaurant: %zu records, %zu/%zu reference links\n",
+              task.a.size(), task.links.positives().size(),
+              task.links.negatives().size());
+
+  GenLinkConfig config = MakeGenLinkConfig(scale);
+  CrossValidationResult result =
+      RunGenLinkCv(task, config, scale.runs, /*seed=*/8001);
+  PrintTrajectoryTable(
+      "Table 8 - Restaurant (GenLink)", result,
+      StandardCheckpoints(scale.iterations),
+      {{0, 0.953, 0.951}, {10, 0.996, 0.992}, {20, 0.996, 0.993},
+       {30, 0.996, 0.993}, {40, 0.996, 0.993}, {50, 0.996, 0.993}});
+
+  CarvalhoConfig baseline;
+  baseline.population_size = scale.population;
+  baseline.max_generations = scale.iterations;
+  CrossValidationResult carvalho = RunCarvalhoCv(task, baseline, scale.runs, 8002);
+  PrintTrajectoryTable("Carvalho et al. baseline (paper ref: 1.000/0.980)",
+                       carvalho, {scale.iterations}, {});
+
+  std::printf("\nexample learned rule:\n%s\n", result.example_rule_sexpr.c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Table 9 of the paper: learning trajectory on the Sider-DrugBank
+// interlinking task (OAEI 2010), with the OAEI participants as
+// unsupervised reference baselines.
+
+#include <cstdio>
+
+#include "datasets/sider_drugbank.h"
+#include "harness.h"
+
+using namespace genlink;
+using namespace genlink::bench;
+
+int main() {
+  BenchScale scale = GetBenchScale();
+
+  SiderDrugbankConfig data;
+  data.scale = scale.data_scale;
+  MatchingTask task = GenerateSiderDrugbank(data);
+  std::printf("sider: %zu drugs, drugbank: %zu drugs, %zu/%zu links\n",
+              task.a.size(), task.b.size(), task.links.positives().size(),
+              task.links.negatives().size());
+
+  GenLinkConfig config = MakeGenLinkConfig(scale);
+  CrossValidationResult result =
+      RunGenLinkCv(task, config, scale.runs, /*seed=*/9001);
+  PrintTrajectoryTable(
+      "Table 9 - SiderDrugBank (GenLink)", result,
+      StandardCheckpoints(scale.iterations),
+      {{0, 0.840, 0.837}, {10, 0.943, 0.939}, {20, 0.970, 0.969},
+       {30, 0.972, 0.970}, {40, 0.972, 0.970}, {50, 0.972, 0.970}});
+
+  std::printf("\nOAEI reference systems (unsupervised, from the paper):\n");
+  PrintReferenceLine("ObjectCoref", 0.464);
+  PrintReferenceLine("RiMOM", 0.504);
+
+  std::printf("\nexample learned rule:\n%s\n", result.example_rule_sexpr.c_str());
+  return 0;
+}

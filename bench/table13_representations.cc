@@ -1,0 +1,64 @@
+// Table 13 of the paper: the representation ablation. For each of the
+// six data sets, the learner is run with four representations -
+// boolean, linear, non-linear (each without transformations) and the
+// full model - and the validation F-measure at iteration 25 is
+// reported. The paper's claims: transformations matter on the noisy
+// record-linkage sets (Cora, Restaurant); non-linearity matters on the
+// Linked Data sets; the full representation wins everywhere.
+
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace genlink;
+using namespace genlink::bench;
+
+namespace {
+
+// Validation F1 at iteration 25 from the paper's Table 13.
+struct PaperTable13Row {
+  const char* dataset;
+  double boolean_f1, linear_f1, nonlinear_f1, full_f1;
+};
+constexpr PaperTable13Row kPaper[] = {
+    {"cora", 0.900, 0.896, 0.898, 0.965},
+    {"restaurant", 0.954, 0.959, 0.951, 0.992},
+    {"sider-drugbank", 0.931, 0.956, 0.966, 0.970},
+    {"nyt", 0.714, 0.716, 0.724, 0.916},
+    {"linkedmdb", 0.973, 0.986, 0.987, 0.997},
+    {"dbpedia-drugbank", 0.990, 0.981, 0.991, 0.993},
+};
+
+}  // namespace
+
+int main() {
+  BenchScale scale = GetBenchScale();
+  size_t report_iter = std::min<size_t>(25, scale.iterations);
+
+  std::printf("\nTable 13 - F-measure (validation) in round %zu\n", report_iter);
+  std::printf("%-18s %9s %9s %9s %9s   [paper: bool/lin/nonlin/full]\n",
+              "dataset", "Boolean", "Linear", "Nonlin.", "Full");
+
+  std::vector<MatchingTask> tasks = AllTasks(scale);
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    const MatchingTask& task = tasks[t];
+    double measured[4] = {0, 0, 0, 0};
+    RepresentationMode modes[4] = {
+        RepresentationMode::kBoolean, RepresentationMode::kLinear,
+        RepresentationMode::kNonlinear, RepresentationMode::kFull};
+    for (int m = 0; m < 4; ++m) {
+      GenLinkConfig config = MakeGenLinkConfig(scale);
+      config.mode = modes[m];
+      config.max_iterations = report_iter;
+      CrossValidationResult result =
+          RunGenLinkCv(task, config, scale.runs, 13000 + 10 * t + m);
+      const AggregatedIteration* row = result.FindIteration(report_iter);
+      measured[m] = row != nullptr ? row->val_f1.mean : 0.0;
+    }
+    std::printf("%-18s %9.3f %9.3f %9.3f %9.3f   [%.3f/%.3f/%.3f/%.3f]\n",
+                task.name.c_str(), measured[0], measured[1], measured[2],
+                measured[3], kPaper[t].boolean_f1, kPaper[t].linear_f1,
+                kPaper[t].nonlinear_f1, kPaper[t].full_f1);
+  }
+  return 0;
+}

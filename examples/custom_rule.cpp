@@ -1,0 +1,80 @@
+// Writing a linkage rule by hand: loading datasets from CSV, building
+// the paper's Figure 2 rule with the fluent builder API, serializing it,
+// parsing it back, and executing it. Linkage rules are operator trees
+// that humans can read and edit (one of the paper's design goals).
+
+#include <cstdio>
+
+#include "io/csv.h"
+#include "matcher/matcher.h"
+#include "rule/builder.h"
+#include "rule/parse.h"
+#include "rule/serialize.h"
+
+using namespace genlink;
+
+namespace {
+
+// Two small city datasets in different schemata (cf. paper Figure 2).
+constexpr const char* kSourceCsv =
+    "id,label,point\n"
+    "s1,Berlin,52.5200 13.4050\n"
+    "s2,Hamburg,53.5511 9.9937\n"
+    "s3,Munich,48.1351 11.5820\n"
+    "s4,Cologne,50.9375 6.9603\n";
+
+constexpr const char* kTargetCsv =
+    "id,label,coord\n"
+    "t1,BERLIN,52.5201 13.4049\n"
+    "t2,hamburg,53.5510 9.9940\n"
+    "t3,Muenchen,48.1352 11.5821\n"
+    "t4,Dresden,51.0504 13.7373\n";
+
+}  // namespace
+
+int main() {
+  // Load the datasets.
+  CsvDatasetOptions options;
+  options.id_column = "id";
+  auto source = ReadCsvDataset(kSourceCsv, "cities-a", options);
+  auto target = ReadCsvDataset(kTargetCsv, "cities-b", options);
+  if (!source.ok() || !target.ok()) {
+    std::fprintf(stderr, "CSV error\n");
+    return 1;
+  }
+
+  // Build the Figure 2 rule: both the normalized label similarity AND
+  // the geographic proximity must hold (min aggregation).
+  auto rule = RuleBuilder()
+                  .Aggregate("min")
+                  .Compare("levenshtein", 1.0, Prop("label").Lower(),
+                           Prop("label").Lower())
+                  .Compare("geographic", 500.0, Prop("point"), Prop("coord"))
+                  .End()
+                  .Build();
+  if (!rule.ok()) {
+    std::fprintf(stderr, "rule error: %s\n", rule.status().ToString().c_str());
+    return 1;
+  }
+
+  // Rules serialize to a readable s-expression and parse back.
+  std::string sexpr = ToPrettySexpr(*rule);
+  std::printf("hand-written rule:\n%s\n\n", sexpr.c_str());
+  auto reparsed = ParseRule(sexpr);
+  std::printf("round-trips through the parser: %s\n\n",
+              reparsed.ok() && reparsed->StructuralHash() == rule->StructuralHash()
+                  ? "yes"
+                  : "NO");
+
+  // Execute: Berlin/BERLIN and Hamburg/hamburg match (case is
+  // normalized, coordinates agree); Munich/Muenchen fails the edit
+  // distance; Cologne/Dresden share nothing.
+  auto links = GenerateLinks(*rule, *source, *target);
+  std::printf("generated links:\n");
+  for (const auto& link : links) {
+    std::printf("  %s <-> %s (score %.3f)\n", link.id_a.c_str(),
+                link.id_b.c_str(), link.score);
+  }
+  std::printf("(expected: s1<->t1 and s2<->t2 only)\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Deduplicating noisy citation records (the paper's Cora scenario,
+// Section 6.2). Demonstrates the value of data transformations: the same
+// learner is run once with the full representation and once with
+// transformations disabled, mirroring the paper's Figure 7 vs Figure 8
+// comparison (F ~0.97 with transformations vs ~0.91 without).
+
+#include <cstdio>
+
+#include "datasets/cora.h"
+#include "gp/genlink.h"
+#include "rule/serialize.h"
+
+using namespace genlink;
+
+namespace {
+
+double Learn(const MatchingTask& task, RepresentationMode mode,
+             const char* label, std::string* rule_out) {
+  Rng rng(7);
+  auto folds = task.links.SplitFolds(2, rng);
+
+  GenLinkConfig config;
+  config.population_size = 200;
+  config.max_iterations = 25;
+  config.mode = mode;
+  GenLink learner(task.Source(), task.Target(), config);
+  auto result = learner.Learn(folds[0], &folds[1], rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", label,
+                 result.status().ToString().c_str());
+    return 0.0;
+  }
+  const IterationStats& final_stats = result->trajectory.iterations.back();
+  std::printf("%-22s train F1 %.3f   validation F1 %.3f   (%zu iterations)\n",
+              label, final_stats.train_f1, final_stats.val_f1,
+              final_stats.iteration);
+  *rule_out = ToPrettySexpr(result->best_rule);
+  return final_stats.val_f1;
+}
+
+}  // namespace
+
+int main() {
+  // A scaled-down Cora: noisy citations (typos, inconsistent case,
+  // author initials, venue abbreviations, missing fields).
+  CoraConfig config;
+  config.scale = 0.4;
+  MatchingTask task = GenerateCora(config);
+  std::printf("cora-like task: %zu citations, %zu positive links\n\n",
+              task.a.size(), task.links.positives().size());
+
+  std::string rule_full, rule_plain;
+  double f_full = Learn(task, RepresentationMode::kFull,
+                        "full representation:", &rule_full);
+  double f_plain = Learn(task, RepresentationMode::kNonlinear,
+                         "without transformations:", &rule_plain);
+
+  std::printf("\ntransformations improved the validation F-measure by %+.3f\n",
+              f_full - f_plain);
+  std::printf("\nlearned rule (full, cf. paper Figure 7):\n%s\n",
+              rule_full.c_str());
+  std::printf("\nlearned rule (no transformations, cf. Figure 8):\n%s\n",
+              rule_plain.c_str());
+  return 0;
+}

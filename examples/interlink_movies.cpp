@@ -1,0 +1,72 @@
+// Interlinking two movie datasets with different schemata (the paper's
+// LinkedMDB scenario): learn a rule from reference links, then execute
+// it over the *full* datasets with the token-blocking matcher and score
+// the generated links against the ground truth — the complete Silk-style
+// pipeline from labels to links.
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "datasets/linkedmdb.h"
+#include "gp/genlink.h"
+#include "matcher/matcher.h"
+#include "rule/serialize.h"
+
+using namespace genlink;
+
+int main() {
+  // Movies in two schemata (label/initial_release_date/director_name vs
+  // name/releaseDate/director), including same-title/different-year
+  // remakes that force the rule to also compare the release date.
+  MatchingTask task = GenerateLinkedMdb();
+  std::printf("source: %zu movies (%zu properties)\n", task.a.size(),
+              task.a.schema().NumProperties());
+  std::printf("target: %zu movies (%zu properties)\n", task.b.size(),
+              task.b.schema().NumProperties());
+
+  // Learn from all reference links.
+  GenLinkConfig config;
+  config.population_size = 200;
+  config.max_iterations = 25;
+  GenLink learner(task.Source(), task.Target(), config);
+  Rng rng(11);
+  auto result = learner.Learn(task.links, nullptr, rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "learning failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nlearned rule:\n%s\n\n",
+              ToPrettySexpr(result->best_rule).c_str());
+
+  // Execute over the full cross product (with token blocking).
+  auto links = GenerateLinks(result->best_rule, task.a, task.b);
+  std::printf("generated %zu links\n", links.size());
+
+  // Score against the known positives.
+  std::set<std::pair<std::string, std::string>> truth;
+  for (const auto& ref : task.links.positives()) {
+    truth.insert({ref.id_a, ref.id_b});
+  }
+  size_t correct = 0;
+  for (const auto& link : links) {
+    if (truth.count({link.id_a, link.id_b})) ++correct;
+  }
+  double precision = links.empty() ? 0.0
+                                   : static_cast<double>(correct) /
+                                         static_cast<double>(links.size());
+  double recall =
+      static_cast<double>(correct) / static_cast<double>(truth.size());
+  std::printf("against the reference links: precision %.3f, recall %.3f\n",
+              precision, recall);
+
+  // Show a few generated links.
+  std::printf("\nsample links:\n");
+  for (size_t i = 0; i < links.size() && i < 5; ++i) {
+    std::printf("  %s <-> %s (score %.3f)\n", links[i].id_a.c_str(),
+                links[i].id_b.c_str(), links[i].score);
+  }
+  return 0;
+}

@@ -1,0 +1,292 @@
+#include "baseline/carvalho_gp.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "distance/string_distances.h"
+#include "distance/token_distances.h"
+#include "gp/compatible_properties.h"
+#include "text/case_fold.h"
+#include "text/tokenizer.h"
+
+namespace genlink {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Normalized per-pair similarity in [0,1] for a feature. `lowercase`
+/// optionally folds case first (not part of the faithful baseline).
+double FeatureSimilarity(const CarvalhoFeature& feature, const ValueSet& va,
+                         const ValueSet& vb, bool lowercase) {
+  if (va.empty() || vb.empty()) return 0.0;
+  auto norm = [lowercase](const std::string& s) {
+    return lowercase ? ToLowerAscii(s) : s;
+  };
+  if (feature.similarity == "jaroSim") {
+    double best = 0.0;
+    for (const auto& x : va) {
+      for (const auto& y : vb) {
+        best = std::max(best, JaroSimilarity(norm(x), norm(y)));
+      }
+    }
+    return best;
+  }
+  if (feature.similarity == "tokenJaccardSim") {
+    ValueSet ta, tb;
+    for (const auto& x : va) {
+      for (auto& token : TokenizeAlnum(norm(x))) ta.push_back(std::move(token));
+    }
+    for (const auto& y : vb) {
+      for (auto& token : TokenizeAlnum(norm(y))) tb.push_back(std::move(token));
+    }
+    if (ta.empty() || tb.empty()) return 0.0;
+    JaccardDistance jaccard;
+    return 1.0 - jaccard.Distance(ta, tb);
+  }
+  // Default: normalized Levenshtein similarity.
+  double best = 0.0;
+  for (const auto& x : va) {
+    for (const auto& y : vb) {
+      std::string lx = norm(x), ly = norm(y);
+      size_t longest = std::max(lx.size(), ly.size());
+      if (longest == 0) continue;
+      double sim = 1.0 - static_cast<double>(LevenshteinEditDistance(lx, ly)) /
+                             static_cast<double>(longest);
+      best = std::max(best, sim);
+    }
+  }
+  return best;
+}
+
+std::vector<CarvalhoFeature> BuildFeatures(const Dataset& a, const Dataset& b,
+                                           const ReferenceLinkSet& train,
+                                           Rng& rng) {
+  static const char* kSimilarities[] = {"levenshteinSim", "jaroSim",
+                                        "tokenJaccardSim"};
+  std::vector<CarvalhoFeature> features;
+
+  // Shared property names (the record-linkage setting of [10]).
+  std::vector<std::pair<std::string, std::string>> property_pairs;
+  for (const auto& name : a.schema().property_names()) {
+    if (b.schema().FindProperty(name).has_value()) {
+      property_pairs.emplace_back(name, name);
+    }
+  }
+  // Cross-schema fallback: mine compatible pairs like GenLink does.
+  if (property_pairs.empty()) {
+    CompatiblePropertyConfig config;
+    for (const auto& pair : FindCompatibleProperties(a, b, train, config, rng)) {
+      property_pairs.emplace_back(pair.property_a, pair.property_b);
+    }
+    // Deduplicate (several measures may report the same property pair).
+    std::sort(property_pairs.begin(), property_pairs.end());
+    property_pairs.erase(
+        std::unique(property_pairs.begin(), property_pairs.end()),
+        property_pairs.end());
+  }
+
+  for (const auto& [pa, pb] : property_pairs) {
+    for (const char* sim : kSimilarities) {
+      features.push_back({pa, pb, sim});
+    }
+  }
+  return features;
+}
+
+struct BaselineIndividual {
+  std::unique_ptr<MathNode> tree;
+  double fitness = -1.0;  // training F-measure
+  ConfusionMatrix confusion;
+};
+
+ConfusionMatrix Classify(const MathNode& tree,
+                         const std::vector<std::vector<double>>& features,
+                         const std::vector<bool>& labels, double boundary) {
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < features.size(); ++i) {
+    bool predicted = tree.Evaluate(features[i]) > boundary;
+    if (labels[i]) {
+      predicted ? ++cm.tp : ++cm.fn;
+    } else {
+      predicted ? ++cm.fp : ++cm.tn;
+    }
+  }
+  return cm;
+}
+
+}  // namespace
+
+CarvalhoGP::CarvalhoGP(const Dataset& a, const Dataset& b, CarvalhoConfig config)
+    : a_(&a), b_(&b), config_(std::move(config)) {}
+
+Result<CarvalhoResult> CarvalhoGP::Learn(const ReferenceLinkSet& train,
+                                         const ReferenceLinkSet* val,
+                                         Rng& rng) const {
+  auto start = Clock::now();
+
+  auto train_pairs = train.Resolve(*a_, *b_);
+  if (!train_pairs.ok()) return train_pairs.status();
+  std::vector<LabeledPair> val_pairs;
+  if (val != nullptr) {
+    auto resolved = val->Resolve(*a_, *b_);
+    if (!resolved.ok()) return resolved.status();
+    val_pairs = std::move(resolved).value();
+  }
+
+  CarvalhoResult result;
+  result.features = BuildFeatures(*a_, *b_, train, rng);
+  if (result.features.empty()) {
+    return Status::FailedPrecondition(
+        "no <attribute, similarity> pairs could be presupplied");
+  }
+
+  // Precompute the feature matrices once; GP evaluation then only runs
+  // arithmetic over them.
+  auto compute_matrix = [&](const std::vector<LabeledPair>& pairs,
+                            std::vector<std::vector<double>>& matrix,
+                            std::vector<bool>& labels) {
+    matrix.resize(pairs.size());
+    labels.resize(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      matrix[i].resize(result.features.size());
+      labels[i] = pairs[i].is_match;
+      for (size_t f = 0; f < result.features.size(); ++f) {
+        const CarvalhoFeature& feature = result.features[f];
+        auto pa = a_->schema().FindProperty(feature.property_a);
+        auto pb = b_->schema().FindProperty(feature.property_b);
+        const ValueSet& va = pa ? pairs[i].a->Values(*pa) : ValueSet{};
+        const ValueSet& vb = pb ? pairs[i].b->Values(*pb) : ValueSet{};
+        matrix[i][f] =
+            FeatureSimilarity(feature, va, vb, config_.lowercase_features);
+      }
+    }
+  };
+  std::vector<std::vector<double>> train_matrix, val_matrix;
+  std::vector<bool> train_labels, val_labels;
+  compute_matrix(*train_pairs, train_matrix, train_labels);
+  compute_matrix(val_pairs, val_matrix, val_labels);
+
+  MathTreeGenConfig gen_config = config_.generation;
+  gen_config.num_features = result.features.size();
+
+  // Ramped half-and-half initialization.
+  std::vector<BaselineIndividual> population(config_.population_size);
+  for (size_t i = 0; i < population.size(); ++i) {
+    population[i].tree = RandomMathTree(gen_config, rng, /*full_method=*/i % 2 == 0);
+  }
+
+  auto evaluate = [&](BaselineIndividual& ind) {
+    ind.confusion =
+        Classify(*ind.tree, train_matrix, train_labels, config_.boundary);
+    ind.fitness = FMeasure(ind.confusion);
+  };
+  for (auto& ind : population) evaluate(ind);
+
+  auto best_index = [&] {
+    size_t best = 0;
+    for (size_t i = 1; i < population.size(); ++i) {
+      if (population[i].fitness > population[best].fitness) best = i;
+    }
+    return best;
+  };
+
+  auto record = [&](size_t generation) {
+    const BaselineIndividual& best = population[best_index()];
+    IterationStats stats;
+    stats.iteration = generation;
+    stats.seconds = SecondsSince(start);
+    stats.train_f1 = best.fitness;
+    stats.train_mcc = MatthewsCorrelation(best.confusion);
+    stats.best_operators = static_cast<double>(best.tree->Count());
+    double ops = 0.0;
+    for (const auto& ind : population) ops += static_cast<double>(ind.tree->Count());
+    stats.mean_operators = ops / static_cast<double>(population.size());
+    if (!val_matrix.empty()) {
+      ConfusionMatrix cm =
+          Classify(*best.tree, val_matrix, val_labels, config_.boundary);
+      stats.val_f1 = FMeasure(cm);
+      stats.val_mcc = MatthewsCorrelation(cm);
+    }
+    result.trajectory.iterations.push_back(stats);
+    return stats;
+  };
+
+  auto tournament = [&]() -> const BaselineIndividual& {
+    size_t best = rng.PickIndex(population.size());
+    for (size_t i = 1; i < config_.tournament_size; ++i) {
+      size_t candidate = rng.PickIndex(population.size());
+      if (population[candidate].fitness > population[best].fitness) {
+        best = candidate;
+      }
+    }
+    return population[best];
+  };
+
+  IterationStats last = record(0);
+
+  for (size_t generation = 1; generation <= config_.max_generations &&
+                              last.train_f1 < config_.stop_f_measure;
+       ++generation) {
+    std::vector<BaselineIndividual> next;
+    next.reserve(population.size());
+
+    for (size_t e = 0; e < std::min(config_.elitism, population.size()); ++e) {
+      const BaselineIndividual& best = population[best_index()];
+      BaselineIndividual copy;
+      copy.tree = best.tree->Clone();
+      copy.fitness = best.fitness;
+      copy.confusion = best.confusion;
+      next.push_back(std::move(copy));
+    }
+
+    while (next.size() < population.size()) {
+      BaselineIndividual child;
+      double p = rng.Uniform01();
+      if (p < config_.crossover_probability) {
+        // Subtree crossover.
+        child.tree = tournament().tree->Clone();
+        auto slots = CollectMathSlots(child.tree);
+        const BaselineIndividual& donor = tournament();
+        auto donor_tree = donor.tree->Clone();
+        auto donor_slots = CollectMathSlots(donor_tree);
+        *slots[rng.PickIndex(slots.size())] =
+            std::move(*donor_slots[rng.PickIndex(donor_slots.size())]);
+      } else if (p < config_.crossover_probability + config_.mutation_probability) {
+        // Point mutation: replace a random subtree with a random tree.
+        child.tree = tournament().tree->Clone();
+        auto slots = CollectMathSlots(child.tree);
+        MathTreeGenConfig small = gen_config;
+        small.min_depth = 0;
+        small.max_depth = 2;
+        *slots[rng.PickIndex(slots.size())] = RandomMathTree(small, rng);
+      } else {
+        child.tree = tournament().tree->Clone();  // reproduction
+      }
+      if (child.tree->Count() > config_.max_nodes) {
+        child.tree = tournament().tree->Clone();
+      }
+      evaluate(child);
+      next.push_back(std::move(child));
+    }
+
+    population = std::move(next);
+    last = record(generation);
+  }
+
+  BaselineIndividual& best = population[best_index()];
+  result.best_tree = best.tree->Clone();
+  std::vector<std::string> names;
+  names.reserve(result.features.size());
+  for (const auto& f : result.features) names.push_back(f.DisplayName());
+  result.trajectory.best_rule_sexpr = result.best_tree->ToString(names);
+  result.trajectory.final_val_f1 = result.trajectory.iterations.empty()
+                                       ? 0.0
+                                       : result.trajectory.iterations.back().val_f1;
+  return result;
+}
+
+}  // namespace genlink

@@ -1,0 +1,91 @@
+// The state-of-the-art GP baseline of Carvalho et al. [9, 6, 10], which
+// GenLink is compared against in Tables 7 and 8 of the paper.
+//
+// Their approach presupplies <attribute, similarity function> pairs and
+// lets GP combine the resulting similarity values into an arithmetic
+// expression (+, -, *, /, exp, constants). A pair of records is
+// classified as a match when the expression value exceeds a fixed
+// boundary. Unlike GenLink it cannot express data transformations, and
+// the arithmetic combination does not correspond to a standard linkage
+// rule model.
+
+#ifndef GENLINK_BASELINE_CARVALHO_GP_H_
+#define GENLINK_BASELINE_CARVALHO_GP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/math_tree.h"
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+#include "model/dataset.h"
+#include "model/reference_links.h"
+
+namespace genlink {
+
+/// Configuration of the baseline learner.
+struct CarvalhoConfig {
+  size_t population_size = 100;
+  size_t max_generations = 50;
+  size_t tournament_size = 5;
+  double crossover_probability = 0.8;
+  double mutation_probability = 0.15;
+  size_t elitism = 1;
+  /// Classification boundary: expression value > boundary => match.
+  double boundary = 0.5;
+  /// Maximum tree size in nodes (bloat guard).
+  size_t max_nodes = 100;
+  /// Stop when the training F-measure reaches this value.
+  double stop_f_measure = 1.0;
+  /// Lowercase values before computing feature similarities. Off by
+  /// default: Carvalho et al. cannot express data transformations (the
+  /// paper's Section 4), so normalizing inside the features would give
+  /// the baseline a capability it does not have.
+  bool lowercase_features = false;
+  MathTreeGenConfig generation;
+};
+
+/// One presupplied evidence: a property pair plus a similarity function
+/// (named), precomputed for every labelled pair.
+struct CarvalhoFeature {
+  std::string property_a;
+  std::string property_b;
+  std::string similarity;  // "levenshteinSim", "jaroSim", "tokenJaccardSim"
+  std::string DisplayName() const {
+    return similarity + "(" + property_a + "," + property_b + ")";
+  }
+};
+
+/// Result of one baseline run.
+struct CarvalhoResult {
+  std::unique_ptr<MathNode> best_tree;
+  RunTrajectory trajectory;
+  std::vector<CarvalhoFeature> features;
+};
+
+/// The baseline learner for one pair of datasets.
+class CarvalhoGP {
+ public:
+  /// Features are derived from property pairs that share a name (the
+  /// record-linkage setting of their paper); when the schemata share no
+  /// names, compatible property pairs are mined like GenLink does so the
+  /// comparison stays fair.
+  CarvalhoGP(const Dataset& a, const Dataset& b, CarvalhoConfig config = {});
+
+  /// Trains on `train`; records per-generation statistics (validation
+  /// scores against `val` when non-null).
+  Result<CarvalhoResult> Learn(const ReferenceLinkSet& train,
+                               const ReferenceLinkSet* val, Rng& rng) const;
+
+  const CarvalhoConfig& config() const { return config_; }
+
+ private:
+  const Dataset* a_;
+  const Dataset* b_;
+  CarvalhoConfig config_;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_BASELINE_CARVALHO_GP_H_

@@ -1,0 +1,131 @@
+#include "baseline/math_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace genlink {
+
+double MathNode::Evaluate(std::span<const double> features) const {
+  switch (type) {
+    case MathNodeType::kConstant:
+      return constant;
+    case MathNodeType::kFeature:
+      return feature_index < features.size() ? features[feature_index] : 0.0;
+    case MathNodeType::kAdd:
+      return left->Evaluate(features) + right->Evaluate(features);
+    case MathNodeType::kSub:
+      return left->Evaluate(features) - right->Evaluate(features);
+    case MathNodeType::kMul:
+      return left->Evaluate(features) * right->Evaluate(features);
+    case MathNodeType::kDiv: {
+      double denom = right->Evaluate(features);
+      if (std::abs(denom) < 1e-9) return 1.0;  // protected division
+      return left->Evaluate(features) / denom;
+    }
+    case MathNodeType::kExp:
+      return std::exp(std::min(left->Evaluate(features), 20.0));
+  }
+  return 0.0;
+}
+
+std::unique_ptr<MathNode> MathNode::Clone() const {
+  auto node = std::make_unique<MathNode>();
+  node->type = type;
+  node->constant = constant;
+  node->feature_index = feature_index;
+  if (left != nullptr) node->left = left->Clone();
+  if (right != nullptr) node->right = right->Clone();
+  return node;
+}
+
+size_t MathNode::Count() const {
+  size_t n = 1;
+  if (left != nullptr) n += left->Count();
+  if (right != nullptr) n += right->Count();
+  return n;
+}
+
+std::string MathNode::ToString(const std::vector<std::string>& feature_names) const {
+  switch (type) {
+    case MathNodeType::kConstant:
+      return FormatDouble(constant, 3);
+    case MathNodeType::kFeature:
+      return feature_index < feature_names.size()
+                 ? feature_names[feature_index]
+                 : "f" + std::to_string(feature_index);
+    case MathNodeType::kAdd:
+      return "(" + left->ToString(feature_names) + " + " +
+             right->ToString(feature_names) + ")";
+    case MathNodeType::kSub:
+      return "(" + left->ToString(feature_names) + " - " +
+             right->ToString(feature_names) + ")";
+    case MathNodeType::kMul:
+      return "(" + left->ToString(feature_names) + " * " +
+             right->ToString(feature_names) + ")";
+    case MathNodeType::kDiv:
+      return "(" + left->ToString(feature_names) + " / " +
+             right->ToString(feature_names) + ")";
+    case MathNodeType::kExp:
+      return "exp(" + left->ToString(feature_names) + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<MathNode> RandomLeaf(const MathTreeGenConfig& config, Rng& rng) {
+  auto node = std::make_unique<MathNode>();
+  if (config.num_features > 0 && rng.Bernoulli(config.feature_leaf_probability)) {
+    node->type = MathNodeType::kFeature;
+    node->feature_index = rng.PickIndex(config.num_features);
+  } else {
+    node->type = MathNodeType::kConstant;
+    node->constant = rng.Uniform(config.constant_min, config.constant_max);
+  }
+  return node;
+}
+
+std::unique_ptr<MathNode> Generate(const MathTreeGenConfig& config, Rng& rng,
+                                   size_t depth, bool full_method) {
+  bool must_stop = depth >= config.max_depth;
+  bool may_stop = depth >= config.min_depth;
+  if (must_stop || (!full_method && may_stop && rng.Bernoulli(0.3))) {
+    return RandomLeaf(config, rng);
+  }
+  static constexpr MathNodeType kFunctions[] = {
+      MathNodeType::kAdd, MathNodeType::kSub, MathNodeType::kMul,
+      MathNodeType::kDiv, MathNodeType::kExp,
+  };
+  auto node = std::make_unique<MathNode>();
+  node->type = kFunctions[rng.PickIndex(std::size(kFunctions))];
+  node->left = Generate(config, rng, depth + 1, full_method);
+  if (node->type != MathNodeType::kExp) {
+    node->right = Generate(config, rng, depth + 1, full_method);
+  }
+  return node;
+}
+
+void CollectSlots(std::unique_ptr<MathNode>* slot,
+                  std::vector<std::unique_ptr<MathNode>*>& out) {
+  out.push_back(slot);
+  if ((*slot)->left != nullptr) CollectSlots(&(*slot)->left, out);
+  if ((*slot)->right != nullptr) CollectSlots(&(*slot)->right, out);
+}
+
+}  // namespace
+
+std::unique_ptr<MathNode> RandomMathTree(const MathTreeGenConfig& config, Rng& rng,
+                                         bool full_method) {
+  return Generate(config, rng, 0, full_method);
+}
+
+std::vector<std::unique_ptr<MathNode>*> CollectMathSlots(
+    std::unique_ptr<MathNode>& root) {
+  std::vector<std::unique_ptr<MathNode>*> slots;
+  if (root != nullptr) CollectSlots(&root, slots);
+  return slots;
+}
+
+}  // namespace genlink

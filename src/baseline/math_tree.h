@@ -1,0 +1,70 @@
+// Arithmetic GP trees for the Carvalho et al. baseline [10]: candidate
+// solutions combine presupplied <attribute, similarity-function> feature
+// values using +, -, *, / (protected), exp and numeric constants.
+
+#ifndef GENLINK_BASELINE_MATH_TREE_H_
+#define GENLINK_BASELINE_MATH_TREE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace genlink {
+
+/// Node types of the arithmetic tree.
+enum class MathNodeType {
+  kConstant,  // leaf: numeric constant
+  kFeature,   // leaf: precomputed similarity value
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,  // protected: returns 1 when the divisor is ~0
+  kExp,  // unary, clamped to avoid overflow
+};
+
+/// One node of an arithmetic GP tree.
+struct MathNode {
+  MathNodeType type = MathNodeType::kConstant;
+  double constant = 0.0;
+  size_t feature_index = 0;
+  std::unique_ptr<MathNode> left;
+  std::unique_ptr<MathNode> right;  // null for unary/leaf nodes
+
+  /// Evaluates the tree over a feature vector.
+  double Evaluate(std::span<const double> features) const;
+
+  std::unique_ptr<MathNode> Clone() const;
+
+  /// Number of nodes in the subtree.
+  size_t Count() const;
+
+  /// Infix rendering, e.g. "((f0 * 2.5) + exp(f1))".
+  std::string ToString(const std::vector<std::string>& feature_names) const;
+};
+
+/// Configuration for random tree generation.
+struct MathTreeGenConfig {
+  size_t num_features = 1;
+  size_t min_depth = 2;
+  size_t max_depth = 4;
+  double constant_min = 0.0;
+  double constant_max = 2.0;
+  /// Probability that a leaf is a feature (vs a constant).
+  double feature_leaf_probability = 0.8;
+};
+
+/// Generates a random tree with the grow method (used for half of the
+/// ramped half-and-half initialization and for mutation subtrees).
+std::unique_ptr<MathNode> RandomMathTree(const MathTreeGenConfig& config, Rng& rng,
+                                         bool full_method = false);
+
+/// All node slots of a tree (for subtree crossover), including the root.
+std::vector<std::unique_ptr<MathNode>*> CollectMathSlots(
+    std::unique_ptr<MathNode>& root);
+
+}  // namespace genlink
+
+#endif  // GENLINK_BASELINE_MATH_TREE_H_

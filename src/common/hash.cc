@@ -1,0 +1,31 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace genlink {
+
+uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // Asymmetric in (seed, value) so that combining is order-sensitive.
+  uint64_t z = seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashDouble(double value) {
+  if (value == 0.0) value = 0.0;  // normalize -0.0
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return HashCombine(0x2545F4914F6CDD1DULL, bits);
+}
+
+}  // namespace genlink

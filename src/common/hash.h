@@ -1,0 +1,24 @@
+// Hashing helpers: FNV-1a for strings and a mix-based combiner, used for
+// structural hashing of linkage-rule trees (fitness caching) and token
+// indexes.
+
+#ifndef GENLINK_COMMON_HASH_H_
+#define GENLINK_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace genlink {
+
+/// 64-bit FNV-1a over bytes.
+uint64_t HashBytes(std::string_view bytes);
+
+/// Mixes `value` into `seed` (splitmix-style avalanche), order-sensitive.
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+/// Hashes a double by its bit pattern (normalizing -0.0 to 0.0).
+uint64_t HashDouble(double value);
+
+}  // namespace genlink
+
+#endif  // GENLINK_COMMON_HASH_H_

@@ -1,0 +1,85 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace genlink {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9E3779B97F4A7C15ULL;
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform01() {
+  // 53 random mantissa bits -> double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform01(); }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (lo >= hi) return lo;
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t x;
+  do {
+    x = NextUint64();
+  } while (x >= limit);
+  return lo + static_cast<int64_t>(x % span);
+}
+
+size_t Rng::PickIndex(size_t n) {
+  return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+}
+
+bool Rng::Bernoulli(double p) { return Uniform01() < p; }
+
+double Rng::Gaussian(double mean, double stddev) {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return mean + stddev * cached_gaussian_;
+  }
+  double u1, u2;
+  do {
+    u1 = Uniform01();
+  } while (u1 <= 1e-300);
+  u2 = Uniform01();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  have_cached_gaussian_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+Rng Rng::Fork() { return Rng(NextUint64() ^ 0xD1B54A32D192ED03ULL); }
+
+}  // namespace genlink

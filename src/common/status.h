@@ -1,0 +1,137 @@
+// Error handling vocabulary for the GenLink library.
+//
+// Library code does not throw exceptions; fallible operations return a
+// `Status` or a `Result<T>` (a value-or-status union, similar in spirit to
+// absl::StatusOr / rocksdb::Status).
+
+#ifndef GENLINK_COMMON_STATUS_H_
+#define GENLINK_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace genlink {
+
+/// Canonical error codes used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kParseError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code (e.g. "NotFound").
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value.
+///
+/// The default-constructed `Status` is OK. Error statuses carry a code and a
+/// message describing the failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders the status as "<CodeName>: <message>" ("OK" when ok).
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type `T` or an error `Status`.
+///
+/// Access to the value when the result holds an error is a programming bug
+/// and is guarded by assertions in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result error constructor requires non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when this result is an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace genlink
+
+/// Propagates a non-OK status from an expression, RocksDB-style.
+#define GENLINK_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::genlink::Status _genlink_status = (expr);        \
+    if (!_genlink_status.ok()) return _genlink_status; \
+  } while (false)
+
+#endif  // GENLINK_COMMON_STATUS_H_

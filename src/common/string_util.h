@@ -1,0 +1,50 @@
+// Small string helpers shared across the library. ASCII-oriented: the
+// reproduction's data generators emit ASCII, matching the paper's datasets.
+
+#ifndef GENLINK_COMMON_STRING_UTIL_H_
+#define GENLINK_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace genlink {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits `text` on any amount of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimView(std::string_view text);
+std::string Trim(std::string_view text);
+
+/// True if `text` begins with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+/// Parses a double; returns false on malformed input or trailing garbage.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Parses a signed integer; returns false on malformed input.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros ("1.5", not "1.500000").
+std::string FormatDouble(double value, int digits = 6);
+
+/// Formats a double with the fewest digits that still parse back to the
+/// exact same value (used by serializers that must round-trip).
+std::string FormatDoubleExact(double value);
+
+}  // namespace genlink
+
+#endif  // GENLINK_COMMON_STRING_UTIL_H_

@@ -1,0 +1,79 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace genlink {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  const size_t workers = threads_.size();
+  if (workers <= 1 || count < 2 * workers) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // Static chunking: each worker claims a contiguous slice. Fitness costs
+  // are roughly uniform across a population, so static split is adequate
+  // and avoids per-index synchronization.
+  const size_t num_chunks = workers;
+  const size_t chunk = (count + num_chunks - 1) / num_chunks;
+  std::atomic<size_t> remaining(num_chunks);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t begin = c * chunk;
+    const size_t end = std::min(count, begin + chunk);
+    Submit([&, begin, end] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+}  // namespace genlink

@@ -1,0 +1,53 @@
+// A small fixed-size thread pool with a parallel-for helper.
+//
+// GenLink evaluates the fitness of every rule in a population each
+// generation; those evaluations are independent and dominate runtime, so
+// they are dispatched through this pool (the paper notes tournament
+// selection was chosen partly because it is easy to parallelize).
+
+#ifndef GENLINK_COMMON_THREAD_POOL_H_
+#define GENLINK_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace genlink {
+
+/// Fixed-size worker pool. Tasks are `void()` closures; `ParallelFor`
+/// blocks until the whole index range has been processed.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (0 means
+  /// hardware_concurrency, minimum 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs `fn(i)` for every i in [0, count), distributing chunks over the
+  /// workers, and returns when all indices are done. Runs inline when the
+  /// pool has a single worker or `count` is small.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void Submit(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_COMMON_THREAD_POOL_H_

@@ -1,0 +1,213 @@
+#include "datasets/cora.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "datasets/name_pools.h"
+#include "datasets/noise.h"
+#include "text/case_fold.h"
+
+namespace genlink {
+namespace {
+
+struct Paper {
+  std::string title;
+  std::vector<std::string> authors;  // "first last"
+  std::string venue;
+  std::string venue_abbrev;
+  std::string year;
+  size_t edition = 0;  // index of the (venue, year) conference edition
+};
+
+// A conference edition: many different papers share one (venue, year),
+// exactly as in the real Cora - which is what makes venue/date useless
+// as a matching key on their own.
+struct Edition {
+  size_t venue_index;
+  std::string year;
+};
+
+std::vector<Edition> MakeEditions(size_t count, Rng& rng) {
+  std::vector<Edition> editions;
+  editions.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    editions.push_back({rng.PickIndex(pools::Venues().size()),
+                        std::to_string(1985 + rng.PickIndex(16))});
+  }
+  return editions;
+}
+
+Paper RandomPaper(const std::vector<Edition>& editions, Rng& rng) {
+  Paper paper;
+  auto words = pools::TitleWords();
+  size_t num_words = 4 + rng.PickIndex(4);
+  std::vector<std::string> title_words;
+  for (size_t i = 0; i < num_words; ++i) {
+    title_words.emplace_back(words[rng.PickIndex(words.size())]);
+  }
+  paper.title = Join(title_words, " ");
+
+  size_t num_authors = 1 + rng.PickIndex(3);
+  for (size_t i = 0; i < num_authors; ++i) {
+    paper.authors.push_back(
+        std::string(pools::FirstNames()[rng.PickIndex(pools::FirstNames().size())]) +
+        " " +
+        std::string(pools::LastNames()[rng.PickIndex(pools::LastNames().size())]));
+  }
+  paper.edition = rng.PickIndex(editions.size());
+  const Edition& edition = editions[paper.edition];
+  const auto& venue = pools::Venues()[edition.venue_index];
+  paper.venue = std::string(venue.full);
+  paper.venue_abbrev = std::string(venue.abbrev);
+  paper.year = edition.year;
+  return paper;
+}
+
+}  // namespace
+
+MatchingTask GenerateCora(const CoraConfig& config) {
+  Rng rng(config.seed);
+  MatchingTask task;
+  task.name = "cora";
+  task.dedup = true;
+  task.a.set_name("cora");
+
+  const size_t num_entities =
+      std::max<size_t>(4, static_cast<size_t>(config.num_entities * config.scale));
+  const size_t num_links = std::max<size_t>(
+      2, static_cast<size_t>(config.num_positive_links * config.scale));
+
+  PropertyId p_title = task.a.schema().AddProperty("title");
+  PropertyId p_author = task.a.schema().AddProperty("author");
+  PropertyId p_venue = task.a.schema().AddProperty("venue");
+  PropertyId p_date = task.a.schema().AddProperty("date");
+
+  // Cluster sizes: enough co-referent citation groups that all positive
+  // links can be drawn between cluster members. A cluster of size k
+  // yields up to k*(k-1)/2 links; the real Cora has large clusters, so
+  // sizes 1-6 are drawn with a bias toward small clusters.
+  struct Cluster {
+    Paper paper;
+    std::vector<std::string> member_ids;
+  };
+  std::vector<Cluster> clusters;
+  size_t entities_made = 0;
+  size_t link_capacity = 0;
+  int citation_id = 0;
+
+  // Few editions relative to papers: venue+year collisions are frequent.
+  std::vector<Edition> editions =
+      MakeEditions(std::max<size_t>(6, num_entities / 60), rng);
+
+  while (entities_made < num_entities) {
+    Cluster cluster;
+    cluster.paper = RandomPaper(editions, rng);
+    size_t size = 1;
+    // Keep growing clusters until the links can be covered.
+    if (link_capacity < num_links) {
+      size = 2 + rng.PickIndex(5);  // 2..6
+    }
+    size = std::min(size, num_entities - entities_made);
+    if (size == 0) break;
+
+    for (size_t m = 0; m < size; ++m) {
+      const Paper& paper = cluster.paper;
+      Entity entity("cite" + std::to_string(citation_id++));
+
+      // Title: typos and case inconsistency. Restyled titles are mostly
+      // ALL UPPER CASE ("iPod" vs "IPOD" in the paper's example) so that
+      // character-level measures genuinely need a lowerCase
+      // transformation - Title Case alone only changes word initials.
+      std::string title = paper.title;
+      if (rng.Bernoulli(config.typo_probability)) title = InjectTypos(title, 2, rng);
+      if (rng.Bernoulli(config.case_noise_probability)) {
+        title = rng.Bernoulli(0.6) ? ToUpperAscii(title)
+                                   : RandomCaseStyle(title, rng);
+      }
+      entity.AddValue(p_title, title);
+
+      // Authors: order and initialization vary between citations.
+      std::vector<std::string> authors = paper.authors;
+      if (rng.Bernoulli(config.author_shuffle_probability)) rng.Shuffle(authors);
+      bool initials = rng.Bernoulli(config.author_initials_probability);
+      std::vector<std::string> rendered;
+      for (const auto& author : authors) {
+        rendered.push_back(initials ? AbbreviateTokens(author, 1.0, rng) : author);
+        // AbbreviateTokens abbreviates all tokens; keep the last name.
+        if (initials) {
+          auto parts = SplitWhitespace(author);
+          rendered.back() = std::string(1, parts[0][0]) + ". " + parts.back();
+        }
+      }
+      if (rng.Bernoulli(config.missing_probability)) {
+        // Missing author field.
+      } else {
+        entity.AddValue(p_author, Join(rendered, ", "));
+      }
+
+      // Venue: full name or abbreviation, sometimes missing.
+      if (!rng.Bernoulli(config.missing_probability)) {
+        std::string venue = rng.Bernoulli(config.venue_abbrev_probability)
+                                ? paper.venue_abbrev
+                                : paper.venue;
+        if (rng.Bernoulli(config.case_noise_probability)) {
+          venue = RandomCaseStyle(venue, rng);
+        }
+        entity.AddValue(p_venue, venue);
+      }
+
+      // Date: sometimes missing.
+      if (!rng.Bernoulli(config.missing_probability)) {
+        entity.AddValue(p_date, paper.year);
+      }
+
+      cluster.member_ids.push_back(entity.id());
+      Status s = task.a.AddEntity(std::move(entity));
+      (void)s;  // ids are unique by construction
+      ++entities_made;
+    }
+    link_capacity += cluster.member_ids.size() * (cluster.member_ids.size() - 1) / 2;
+    clusters.push_back(std::move(cluster));
+  }
+
+  // Positive links: all intra-cluster pairs, round-robin over clusters
+  // until the target count is reached.
+  std::vector<std::pair<std::string, std::string>> candidates;
+  for (const auto& cluster : clusters) {
+    for (size_t i = 0; i < cluster.member_ids.size(); ++i) {
+      for (size_t j = i + 1; j < cluster.member_ids.size(); ++j) {
+        candidates.emplace_back(cluster.member_ids[i], cluster.member_ids[j]);
+      }
+    }
+  }
+  rng.Shuffle(candidates);
+  for (size_t i = 0; i < candidates.size() && task.links.positives().size() < num_links;
+       ++i) {
+    task.links.AddPositive(candidates[i].first, candidates[i].second);
+  }
+
+  // Hard negatives: different papers from the same conference edition
+  // (same venue, same year). These dominate real Cora non-matches and
+  // force the rule to discriminate on the title.
+  std::vector<std::vector<size_t>> clusters_by_edition(editions.size());
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    clusters_by_edition[clusters[c].paper.edition].push_back(c);
+  }
+  size_t hard_target = num_links / 2;
+  size_t hard_made = 0;
+  for (const auto& edition_clusters : clusters_by_edition) {
+    for (size_t i = 0; i + 1 < edition_clusters.size() && hard_made < hard_target;
+         ++i) {
+      const Cluster& c1 = clusters[edition_clusters[i]];
+      const Cluster& c2 = clusters[edition_clusters[i + 1]];
+      task.links.AddNegative(c1.member_ids[rng.PickIndex(c1.member_ids.size())],
+                             c2.member_ids[rng.PickIndex(c2.member_ids.size())]);
+      ++hard_made;
+    }
+  }
+  // Top up to |R-| = |R+| with the paper's permutation scheme.
+  task.links.GenerateNegativesFromPositives(rng);
+  return task;
+}
+
+}  // namespace genlink

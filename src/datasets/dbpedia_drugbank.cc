@@ -1,0 +1,135 @@
+#include "datasets/dbpedia_drugbank.h"
+
+#include "common/string_util.h"
+#include "datasets/name_pools.h"
+#include "datasets/noise.h"
+#include "datasets/sider_drugbank.h"
+#include "text/case_fold.h"
+
+namespace genlink {
+namespace {
+
+std::string RandomPubchemId(Rng& rng) {
+  return std::to_string(1000 + rng.PickIndex(9000000));
+}
+
+}  // namespace
+
+MatchingTask GenerateDbpediaDrugbank(const DbpediaDrugbankConfig& config) {
+  Rng rng(config.seed);
+  MatchingTask task;
+  task.name = "dbpedia-drugbank";
+  task.a.set_name("dbpedia");
+  task.b.set_name("drugbank");
+
+  const size_t num_a =
+      std::max<size_t>(4, static_cast<size_t>(config.num_dbpedia * config.scale));
+  const size_t num_b =
+      std::max<size_t>(4, static_cast<size_t>(config.num_drugbank * config.scale));
+  const size_t num_links = std::min(
+      std::min(num_a, num_b),
+      std::max<size_t>(2,
+                       static_cast<size_t>(config.num_positive_links * config.scale)));
+
+  // DBpedia core properties (fillers bring the width to 110 at 0.3).
+  PropertyId da_label = task.a.schema().AddProperty("label");
+  PropertyId da_synonym = task.a.schema().AddProperty("synonym");
+  PropertyId da_cas = task.a.schema().AddProperty("casNumber");
+  PropertyId da_atc = task.a.schema().AddProperty("atcPrefix");
+  PropertyId da_pubchem = task.a.schema().AddProperty("pubchem");
+
+  // DrugBank core properties (fillers bring the width to 79 at 0.5).
+  PropertyId db_name = task.b.schema().AddProperty("genericName");
+  PropertyId db_brand = task.b.schema().AddProperty("brandName");
+  PropertyId db_cas = task.b.schema().AddProperty("casRegistryNumber");
+  PropertyId db_atc = task.b.schema().AddProperty("atcCode");
+  PropertyId db_pubchem = task.b.schema().AddProperty("pubchemCompoundId");
+
+  int a_id = 0, b_id = 0;
+
+  struct Drug {
+    std::string name;
+    std::vector<std::string> synonyms;
+    std::string cas;
+    std::string atc;
+    std::string pubchem;
+    bool has_cas, has_atc, has_pubchem;
+  };
+  auto random_drug = [&](bool linked) {
+    Drug drug;
+    drug.name = RandomDrugName(rng);
+    size_t num_synonyms = rng.PickIndex(3);
+    for (size_t s = 0; s < num_synonyms; ++s) {
+      drug.synonyms.push_back(RandomDrugName(rng));
+    }
+    drug.cas = RandomCasNumber(rng);
+    drug.atc = std::string(1, static_cast<char>('A' + rng.PickIndex(14))) +
+               std::to_string(rng.PickIndex(10)) + std::to_string(rng.PickIndex(10));
+    drug.pubchem = RandomPubchemId(rng);
+    drug.has_cas = rng.Bernoulli(config.cas_coverage);
+    drug.has_atc = rng.Bernoulli(config.atc_coverage);
+    drug.has_pubchem = rng.Bernoulli(config.pubchem_coverage);
+    (void)linked;
+    return drug;
+  };
+
+  auto dbpedia_entity = [&](const Drug& drug) {
+    Entity entity("dbpd" + std::to_string(a_id++));
+    std::string label = drug.name;
+    if (rng.Bernoulli(config.name_noise_probability)) {
+      label = RandomCaseStyle(label, rng);
+    }
+    if (rng.Bernoulli(0.25)) label += " (drug)";
+    entity.AddValue(da_label, label);
+    // DBpedia synonym lists mix the generic name with the synonyms.
+    for (const auto& synonym : drug.synonyms) {
+      entity.AddValue(da_synonym, synonym);
+    }
+    if (rng.Bernoulli(0.5)) entity.AddValue(da_synonym, drug.name);
+    if (drug.has_cas) entity.AddValue(da_cas, drug.cas);
+    if (drug.has_atc) entity.AddValue(da_atc, drug.atc);
+    if (drug.has_pubchem) entity.AddValue(da_pubchem, drug.pubchem);
+    Status s = task.a.AddEntity(std::move(entity));
+    (void)s;
+    return "dbpd" + std::to_string(a_id - 1);
+  };
+
+  auto drugbank_entity = [&](const Drug& drug) {
+    Entity entity("dbk" + std::to_string(b_id++));
+    entity.AddValue(db_name, ToLowerAscii(drug.name));
+    // Brand names: synonyms, sometimes decorated.
+    for (const auto& synonym : drug.synonyms) {
+      std::string brand = synonym;
+      if (rng.Bernoulli(0.3)) brand = RandomCaseStyle(brand, rng);
+      entity.AddValue(db_brand, brand);
+    }
+    if (drug.has_cas) {
+      // DrugBank often stores the CAS number without dashes.
+      entity.AddValue(db_cas, rng.Bernoulli(0.5) ? drug.cas
+                                                 : ReplaceAll(drug.cas, "-", ""));
+    }
+    if (drug.has_atc && rng.Bernoulli(0.8)) entity.AddValue(db_atc, drug.atc);
+    if (drug.has_pubchem && rng.Bernoulli(0.8)) {
+      entity.AddValue(db_pubchem, drug.pubchem);
+    }
+    Status s = task.b.AddEntity(std::move(entity));
+    (void)s;
+    return "dbk" + std::to_string(b_id - 1);
+  };
+
+  for (size_t i = 0; i < num_links; ++i) {
+    Drug drug = random_drug(true);
+    task.links.AddPositive(dbpedia_entity(drug), drugbank_entity(drug));
+  }
+  while (task.a.size() < num_a) dbpedia_entity(random_drug(false));
+  while (task.b.size() < num_b) drugbank_entity(random_drug(false));
+
+  // Filler properties reproduce Table 6's width and coverage.
+  AddFillerProperties(task.a, 105, 0.3, "dbpProp", rng);
+  AddFillerProperties(task.b, 74, 0.5, "dbkProp", rng);
+
+  task.links.GenerateNegativesFromPositives(rng);
+  return task;
+}
+
+}  // namespace genlink

@@ -1,0 +1,31 @@
+// A complete synthetic matching task: source/target datasets plus
+// reference links, the unit every generator returns and every bench
+// consumes.
+
+#ifndef GENLINK_DATASETS_MATCHING_TASK_H_
+#define GENLINK_DATASETS_MATCHING_TASK_H_
+
+#include <string>
+
+#include "model/dataset.h"
+#include "model/reference_links.h"
+
+namespace genlink {
+
+/// One generated matching task.
+struct MatchingTask {
+  std::string name;
+  Dataset a;
+  /// Empty for deduplication tasks (Cora, Restaurant), where the source
+  /// is matched against itself.
+  Dataset b;
+  ReferenceLinkSet links;
+  bool dedup = false;
+
+  const Dataset& Source() const { return a; }
+  const Dataset& Target() const { return dedup ? a : b; }
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_DATASETS_MATCHING_TASK_H_

@@ -1,0 +1,171 @@
+#include "datasets/name_pools.h"
+
+namespace genlink {
+namespace pools {
+namespace {
+
+constexpr std::string_view kFirstNames[] = {
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "christopher",
+    "nancy", "daniel", "lisa", "matthew", "betty", "anthony", "margaret",
+    "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
+    "emily", "andrew", "donna", "joshua", "michelle", "kenneth", "dorothy",
+    "kevin", "carol", "brian", "amanda", "george", "melissa", "edward",
+    "deborah", "ronald", "stephanie", "timothy", "rebecca", "jason", "sharon",
+    "jeffrey", "laura", "ryan", "cynthia", "jacob", "kathleen", "gary", "amy",
+    "nicholas", "shirley", "eric", "angela", "jonathan", "helen", "stephen",
+    "anna", "larry", "brenda", "justin", "pamela", "scott", "nicole",
+    "brandon", "emma",
+};
+
+constexpr std::string_view kLastNames[] = {
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+    "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+    "carter", "roberts", "gomez", "phillips", "evans", "turner", "diaz",
+    "parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+    "morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan",
+    "cooper", "peterson", "bailey", "reed", "kelly", "howard", "ramos",
+    "kim", "cox", "ward", "richardson",
+};
+
+constexpr std::string_view kTitleWords[] = {
+    "learning",     "adaptive",   "efficient",   "distributed", "parallel",
+    "scalable",     "incremental", "approximate", "probabilistic", "robust",
+    "matching",     "linkage",    "detection",   "resolution",  "integration",
+    "deduplication", "clustering", "indexing",   "retrieval",   "extraction",
+    "classification", "estimation", "optimization", "evaluation", "analysis",
+    "records",      "entities",   "databases",   "graphs",      "streams",
+    "queries",      "transactions", "schemas",   "ontologies",  "networks",
+    "models",       "algorithms", "methods",     "systems",     "frameworks",
+    "semantic",     "relational", "temporal",    "spatial",     "heterogeneous",
+    "large",        "web",        "data",        "knowledge",   "information",
+    "genetic",      "evolutionary", "statistical", "structural", "similarity",
+    "duplicate",    "string",     "automatic",   "interactive", "supervised",
+};
+
+constexpr Venue kVenues[] = {
+    {"very large data bases", "vldb"},
+    {"international conference on management of data", "sigmod"},
+    {"international conference on data engineering", "icde"},
+    {"knowledge discovery and data mining", "kdd"},
+    {"conference on information and knowledge management", "cikm"},
+    {"extending database technology", "edbt"},
+    {"international world wide web conference", "www"},
+    {"international semantic web conference", "iswc"},
+    {"artificial intelligence", "aaai"},
+    {"machine learning", "icml"},
+    {"neural information processing systems", "nips"},
+    {"computational linguistics", "acl"},
+    {"database and expert systems applications", "dexa"},
+    {"symposium on principles of database systems", "pods"},
+    {"european conference on machine learning", "ecml"},
+    {"international joint conference on artificial intelligence", "ijcai"},
+    {"data and knowledge engineering", "dke"},
+    {"transactions on knowledge and data engineering", "tkde"},
+    {"journal of machine learning research", "jmlr"},
+    {"information systems", "is"},
+};
+
+constexpr City kCities[] = {
+    {"new york", 40.7128, -74.0060},     {"los angeles", 34.0522, -118.2437},
+    {"chicago", 41.8781, -87.6298},      {"houston", 29.7604, -95.3698},
+    {"phoenix", 33.4484, -112.0740},     {"philadelphia", 39.9526, -75.1652},
+    {"san antonio", 29.4241, -98.4936},  {"san diego", 32.7157, -117.1611},
+    {"dallas", 32.7767, -96.7970},       {"san jose", 37.3382, -121.8863},
+    {"austin", 30.2672, -97.7431},       {"boston", 42.3601, -71.0589},
+    {"seattle", 47.6062, -122.3321},     {"denver", 39.7392, -104.9903},
+    {"detroit", 42.3314, -83.0458},      {"portland", 45.5152, -122.6784},
+    {"memphis", 35.1495, -90.0490},      {"baltimore", 39.2904, -76.6122},
+    {"milwaukee", 43.0389, -87.9065},    {"albuquerque", 35.0844, -106.6504},
+    {"tucson", 32.2226, -110.9747},      {"sacramento", 38.5816, -121.4944},
+    {"kansas city", 39.0997, -94.5786},  {"atlanta", 33.7490, -84.3880},
+    {"omaha", 41.2565, -95.9345},        {"miami", 25.7617, -80.1918},
+    {"oakland", 37.8044, -122.2712},     {"minneapolis", 44.9778, -93.2650},
+    {"cleveland", 41.4993, -81.6944},    {"new orleans", 29.9511, -90.0715},
+    {"london", 51.5074, -0.1278},        {"paris", 48.8566, 2.3522},
+    {"berlin", 52.5200, 13.4050},        {"madrid", 40.4168, -3.7038},
+    {"rome", 41.9028, 12.4964},          {"vienna", 48.2082, 16.3738},
+    {"amsterdam", 52.3676, 4.9041},      {"brussels", 50.8503, 4.3517},
+    {"munich", 48.1351, 11.5820},        {"zurich", 47.3769, 8.5417},
+    {"istanbul", 41.0082, 28.9784},      {"tokyo", 35.6762, 139.6503},
+    {"sydney", -33.8688, 151.2093},      {"toronto", 43.6532, -79.3832},
+    {"dublin", 53.3498, -6.2603},        {"lisbon", 38.7223, -9.1393},
+    {"prague", 50.0755, 14.4378},        {"warsaw", 52.2297, 21.0122},
+    {"budapest", 47.4979, 19.0402},      {"copenhagen", 55.6761, 12.5683},
+};
+
+constexpr std::string_view kStreetNames[] = {
+    "main st",      "oak ave",       "maple dr",    "cedar ln",
+    "park ave",     "elm st",        "washington blvd", "lake view rd",
+    "sunset blvd",  "broadway",      "river rd",    "hill st",
+    "church st",    "market st",     "union ave",   "highland ave",
+    "5th ave",      "2nd st",        "canal st",    "spring st",
+    "grand ave",    "franklin st",   "jefferson ave", "lincoln blvd",
+    "madison ave",  "monroe st",     "adams blvd",  "jackson st",
+    "pico blvd",    "wilshire blvd", "melrose ave", "la cienega blvd",
+};
+
+constexpr std::string_view kRestaurantWords[] = {
+    "golden",  "blue",    "little",  "grand",   "royal",  "silver",
+    "red",     "green",   "olive",   "garden",  "palace", "corner",
+    "house",   "kitchen", "grill",   "bistro",  "cafe",   "tavern",
+    "dragon",  "lotus",   "pearl",   "sunset",  "harbor", "village",
+    "brothers", "mama",   "papa",    "old",     "new",    "star",
+};
+
+constexpr std::string_view kCuisines[] = {
+    "american",  "italian", "french",   "chinese",  "japanese", "mexican",
+    "thai",      "indian",  "greek",    "spanish",  "seafood",  "steakhouse",
+    "barbecue",  "deli",    "pizzeria", "vegetarian", "mediterranean",
+    "vietnamese", "korean", "cajun",
+};
+
+constexpr std::string_view kDrugSyllables[] = {
+    "ab", "aci", "ado", "al", "am", "ana", "ast", "ato", "az", "ben",
+    "bi", "bro", "ca", "cef", "chlor", "ci", "clo", "cor", "cy", "dex",
+    "di", "dol", "dro", "ef", "en", "er", "eth", "fen", "flu", "gab",
+    "gli", "hydro", "ib", "il", "im", "in", "keto", "lam", "lev", "lin",
+    "lo", "mab", "met", "mi", "mo", "na", "ne", "ni", "ol", "olol",
+    "on", "oxa", "pam", "pen", "phen", "pra", "pro", "quin", "ra", "ri",
+    "ro", "sal", "ser", "sta", "sul", "ta", "ter", "thio", "tin", "tol",
+    "tra", "tri", "va", "ver", "vir", "xa", "zi", "zol", "zu", "zy",
+};
+
+constexpr std::string_view kMovieWords[] = {
+    "night",   "day",     "last",    "first",   "dark",    "lost",
+    "return",  "rise",    "fall",    "king",    "queen",   "city",
+    "house",   "street",  "dream",   "shadow",  "light",   "fire",
+    "water",   "storm",   "silent",  "broken",  "hidden",  "secret",
+    "golden",  "black",   "white",   "red",     "blood",   "heart",
+    "love",    "death",   "life",    "war",     "game",    "story",
+    "legend",  "summer",  "winter",  "midnight", "morning", "stranger",
+    "ghost",   "angel",   "devil",   "river",   "mountain", "island",
+};
+
+constexpr std::string_view kLocationSuffixes[] = {
+    "county", "district", "park", "square", "heights", "valley",
+    "beach",  "harbor",   "falls", "springs", "junction", "ridge",
+};
+
+}  // namespace
+
+std::span<const std::string_view> FirstNames() { return kFirstNames; }
+std::span<const std::string_view> LastNames() { return kLastNames; }
+std::span<const std::string_view> TitleWords() { return kTitleWords; }
+std::span<const Venue> Venues() { return kVenues; }
+std::span<const City> Cities() { return kCities; }
+std::span<const std::string_view> StreetNames() { return kStreetNames; }
+std::span<const std::string_view> RestaurantWords() { return kRestaurantWords; }
+std::span<const std::string_view> Cuisines() { return kCuisines; }
+std::span<const std::string_view> DrugSyllables() { return kDrugSyllables; }
+std::span<const std::string_view> MovieWords() { return kMovieWords; }
+std::span<const std::string_view> LocationSuffixes() { return kLocationSuffixes; }
+
+}  // namespace pools
+}  // namespace genlink

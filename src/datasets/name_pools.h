@@ -1,0 +1,44 @@
+// Vocabulary pools the synthetic generators draw from: person names,
+// research-paper vocabulary, venue names with their abbreviations,
+// cities with coordinates, streets, cuisines, drug-name fragments and
+// movie vocabulary.
+
+#ifndef GENLINK_DATASETS_NAME_POOLS_H_
+#define GENLINK_DATASETS_NAME_POOLS_H_
+
+#include <span>
+#include <string_view>
+
+namespace genlink {
+namespace pools {
+
+/// A venue with its common abbreviation ("Very Large Data Bases" /
+/// "VLDB").
+struct Venue {
+  std::string_view full;
+  std::string_view abbrev;
+};
+
+/// A city with WGS84 coordinates.
+struct City {
+  std::string_view name;
+  double lat;
+  double lon;
+};
+
+std::span<const std::string_view> FirstNames();
+std::span<const std::string_view> LastNames();
+std::span<const std::string_view> TitleWords();
+std::span<const Venue> Venues();
+std::span<const City> Cities();
+std::span<const std::string_view> StreetNames();
+std::span<const std::string_view> RestaurantWords();
+std::span<const std::string_view> Cuisines();
+std::span<const std::string_view> DrugSyllables();
+std::span<const std::string_view> MovieWords();
+std::span<const std::string_view> LocationSuffixes();
+
+}  // namespace pools
+}  // namespace genlink
+
+#endif  // GENLINK_DATASETS_NAME_POOLS_H_

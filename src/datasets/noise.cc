@@ -1,0 +1,118 @@
+#include "datasets/noise.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "text/case_fold.h"
+
+namespace genlink {
+
+std::string InjectTypo(std::string_view text, Rng& rng) {
+  std::string out(text);
+  if (out.empty()) return out;
+  constexpr std::string_view kLetters = "abcdefghijklmnopqrstuvwxyz";
+  size_t pos = rng.PickIndex(out.size());
+  switch (rng.UniformInt(0, 3)) {
+    case 0:  // substitution
+      out[pos] = kLetters[rng.PickIndex(kLetters.size())];
+      break;
+    case 1:  // deletion
+      out.erase(pos, 1);
+      break;
+    case 2:  // insertion
+      out.insert(out.begin() + static_cast<ptrdiff_t>(pos),
+                 kLetters[rng.PickIndex(kLetters.size())]);
+      break;
+    default:  // adjacent transposition
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+std::string InjectTypos(std::string_view text, size_t max_typos, Rng& rng) {
+  std::string out(text);
+  size_t n = static_cast<size_t>(rng.UniformInt(1, std::max<int64_t>(1, max_typos)));
+  for (size_t i = 0; i < n; ++i) out = InjectTypo(out, rng);
+  return out;
+}
+
+std::string RandomCaseStyle(std::string_view text, Rng& rng) {
+  switch (rng.UniformInt(0, 2)) {
+    case 0:
+      return ToUpperAscii(text);
+    case 1:
+      return ToLowerAscii(text);
+    default: {
+      // Title Case.
+      std::string out = ToLowerAscii(text);
+      bool start_of_word = true;
+      for (char& c : out) {
+        if (std::isalpha(static_cast<unsigned char>(c))) {
+          if (start_of_word) c = static_cast<char>(std::toupper(c));
+          start_of_word = false;
+        } else {
+          start_of_word = true;
+        }
+      }
+      return out;
+    }
+  }
+}
+
+std::string ShuffleTokens(std::string_view text, Rng& rng) {
+  auto tokens = SplitWhitespace(text);
+  rng.Shuffle(tokens);
+  return Join(tokens, " ");
+}
+
+std::string DropRandomToken(std::string_view text, Rng& rng) {
+  auto tokens = SplitWhitespace(text);
+  if (tokens.size() <= 1) return std::string(text);
+  tokens.erase(tokens.begin() + static_cast<ptrdiff_t>(rng.PickIndex(tokens.size())));
+  return Join(tokens, " ");
+}
+
+std::string AbbreviateTokens(std::string_view text, double probability, Rng& rng) {
+  auto tokens = SplitWhitespace(text);
+  for (auto& token : tokens) {
+    if (token.size() > 3 && rng.Bernoulli(probability)) {
+      token = std::string(1, token[0]) + ".";
+    }
+  }
+  return Join(tokens, " ");
+}
+
+std::string RandomWord(size_t length, Rng& rng) {
+  constexpr std::string_view kVowels = "aeiou";
+  constexpr std::string_view kConsonants = "bcdfghjklmnpqrstvwz";
+  std::string out;
+  out.reserve(length);
+  bool vowel = rng.Bernoulli(0.3);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(vowel ? kVowels[rng.PickIndex(kVowels.size())]
+                        : kConsonants[rng.PickIndex(kConsonants.size())]);
+    vowel = !vowel;
+  }
+  return out;
+}
+
+void AddFillerProperties(Dataset& dataset, size_t count, double coverage,
+                         std::string_view prefix, Rng& rng) {
+  std::vector<PropertyId> props;
+  props.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    props.push_back(
+        dataset.schema().AddProperty(std::string(prefix) + std::to_string(i)));
+  }
+  for (size_t e = 0; e < dataset.size(); ++e) {
+    Entity& entity = dataset.mutable_entity(e);
+    for (PropertyId p : props) {
+      if (rng.Bernoulli(coverage)) {
+        entity.AddValue(p, RandomWord(4 + rng.PickIndex(6), rng));
+      }
+    }
+  }
+}
+
+}  // namespace genlink

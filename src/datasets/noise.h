@@ -1,0 +1,51 @@
+// The noise model shared by the synthetic dataset generators: the
+// perturbations mirror the data-quality problems the paper names for its
+// evaluation data sets (typos, inconsistent letter case, token
+// reordering, abbreviations, missing values, format differences).
+
+#ifndef GENLINK_DATASETS_NOISE_H_
+#define GENLINK_DATASETS_NOISE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+#include "model/dataset.h"
+
+namespace genlink {
+
+/// Applies one random character edit (substitution, deletion, insertion
+/// or adjacent transposition) to a copy of `text`. No-op on empty input.
+std::string InjectTypo(std::string_view text, Rng& rng);
+
+/// Applies up to `max_typos` random character edits.
+std::string InjectTypos(std::string_view text, size_t max_typos, Rng& rng);
+
+/// Randomly changes the letter case of the whole value: all-upper,
+/// all-lower or Title Case.
+std::string RandomCaseStyle(std::string_view text, Rng& rng);
+
+/// Shuffles the whitespace-separated tokens of `text`.
+std::string ShuffleTokens(std::string_view text, Rng& rng);
+
+/// Drops one random whitespace-separated token (keeps at least one).
+std::string DropRandomToken(std::string_view text, Rng& rng);
+
+/// Abbreviates each token longer than 3 characters with probability
+/// `probability` to its first letter plus '.' ("John Smith" -> "J. Smith").
+std::string AbbreviateTokens(std::string_view text, double probability, Rng& rng);
+
+/// Builds a random word of `length` lowercase letters (pronounceable-ish
+/// consonant-vowel alternation).
+std::string RandomWord(size_t length, Rng& rng);
+
+/// Adds `count` filler properties named `<prefix>0..` to the dataset
+/// schema and fills each entity's filler property with a random word
+/// with probability `coverage`. Models the wide, sparsely covered
+/// schemata of the RDF data sets (Table 6 of the paper).
+void AddFillerProperties(Dataset& dataset, size_t count, double coverage,
+                         std::string_view prefix, Rng& rng);
+
+}  // namespace genlink
+
+#endif  // GENLINK_DATASETS_NOISE_H_

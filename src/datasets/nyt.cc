@@ -1,0 +1,168 @@
+#include "datasets/nyt.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "datasets/name_pools.h"
+#include "datasets/noise.h"
+#include "text/case_fold.h"
+
+namespace genlink {
+namespace {
+
+struct Location {
+  std::string name;  // lowercase words, e.g. "madison heights"
+  double lat;
+  double lon;
+};
+
+Location RandomLocation(Rng& rng) {
+  Location loc;
+  const auto& base = pools::Cities()[rng.PickIndex(pools::Cities().size())];
+  // Derive a synthetic place near a real city; suffixes create distinct
+  // places ("chicago heights", "chicago ridge", ...).
+  if (rng.Bernoulli(0.6)) {
+    loc.name = std::string(base.name) + " " +
+               std::string(pools::LocationSuffixes()[rng.PickIndex(
+                   pools::LocationSuffixes().size())]);
+  } else {
+    loc.name = std::string(pools::LastNames()[rng.PickIndex(
+                   pools::LastNames().size())]) +
+               " " +
+               std::string(pools::LocationSuffixes()[rng.PickIndex(
+                   pools::LocationSuffixes().size())]);
+  }
+  loc.lat = base.lat + rng.Uniform(-0.8, 0.8);
+  loc.lon = base.lon + rng.Uniform(-0.8, 0.8);
+  return loc;
+}
+
+std::string TitleCase(std::string_view text) {
+  std::string out = ToLowerAscii(text);
+  bool start = true;
+  for (char& c : out) {
+    if (c == ' ') {
+      start = true;
+    } else if (start) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      start = false;
+    }
+  }
+  return out;
+}
+
+std::string DbpediaUri(const std::string& name) {
+  return "http://dbpedia.org/resource/" + ReplaceAll(TitleCase(name), " ", "_");
+}
+
+}  // namespace
+
+MatchingTask GenerateNyt(const NytConfig& config) {
+  Rng rng(config.seed);
+  MatchingTask task;
+  task.name = "nyt";
+  task.a.set_name("nyt");
+  task.b.set_name("dbpedia");
+
+  const size_t num_nyt =
+      std::max<size_t>(4, static_cast<size_t>(config.num_nyt * config.scale));
+  const size_t num_dbpedia =
+      std::max<size_t>(4, static_cast<size_t>(config.num_dbpedia * config.scale));
+  // A sixth of the DBpedia records is reserved for homonym places (hard
+  // negatives); the rest can carry positive links.
+  size_t homonym_budget = num_dbpedia / 6;
+  const size_t num_links = std::min(
+      std::min(num_nyt, num_dbpedia - homonym_budget),
+      std::max<size_t>(2,
+                       static_cast<size_t>(config.num_positive_links * config.scale)));
+
+  // NYT core properties (fillers bring the width to 38 at low coverage).
+  PropertyId ny_name = task.a.schema().AddProperty("name");
+  PropertyId ny_lat = task.a.schema().AddProperty("latitude");
+  PropertyId ny_lon = task.a.schema().AddProperty("longitude");
+  PropertyId ny_topic = task.a.schema().AddProperty("topicPage");
+
+  // DBpedia core properties (fillers bring the width to 110).
+  PropertyId db_label = task.b.schema().AddProperty("label");
+  PropertyId db_point = task.b.schema().AddProperty("point");
+  PropertyId db_abstract = task.b.schema().AddProperty("abstract");
+
+  int nyt_id = 0, dbp_id = 0;
+
+  auto nyt_entity = [&](const Location& loc, bool linked) {
+    Entity entity("nyt" + std::to_string(nyt_id++));
+    std::string name = TitleCase(loc.name);
+    if (rng.Bernoulli(config.qualifier_probability)) {
+      static constexpr std::string_view kQualifiers[] = {
+          " (N.Y.)", " (Calif.)", " (Area)", ", USA", " (District)",
+      };
+      name += kQualifiers[rng.PickIndex(std::size(kQualifiers))];
+    }
+    entity.AddValue(ny_name, name);
+    // NYT stores coordinates as separate decimal properties, partially
+    // covered.
+    if (rng.Bernoulli(0.7)) {
+      entity.AddValue(ny_lat, FormatDouble(loc.lat, 5));
+      entity.AddValue(ny_lon, FormatDouble(loc.lon, 5));
+    }
+    if (rng.Bernoulli(0.3)) {
+      entity.AddValue(ny_topic, "topic/" + ReplaceAll(loc.name, " ", "-"));
+    }
+    (void)linked;
+    Status s = task.a.AddEntity(std::move(entity));
+    (void)s;
+    return "nyt" + std::to_string(nyt_id - 1);
+  };
+
+  auto dbpedia_entity = [&](const Location& loc) {
+    Entity entity("dbp" + std::to_string(dbp_id++));
+    // The label is the resource URI: matching it against NYT names
+    // requires stripUriPrefix (+ lowerCase).
+    entity.AddValue(db_label, DbpediaUri(loc.name));
+    if (rng.Bernoulli(config.coordinate_coverage)) {
+      double lat = loc.lat + rng.Gaussian(0.0, config.coordinate_jitter_degrees);
+      double lon = loc.lon + rng.Gaussian(0.0, config.coordinate_jitter_degrees);
+      entity.AddValue(db_point,
+                      FormatDouble(lat, 5) + " " + FormatDouble(lon, 5));
+    }
+    if (rng.Bernoulli(0.4)) {
+      entity.AddValue(db_abstract, loc.name + " is a place in the " +
+                                       RandomWord(6, rng) + " region");
+    }
+    Status s = task.b.AddEntity(std::move(entity));
+    (void)s;
+    return "dbp" + std::to_string(dbp_id - 1);
+  };
+
+  // Linked locations.
+  for (size_t i = 0; i < num_links; ++i) {
+    Location loc = RandomLocation(rng);
+    std::string id_a = nyt_entity(loc, true);
+    std::string id_b = dbpedia_entity(loc);
+    task.links.AddPositive(id_a, id_b);
+    // Homonyms: a *different* place with the same name elsewhere
+    // ("Springfield"). These are explicit hard negatives - a rule that
+    // only normalizes and compares the labels cannot tell them apart;
+    // it must also consult the coordinates. This is what separates the
+    // full representation from label-only rules on NYT (Table 13).
+    if (homonym_budget > 0 && rng.Bernoulli(0.25)) {
+      --homonym_budget;
+      Location homonym = RandomLocation(rng);
+      homonym.name = loc.name;
+      std::string id_h = dbpedia_entity(homonym);
+      task.links.AddNegative(id_a, id_h);
+    }
+  }
+  // Unlinked records on both sides.
+  while (task.a.size() < num_nyt) nyt_entity(RandomLocation(rng), false);
+  while (task.b.size() < num_dbpedia) dbpedia_entity(RandomLocation(rng));
+
+  // Sparse filler properties reproduce Table 6's coverage (0.3 / 0.2).
+  AddFillerProperties(task.a, 34, 0.25, "nytProp", rng);
+  AddFillerProperties(task.b, 107, 0.15, "dbpProp", rng);
+
+  task.links.GenerateNegativesFromPositives(rng);
+  return task;
+}
+
+}  // namespace genlink

@@ -1,0 +1,188 @@
+#include "datasets/restaurant.h"
+
+#include "common/string_util.h"
+#include "datasets/name_pools.h"
+#include "datasets/noise.h"
+
+namespace genlink {
+namespace {
+
+struct Restaurant {
+  std::string name;
+  std::string address;
+  std::string city;
+  std::string phone;  // digits only, 10 digits
+  std::string type;
+};
+
+Restaurant RandomRestaurant(Rng& rng) {
+  Restaurant r;
+  auto words = pools::RestaurantWords();
+  r.name = std::string(words[rng.PickIndex(words.size())]) + " " +
+           std::string(words[rng.PickIndex(words.size())]);
+  r.address = std::to_string(1 + rng.PickIndex(9999)) + " " +
+              std::string(pools::StreetNames()[rng.PickIndex(
+                  pools::StreetNames().size())]);
+  // The real Fodor's/Zagat's data is concentrated in a handful of
+  // cities, so the city property cannot separate matches on its own.
+  r.city = std::string(pools::Cities()[rng.PickIndex(4)].name);
+  // Phones share a small pool of area codes and exchange prefixes, as
+  // real phone books do - so a character-level similarity on the phone
+  // alone does not trivially separate matches from non-matches.
+  static constexpr std::string_view kAreaCodes[] = {
+      "212", "310", "415", "617", "312", "213", "404", "702",
+  };
+  r.phone = std::string(kAreaCodes[rng.PickIndex(std::size(kAreaCodes))]);
+  r.phone += std::to_string(200 + rng.PickIndex(80));  // narrow exchange pool
+  for (int i = 0; i < 4; ++i) {
+    r.phone.push_back(static_cast<char>('0' + rng.PickIndex(10)));
+  }
+  r.type = std::string(pools::Cuisines()[rng.PickIndex(pools::Cuisines().size())]);
+  return r;
+}
+
+std::string FormatPhone(const std::string& digits, Rng& rng) {
+  // "310-246-1501" vs "310/246-1501" vs "(310) 246-1501" - the format
+  // differences between Fodor's and Zagat's.
+  std::string area = digits.substr(0, 3);
+  std::string mid = digits.substr(3, 3);
+  std::string last = digits.substr(6);
+  switch (rng.UniformInt(0, 2)) {
+    case 0:
+      return area + "-" + mid + "-" + last;
+    case 1:
+      return area + "/" + mid + "-" + last;
+    default:
+      return "(" + area + ") " + mid + "-" + last;
+  }
+}
+
+std::string TypeSynonym(const std::string& type, Rng& rng) {
+  // "american" vs "american (new)" style variations.
+  switch (rng.UniformInt(0, 2)) {
+    case 0:
+      return type + " (new)";
+    case 1:
+      return type + " restaurant";
+    default:
+      return type;
+  }
+}
+
+}  // namespace
+
+MatchingTask GenerateRestaurant(const RestaurantConfig& config) {
+  Rng rng(config.seed);
+  MatchingTask task;
+  task.name = "restaurant";
+  task.dedup = true;
+  task.a.set_name("restaurant");
+
+  const size_t num_entities =
+      std::max<size_t>(4, static_cast<size_t>(config.num_entities * config.scale));
+  const size_t num_links = std::max<size_t>(
+      2, static_cast<size_t>(config.num_positive_links * config.scale));
+
+  PropertyId p_name = task.a.schema().AddProperty("name");
+  PropertyId p_addr = task.a.schema().AddProperty("address");
+  PropertyId p_city = task.a.schema().AddProperty("city");
+  PropertyId p_phone = task.a.schema().AddProperty("phone");
+  PropertyId p_type = task.a.schema().AddProperty("type");
+
+  int next_id = 0;
+  auto emit = [&](const Restaurant& r, bool perturb) -> std::string {
+    Entity entity("rest" + std::to_string(next_id++));
+    std::string name = r.name;
+    std::string address = r.address;
+    std::string type = r.type;
+    std::string phone = r.phone;
+    if (perturb) {
+      if (rng.Bernoulli(config.typo_probability)) name = InjectTypo(name, rng);
+      if (rng.Bernoulli(config.typo_probability)) {
+        address = InjectTypo(address, rng);
+      }
+      if (rng.Bernoulli(config.type_synonym_probability)) {
+        type = TypeSynonym(type, rng);
+      }
+      // Occasionally one guide lists an outdated number: the last four
+      // digits change (real Fodor's/Zagat's disagreements look like
+      // this), so the phone is a strong but not perfect key.
+      if (rng.Bernoulli(0.1)) {
+        for (size_t i = 6; i < phone.size(); ++i) {
+          phone[i] = static_cast<char>('0' + rng.PickIndex(10));
+        }
+      }
+    }
+    entity.AddValue(p_name, name);
+    entity.AddValue(p_addr, address);
+    entity.AddValue(p_city, r.city);
+    entity.AddValue(p_phone, rng.Bernoulli(config.phone_format_probability)
+                                 ? FormatPhone(phone, rng)
+                                 : phone);
+    entity.AddValue(p_type, type);
+    std::string id = entity.id();
+    Status s = task.a.AddEntity(std::move(entity));
+    (void)s;
+    return id;
+  };
+
+  // Duplicate pairs first.
+  for (size_t i = 0; i < num_links && next_id + 1 < static_cast<int>(num_entities);
+       ++i) {
+    Restaurant r = RandomRestaurant(rng);
+    std::string id1 = emit(r, /*perturb=*/false);
+    std::string id2 = emit(r, /*perturb=*/true);
+    task.links.AddPositive(id1, id2);
+  }
+  // Confusable non-matches. Real reference-link sets contain exactly
+  // these near-misses; they prevent any single property from perfectly
+  // separating the classes:
+  //  (a) a nearby different restaurant: same street, almost the same
+  //      street number, one shared name word, own phone;
+  //  (b) two branches of a chain: identical name and city, different
+  //      address and phone.
+  size_t num_confusables = num_links / 3;
+  for (size_t i = 0;
+       i < num_confusables && next_id + 1 < static_cast<int>(num_entities); ++i) {
+    Restaurant r = RandomRestaurant(rng);
+    Restaurant sibling = RandomRestaurant(rng);
+    sibling.city = r.city;
+    // "123 main st" vs "125 main st".
+    sibling.address = r.address;
+    if (!sibling.address.empty()) {
+      sibling.address[0] =
+          static_cast<char>('1' + rng.PickIndex(9));
+    }
+    // Share one name word: "golden dragon" vs "golden palace".
+    auto words = SplitWhitespace(r.name);
+    auto sibling_words = SplitWhitespace(sibling.name);
+    if (!words.empty() && !sibling_words.empty()) {
+      sibling_words[0] = words[0];
+      sibling.name = Join(sibling_words, " ");
+    }
+    std::string id1 = emit(r, false);
+    std::string id2 = emit(sibling, true);
+    task.links.AddNegative(id1, id2);
+  }
+  size_t num_chains = num_links / 3;
+  for (size_t i = 0;
+       i < num_chains && next_id + 1 < static_cast<int>(num_entities); ++i) {
+    Restaurant branch1 = RandomRestaurant(rng);
+    Restaurant branch2 = RandomRestaurant(rng);
+    branch2.name = branch1.name;
+    branch2.city = branch1.city;
+    branch2.type = branch1.type;
+    std::string id1 = emit(branch1, false);
+    std::string id2 = emit(branch2, false);
+    task.links.AddNegative(id1, id2);
+  }
+  // Fill with singletons.
+  while (next_id < static_cast<int>(num_entities)) {
+    emit(RandomRestaurant(rng), false);
+  }
+  // Top up negatives to |R+| with the paper's permutation scheme.
+  task.links.GenerateNegativesFromPositives(rng);
+  return task;
+}
+
+}  // namespace genlink

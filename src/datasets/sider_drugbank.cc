@@ -1,0 +1,177 @@
+#include "datasets/sider_drugbank.h"
+
+#include "common/string_util.h"
+#include "datasets/name_pools.h"
+#include "datasets/noise.h"
+#include "text/case_fold.h"
+
+namespace genlink {
+
+std::string RandomDrugName(Rng& rng) {
+  auto syllables = pools::DrugSyllables();
+  size_t n = 2 + rng.PickIndex(3);
+  std::string name;
+  for (size_t i = 0; i < n; ++i) {
+    name += syllables[rng.PickIndex(syllables.size())];
+  }
+  return name;
+}
+
+std::string RandomCasNumber(Rng& rng) {
+  std::string cas;
+  for (int i = 0; i < 5; ++i) cas.push_back(static_cast<char>('0' + rng.PickIndex(10)));
+  cas.push_back('-');
+  for (int i = 0; i < 2; ++i) cas.push_back(static_cast<char>('0' + rng.PickIndex(10)));
+  cas.push_back('-');
+  cas.push_back(static_cast<char>('0' + rng.PickIndex(10)));
+  return cas;
+}
+
+namespace {
+
+std::string RandomAtcCode(Rng& rng) {
+  // ATC codes are therapeutic *classes*: many different drugs share one.
+  // Drawing from a small pool keeps them weak evidence (high recall, low
+  // precision) rather than a key.
+  std::string atc;
+  atc.push_back(static_cast<char>('A' + rng.PickIndex(6)));
+  atc.push_back(static_cast<char>('0' + rng.PickIndex(2)));
+  atc.push_back(static_cast<char>('0' + rng.PickIndex(5)));
+  return atc;
+}
+
+std::string RandomSideEffect(Rng& rng) {
+  static constexpr std::string_view kEffects[] = {
+      "headache", "nausea",    "dizziness", "fatigue",  "insomnia",
+      "rash",     "dry mouth", "vomiting",  "diarrhea", "constipation",
+      "anxiety",  "tremor",    "fever",     "cough",    "pruritus",
+  };
+  return std::string(kEffects[rng.PickIndex(std::size(kEffects))]);
+}
+
+}  // namespace
+
+MatchingTask GenerateSiderDrugbank(const SiderDrugbankConfig& config) {
+  Rng rng(config.seed);
+  MatchingTask task;
+  task.name = "sider-drugbank";
+  task.a.set_name("sider");
+  task.b.set_name("drugbank");
+
+  const size_t num_sider =
+      std::max<size_t>(4, static_cast<size_t>(config.num_sider * config.scale));
+  const size_t num_drugbank =
+      std::max<size_t>(4, static_cast<size_t>(config.num_drugbank * config.scale));
+  const size_t num_links = std::min(
+      std::min(num_sider, num_drugbank),
+      std::max<size_t>(2, static_cast<size_t>(config.num_positive_links * config.scale)));
+
+  // Sider schema (8 properties, Table 6).
+  PropertyId sa_name = task.a.schema().AddProperty("drugName");
+  PropertyId sa_label = task.a.schema().AddProperty("label");
+  PropertyId sa_cas = task.a.schema().AddProperty("casNumber");
+  PropertyId sa_atc = task.a.schema().AddProperty("atcCode");
+  PropertyId sa_effect = task.a.schema().AddProperty("sideEffect");
+  PropertyId sa_indic = task.a.schema().AddProperty("indication");
+  PropertyId sa_dose = task.a.schema().AddProperty("dosage");
+  PropertyId sa_id = task.a.schema().AddProperty("siderId");
+
+  // DrugBank core schema; fillers bring the total to 79.
+  PropertyId db_name = task.b.schema().AddProperty("name");
+  PropertyId db_generic = task.b.schema().AddProperty("genericName");
+  PropertyId db_cas = task.b.schema().AddProperty("casRegistryNumber");
+  PropertyId db_atc = task.b.schema().AddProperty("atcCodes");
+  PropertyId db_desc = task.b.schema().AddProperty("description");
+  PropertyId db_id = task.b.schema().AddProperty("drugbankId");
+
+  int sider_id = 0, drugbank_id = 0;
+
+  // Linked drugs: one Sider and one DrugBank record about the same drug.
+  // In the real data the DrugBank display name is frequently a *brand*
+  // name while Sider carries the generic name; on those links the names
+  // do not match and only the partially covered shared identifiers (CAS,
+  // ATC) or the genericName field connect the records — which is what
+  // makes a disjunctive rule necessary (cf. Table 9's hard OAEI task).
+  for (size_t i = 0; i < num_links; ++i) {
+    std::string name = RandomDrugName(rng);
+    std::string cas = RandomCasNumber(rng);
+    std::string atc = RandomAtcCode(rng);
+    bool has_cas = rng.Bernoulli(config.cas_coverage);
+    bool brand_named = rng.Bernoulli(0.35);
+
+    Entity sider("sider" + std::to_string(sider_id++));
+    sider.AddValue(sa_name, name);
+    sider.AddValue(sa_label, name);
+    if (has_cas) sider.AddValue(sa_cas, cas);
+    sider.AddValue(sa_atc, atc);
+    sider.AddValue(sa_effect, RandomSideEffect(rng));
+    sider.AddValue(sa_effect, RandomSideEffect(rng));
+    sider.AddValue(sa_indic, RandomSideEffect(rng));
+    sider.AddValue(sa_dose, std::to_string(5 * (1 + rng.PickIndex(40))) + " mg");
+    sider.AddValue(sa_id, "S" + std::to_string(1000 + sider_id));
+
+    Entity drugbank("drugbank" + std::to_string(drugbank_id++));
+    std::string db_name_value = brand_named ? RandomDrugName(rng) : name;
+    if (rng.Bernoulli(config.case_noise_probability)) {
+      db_name_value = RandomCaseStyle(db_name_value, rng);
+    }
+    if (rng.Bernoulli(config.typo_probability)) {
+      db_name_value = InjectTypo(db_name_value, rng);
+    }
+    drugbank.AddValue(db_name, db_name_value);
+    // The generic name links brand-named records back, but is covered
+    // for only part of them.
+    if (rng.Bernoulli(brand_named ? 0.5 : 0.7)) {
+      drugbank.AddValue(db_generic, name);
+    }
+    if (has_cas) {
+      // DrugBank sometimes stores CAS numbers without dashes.
+      drugbank.AddValue(db_cas,
+                        rng.Bernoulli(0.5) ? cas : ReplaceAll(cas, "-", ""));
+    }
+    if (rng.Bernoulli(0.8)) drugbank.AddValue(db_atc, atc);
+    drugbank.AddValue(db_desc, "a " + RandomWord(6, rng) + " compound used against " +
+                                   RandomSideEffect(rng));
+    drugbank.AddValue(db_id, "DB" + std::to_string(10000 + drugbank_id));
+
+    task.links.AddPositive(sider.id(), drugbank.id());
+    Status s1 = task.a.AddEntity(std::move(sider));
+    Status s2 = task.b.AddEntity(std::move(drugbank));
+    (void)s1;
+    (void)s2;
+  }
+
+  // Unlinked drugs on both sides.
+  while (task.a.size() < num_sider) {
+    std::string name = RandomDrugName(rng);
+    Entity sider("sider" + std::to_string(sider_id++));
+    sider.AddValue(sa_name, name);
+    sider.AddValue(sa_label, name);
+    if (rng.Bernoulli(config.cas_coverage)) sider.AddValue(sa_cas, RandomCasNumber(rng));
+    sider.AddValue(sa_atc, RandomAtcCode(rng));
+    sider.AddValue(sa_effect, RandomSideEffect(rng));
+    sider.AddValue(sa_indic, RandomSideEffect(rng));
+    sider.AddValue(sa_dose, std::to_string(5 * (1 + rng.PickIndex(40))) + " mg");
+    sider.AddValue(sa_id, "S" + std::to_string(1000 + sider_id));
+    Status s = task.a.AddEntity(std::move(sider));
+    (void)s;
+  }
+  while (task.b.size() < num_drugbank) {
+    Entity drugbank("drugbank" + std::to_string(drugbank_id++));
+    drugbank.AddValue(db_name, RandomDrugName(rng));
+    if (rng.Bernoulli(0.5)) drugbank.AddValue(db_cas, RandomCasNumber(rng));
+    if (rng.Bernoulli(0.6)) drugbank.AddValue(db_atc, RandomAtcCode(rng));
+    drugbank.AddValue(db_id, "DB" + std::to_string(10000 + drugbank_id));
+    Status s = task.b.AddEntity(std::move(drugbank));
+    (void)s;
+  }
+
+  // Filler properties: Sider has full coverage of its 8 core properties;
+  // DrugBank's 79-property schema is only half covered (Table 6).
+  AddFillerProperties(task.b, 73, config.drugbank_filler_coverage, "dbProp", rng);
+
+  task.links.GenerateNegativesFromPositives(rng);
+  return task;
+}
+
+}  // namespace genlink

@@ -1,0 +1,48 @@
+// Synthetic stand-in for the OAEI 2010 Sider-DrugBank interlinking task:
+// 924 Sider drugs (8 properties, full coverage) vs 4772 DrugBank drugs
+// (79 properties, ~0.5 coverage), 859 positive links (Tables 5-6).
+//
+// The matching signal is heterogeneous: drug names match with case and
+// punctuation variation, and shared identifiers (CAS-number-like, ATC
+// codes) exist for only part of the entities — so disjunctive
+// (max-aggregation) rules outperform purely conjunctive ones, matching
+// the Table 13 result that non-linear rules win on this data set.
+
+#ifndef GENLINK_DATASETS_SIDER_DRUGBANK_H_
+#define GENLINK_DATASETS_SIDER_DRUGBANK_H_
+
+#include "common/random.h"
+#include "datasets/matching_task.h"
+
+namespace genlink {
+
+/// Knobs of the Sider-DrugBank generator.
+struct SiderDrugbankConfig {
+  double scale = 1.0;
+  size_t num_sider = 924;
+  size_t num_drugbank = 4772;
+  size_t num_positive_links = 859;
+  /// Fraction of linked drugs that carry a shared CAS-like identifier.
+  double cas_coverage = 0.6;
+  /// Probability of case noise on names.
+  double case_noise_probability = 0.4;
+  /// Probability of a small typo in the DrugBank name.
+  double typo_probability = 0.15;
+  /// Coverage of the DrugBank filler properties (Table 6: ~0.5).
+  double drugbank_filler_coverage = 0.5;
+  uint64_t seed = 3;
+};
+
+/// Generates the Sider-DrugBank-like cross-schema task.
+MatchingTask GenerateSiderDrugbank(const SiderDrugbankConfig& config = {});
+
+/// Builds a pronounceable drug name from syllables (shared with the
+/// DBpedia-DrugBank generator).
+std::string RandomDrugName(Rng& rng);
+
+/// Formats a CAS-like registry number "NNNNN-NN-N".
+std::string RandomCasNumber(Rng& rng);
+
+}  // namespace genlink
+
+#endif  // GENLINK_DATASETS_SIDER_DRUGBANK_H_

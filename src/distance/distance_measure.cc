@@ -1,0 +1,28 @@
+#include "distance/distance_measure.h"
+
+#include <algorithm>
+
+namespace genlink {
+
+double DistanceMeasure::Distance(const ValueSet& a, const ValueSet& b) const {
+  double best = kInfiniteDistance;
+  for (const auto& va : a) {
+    for (const auto& vb : b) {
+      best = std::min(best, ValueDistance(va, vb));
+      if (best == 0.0) return 0.0;
+    }
+  }
+  return best;
+}
+
+double DistanceMeasure::ValueDistance(std::string_view, std::string_view) const {
+  return kInfiniteDistance;
+}
+
+double ThresholdedScore(double distance, double threshold) {
+  if (threshold <= 0.0) return distance == 0.0 ? 1.0 : 0.0;
+  if (distance > threshold) return 0.0;
+  return 1.0 - distance / threshold;
+}
+
+}  // namespace genlink

@@ -1,0 +1,57 @@
+// Distance measures f_d: Σ × Σ → R (Definition 7 of the paper).
+//
+// A measure computes the distance between two *value sets*. Most measures
+// are defined per value and lift to sets by taking the minimum over all
+// value pairs (an entity matches if any of its values matches — RDF
+// properties are multi-valued). Token-based measures (Jaccard, Dice,
+// Cosine) compare the sets as a whole.
+
+#ifndef GENLINK_DISTANCE_DISTANCE_MEASURE_H_
+#define GENLINK_DISTANCE_DISTANCE_MEASURE_H_
+
+#include <limits>
+#include <string_view>
+
+#include "model/value.h"
+
+namespace genlink {
+
+/// Distance returned when a distance is undefined for the given input
+/// (e.g. empty value sets, unparseable numbers). Comparisons treat it as
+/// "beyond any threshold", yielding similarity 0.
+inline constexpr double kInfiniteDistance = std::numeric_limits<double>::infinity();
+
+/// Abstract distance measure over value sets.
+class DistanceMeasure {
+ public:
+  virtual ~DistanceMeasure() = default;
+
+  /// Stable identifier used in serialized rules (e.g. "levenshtein").
+  virtual std::string_view name() const = 0;
+
+  /// Distance between two value sets. Returns kInfiniteDistance when
+  /// either set is empty or no pair of values is comparable. The default
+  /// implementation takes the minimum of ValueDistance over all pairs.
+  virtual double Distance(const ValueSet& a, const ValueSet& b) const;
+
+  /// Distance between two individual values. Measures that only operate
+  /// on whole sets (see IsSetMeasure) need not override this.
+  virtual double ValueDistance(std::string_view a, std::string_view b) const;
+
+  /// Largest threshold θ that makes sense for this measure; the rule
+  /// generator samples thresholds from (0, MaxThreshold()].
+  virtual double MaxThreshold() const = 0;
+
+  /// True when Distance() compares the value sets as a whole rather than
+  /// lifting a per-value distance.
+  virtual bool IsSetMeasure() const { return false; }
+};
+
+/// Similarity score of a comparison operator (Definition 7):
+///   1 - d/θ  if d <= θ, else 0.
+/// θ == 0 degenerates to exact match (1 if d == 0 else 0).
+double ThresholdedScore(double distance, double threshold);
+
+}  // namespace genlink
+
+#endif  // GENLINK_DISTANCE_DISTANCE_MEASURE_H_

@@ -1,0 +1,111 @@
+#include "distance/numeric_distances.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace genlink {
+
+double NumericDistance::ValueDistance(std::string_view a, std::string_view b) const {
+  double da, db;
+  if (!ParseDouble(a, &da) || !ParseDouble(b, &db)) return kInfiniteDistance;
+  return std::abs(da - db);
+}
+
+std::optional<GeoPoint> ParseGeoPoint(std::string_view text) {
+  std::string_view t = TrimView(text);
+  bool wkt = false;
+  if (StartsWith(t, "POINT(") && EndsWith(t, ")")) {
+    t = t.substr(6, t.size() - 7);
+    wkt = true;
+  } else if (StartsWith(t, "POINT (") && EndsWith(t, ")")) {
+    t = t.substr(7, t.size() - 8);
+    wkt = true;
+  }
+  std::string buf(t);
+  for (char& c : buf) {
+    if (c == ',') c = ' ';
+  }
+  auto parts = SplitWhitespace(buf);
+  if (parts.size() != 2) return std::nullopt;
+  double first, second;
+  if (!ParseDouble(parts[0], &first) || !ParseDouble(parts[1], &second)) {
+    return std::nullopt;
+  }
+  GeoPoint p;
+  if (wkt) {  // WKT order is lon lat
+    p.lon = first;
+    p.lat = second;
+  } else {  // plain order is lat lon
+    p.lat = first;
+    p.lon = second;
+  }
+  if (p.lat < -90.0 || p.lat > 90.0 || p.lon < -180.0 || p.lon > 180.0) {
+    return std::nullopt;
+  }
+  return p;
+}
+
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b) {
+  constexpr double kEarthRadiusMeters = 6371000.0;
+  constexpr double kDegToRad = M_PI / 180.0;
+  double lat1 = a.lat * kDegToRad;
+  double lat2 = b.lat * kDegToRad;
+  double dlat = (b.lat - a.lat) * kDegToRad;
+  double dlon = (b.lon - a.lon) * kDegToRad;
+  double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+             std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double GeographicDistance::ValueDistance(std::string_view a, std::string_view b) const {
+  auto pa = ParseGeoPoint(a);
+  auto pb = ParseGeoPoint(b);
+  if (!pa || !pb) return kInfiniteDistance;
+  return HaversineMeters(*pa, *pb);
+}
+
+int64_t DaysFromCivil(int year, unsigned month, unsigned day) {
+  // Howard Hinnant's algorithm, days since 1970-01-01.
+  year -= month <= 2;
+  const int era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);            // [0, 399]
+  const unsigned doy = (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;              // [0, 146096]
+  return static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+std::optional<int64_t> ParseDateToDays(std::string_view text) {
+  std::string_view t = TrimView(text);
+  // Accept "YYYY-MM-DD" with optional time suffix, or bare "YYYY".
+  int64_t year = 0, month = 1, day = 1;
+  size_t dash1 = t.find('-', 1);  // skip a possible leading minus
+  if (dash1 == std::string_view::npos) {
+    if (!ParseInt64(t, &year)) return std::nullopt;
+  } else {
+    if (!ParseInt64(t.substr(0, dash1), &year)) return std::nullopt;
+    std::string_view rest = t.substr(dash1 + 1);
+    size_t dash2 = rest.find('-');
+    if (dash2 == std::string_view::npos) {
+      if (!ParseInt64(rest, &month)) return std::nullopt;
+    } else {
+      if (!ParseInt64(rest.substr(0, dash2), &month)) return std::nullopt;
+      std::string_view day_part = rest.substr(dash2 + 1);
+      size_t time_sep = day_part.find_first_of("T ");
+      if (time_sep != std::string_view::npos) day_part = day_part.substr(0, time_sep);
+      if (!ParseInt64(day_part, &day)) return std::nullopt;
+    }
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31) return std::nullopt;
+  return DaysFromCivil(static_cast<int>(year), static_cast<unsigned>(month),
+                       static_cast<unsigned>(day));
+}
+
+double DateDistance::ValueDistance(std::string_view a, std::string_view b) const {
+  auto da = ParseDateToDays(a);
+  auto db = ParseDateToDays(b);
+  if (!da || !db) return kInfiniteDistance;
+  return std::abs(static_cast<double>(*da - *db));
+}
+
+}  // namespace genlink

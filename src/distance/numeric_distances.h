@@ -1,0 +1,79 @@
+// Numeric, geographic and date distances (Table 2 of the paper).
+
+#ifndef GENLINK_DISTANCE_NUMERIC_DISTANCES_H_
+#define GENLINK_DISTANCE_NUMERIC_DISTANCES_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "distance/distance_measure.h"
+
+namespace genlink {
+
+/// Absolute numeric difference |a - b| of values parseable as doubles.
+class NumericDistance : public DistanceMeasure {
+ public:
+  /// `max_threshold` bounds the thresholds the learner may pick; the
+  /// default of 100 suits year-like and count-like properties.
+  explicit NumericDistance(double max_threshold = 100.0)
+      : max_threshold_(max_threshold) {}
+
+  std::string_view name() const override { return "numeric"; }
+  double ValueDistance(std::string_view a, std::string_view b) const override;
+  double MaxThreshold() const override { return max_threshold_; }
+
+ private:
+  double max_threshold_;
+};
+
+/// A WGS84 coordinate.
+struct GeoPoint {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Parses "lat lon", "lat,lon" or WKT "POINT(lon lat)".
+std::optional<GeoPoint> ParseGeoPoint(std::string_view text);
+
+/// Great-circle distance in meters (haversine, mean earth radius).
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b);
+
+/// Geographical distance in meters between coordinate-valued properties.
+class GeographicDistance : public DistanceMeasure {
+ public:
+  /// Thresholds are sampled up to `max_threshold_meters` (default 100 km).
+  explicit GeographicDistance(double max_threshold_meters = 100000.0)
+      : max_threshold_(max_threshold_meters) {}
+
+  std::string_view name() const override { return "geographic"; }
+  double ValueDistance(std::string_view a, std::string_view b) const override;
+  double MaxThreshold() const override { return max_threshold_; }
+
+ private:
+  double max_threshold_;
+};
+
+/// Days since civil epoch 1970-01-01 for a proleptic Gregorian date.
+int64_t DaysFromCivil(int year, unsigned month, unsigned day);
+
+/// Parses ISO "YYYY-MM-DD" (also accepts a bare "YYYY", treated as Jan 1).
+std::optional<int64_t> ParseDateToDays(std::string_view text);
+
+/// Distance between two dates in days.
+class DateDistance : public DistanceMeasure {
+ public:
+  /// Thresholds are sampled up to `max_threshold_days` (default 10 years).
+  explicit DateDistance(double max_threshold_days = 3650.0)
+      : max_threshold_(max_threshold_days) {}
+
+  std::string_view name() const override { return "date"; }
+  double ValueDistance(std::string_view a, std::string_view b) const override;
+  double MaxThreshold() const override { return max_threshold_; }
+
+ private:
+  double max_threshold_;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_DISTANCE_NUMERIC_DISTANCES_H_

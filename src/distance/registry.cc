@@ -1,0 +1,39 @@
+#include "distance/registry.h"
+
+#include "distance/numeric_distances.h"
+#include "distance/string_distances.h"
+#include "distance/token_distances.h"
+
+namespace genlink {
+
+DistanceRegistry::DistanceRegistry() {
+  Register(std::make_unique<LevenshteinDistance>());
+  Register(std::make_unique<JaccardDistance>());
+  Register(std::make_unique<NumericDistance>());
+  Register(std::make_unique<GeographicDistance>());
+  Register(std::make_unique<DateDistance>());
+  Register(std::make_unique<JaroDistance>());
+  Register(std::make_unique<JaroWinklerDistance>());
+  Register(std::make_unique<DiceDistance>());
+  Register(std::make_unique<CosineDistance>());
+  Register(std::make_unique<EqualityDistance>());
+}
+
+const DistanceRegistry& DistanceRegistry::Default() {
+  static const DistanceRegistry* registry = new DistanceRegistry();
+  return *registry;
+}
+
+const DistanceMeasure* DistanceRegistry::Find(std::string_view name) const {
+  for (const auto* m : views_) {
+    if (m->name() == name) return m;
+  }
+  return nullptr;
+}
+
+void DistanceRegistry::Register(std::unique_ptr<DistanceMeasure> measure) {
+  views_.push_back(measure.get());
+  measures_.push_back(std::move(measure));
+}
+
+}  // namespace genlink

@@ -1,0 +1,39 @@
+// Registry of available distance measures. Measures are stateless and
+// shared; rules reference them by pointer, serialized rules by name.
+
+#ifndef GENLINK_DISTANCE_REGISTRY_H_
+#define GENLINK_DISTANCE_REGISTRY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "distance/distance_measure.h"
+
+namespace genlink {
+
+/// Owns one instance of every built-in distance measure.
+class DistanceRegistry {
+ public:
+  /// The process-wide registry with all built-in measures registered.
+  static const DistanceRegistry& Default();
+
+  DistanceRegistry();
+
+  /// Returns the measure with the given name, or nullptr.
+  const DistanceMeasure* Find(std::string_view name) const;
+
+  /// All registered measures, in registration order.
+  const std::vector<const DistanceMeasure*>& measures() const { return views_; }
+
+  /// Registers a custom measure (takes ownership).
+  void Register(std::unique_ptr<DistanceMeasure> measure);
+
+ private:
+  std::vector<std::unique_ptr<DistanceMeasure>> measures_;
+  std::vector<const DistanceMeasure*> views_;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_DISTANCE_REGISTRY_H_

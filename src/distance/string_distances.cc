@@ -1,0 +1,84 @@
+#include "distance/string_distances.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace genlink {
+
+int LevenshteinEditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t m = a.size();
+  const size_t n = b.size();
+  if (m == 0) return static_cast<int>(n);
+
+  // Two-row dynamic program; a is the shorter string so the rows are small.
+  std::vector<int> prev(m + 1), cur(m + 1);
+  for (size_t i = 0; i <= m; ++i) prev[i] = static_cast<int>(i);
+  for (size_t j = 1; j <= n; ++j) {
+    cur[0] = static_cast<int>(j);
+    const char cb = b[j - 1];
+    for (size_t i = 1; i <= m; ++i) {
+      int subst = prev[i - 1] + (a[i - 1] == cb ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const size_t max_dist = std::max(a.size(), b.size()) / 2;
+  const size_t window = max_dist == 0 ? 0 : max_dist - 1;
+
+  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions among matched characters.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  return (m / a.size() + m / b.size() + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+double LevenshteinDistance::ValueDistance(std::string_view a, std::string_view b) const {
+  return static_cast<double>(LevenshteinEditDistance(a, b));
+}
+
+double JaroDistance::ValueDistance(std::string_view a, std::string_view b) const {
+  return 1.0 - JaroSimilarity(a, b);
+}
+
+double JaroWinklerDistance::ValueDistance(std::string_view a,
+                                          std::string_view b) const {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  double sim = jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+  return 1.0 - sim;
+}
+
+}  // namespace genlink

@@ -1,0 +1,55 @@
+// Character-based string distances: Levenshtein (Table 2), Jaro,
+// Jaro-Winkler, and exact equality.
+
+#ifndef GENLINK_DISTANCE_STRING_DISTANCES_H_
+#define GENLINK_DISTANCE_STRING_DISTANCES_H_
+
+#include "distance/distance_measure.h"
+
+namespace genlink {
+
+/// Levenshtein edit distance in characters (insert/delete/substitute,
+/// unit costs).
+class LevenshteinDistance : public DistanceMeasure {
+ public:
+  std::string_view name() const override { return "levenshtein"; }
+  double ValueDistance(std::string_view a, std::string_view b) const override;
+  double MaxThreshold() const override { return 5.0; }
+};
+
+/// Jaro distance = 1 - Jaro similarity.
+class JaroDistance : public DistanceMeasure {
+ public:
+  std::string_view name() const override { return "jaro"; }
+  double ValueDistance(std::string_view a, std::string_view b) const override;
+  double MaxThreshold() const override { return 0.5; }
+};
+
+/// Jaro-Winkler distance = 1 - Jaro-Winkler similarity (prefix scale 0.1,
+/// max prefix 4).
+class JaroWinklerDistance : public DistanceMeasure {
+ public:
+  std::string_view name() const override { return "jaroWinkler"; }
+  double ValueDistance(std::string_view a, std::string_view b) const override;
+  double MaxThreshold() const override { return 0.5; }
+};
+
+/// 0 when equal, 1 otherwise.
+class EqualityDistance : public DistanceMeasure {
+ public:
+  std::string_view name() const override { return "equality"; }
+  double ValueDistance(std::string_view a, std::string_view b) const override {
+    return a == b ? 0.0 : 1.0;
+  }
+  double MaxThreshold() const override { return 0.9; }
+};
+
+/// Raw Levenshtein edit distance between two strings (shared helper).
+int LevenshteinEditDistance(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0,1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace genlink
+
+#endif  // GENLINK_DISTANCE_STRING_DISTANCES_H_

@@ -1,0 +1,65 @@
+#include "distance/token_distances.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace genlink {
+namespace {
+
+std::unordered_set<std::string_view> DistinctView(const ValueSet& values) {
+  std::unordered_set<std::string_view> set;
+  set.reserve(values.size());
+  for (const auto& v : values) set.insert(v);
+  return set;
+}
+
+size_t IntersectionSize(const std::unordered_set<std::string_view>& a,
+                        const std::unordered_set<std::string_view>& b) {
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  size_t n = 0;
+  for (const auto& v : small) {
+    if (large.count(v)) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+double JaccardDistance::Distance(const ValueSet& a, const ValueSet& b) const {
+  if (a.empty() || b.empty()) return kInfiniteDistance;
+  auto sa = DistinctView(a);
+  auto sb = DistinctView(b);
+  size_t inter = IntersectionSize(sa, sb);
+  size_t uni = sa.size() + sb.size() - inter;
+  return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double DiceDistance::Distance(const ValueSet& a, const ValueSet& b) const {
+  if (a.empty() || b.empty()) return kInfiniteDistance;
+  auto sa = DistinctView(a);
+  auto sb = DistinctView(b);
+  size_t inter = IntersectionSize(sa, sb);
+  return 1.0 - 2.0 * static_cast<double>(inter) /
+                   static_cast<double>(sa.size() + sb.size());
+}
+
+double CosineDistance::Distance(const ValueSet& a, const ValueSet& b) const {
+  if (a.empty() || b.empty()) return kInfiniteDistance;
+  std::unordered_map<std::string_view, int> ca, cb;
+  for (const auto& v : a) ++ca[v];
+  for (const auto& v : b) ++cb[v];
+  double dot = 0.0;
+  for (const auto& [token, count] : ca) {
+    auto it = cb.find(token);
+    if (it != cb.end()) dot += static_cast<double>(count) * it->second;
+  }
+  double norm_a = 0.0, norm_b = 0.0;
+  for (const auto& [token, count] : ca) norm_a += static_cast<double>(count) * count;
+  for (const auto& [token, count] : cb) norm_b += static_cast<double>(count) * count;
+  double sim = dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+  return 1.0 - sim;
+}
+
+}  // namespace genlink

@@ -1,0 +1,21 @@
+#include "eval/confusion_matrix.h"
+
+namespace genlink {
+
+ConfusionMatrix EvaluateRuleOnPairs(const LinkageRule& rule,
+                                    std::span<const LabeledPair> pairs,
+                                    const Schema& schema_a,
+                                    const Schema& schema_b) {
+  ConfusionMatrix cm;
+  for (const LabeledPair& pair : pairs) {
+    bool predicted = rule.Matches(*pair.a, *pair.b, schema_a, schema_b);
+    if (pair.is_match) {
+      predicted ? ++cm.tp : ++cm.fn;
+    } else {
+      predicted ? ++cm.fp : ++cm.tn;
+    }
+  }
+  return cm;
+}
+
+}  // namespace genlink

@@ -1,0 +1,43 @@
+// Confusion matrix over labelled reference-link pairs. Per the paper
+// (Section 5.2), counts are computed on the provided reference links
+// only, ignoring the remaining part of the data set.
+
+#ifndef GENLINK_EVAL_CONFUSION_MATRIX_H_
+#define GENLINK_EVAL_CONFUSION_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+
+#include "model/reference_links.h"
+#include "rule/linkage_rule.h"
+
+namespace genlink {
+
+/// Counts of true/false positives/negatives.
+struct ConfusionMatrix {
+  size_t tp = 0;
+  size_t tn = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+
+  size_t total() const { return tp + tn + fp + fn; }
+
+  ConfusionMatrix& operator+=(const ConfusionMatrix& other) {
+    tp += other.tp;
+    tn += other.tn;
+    fp += other.fp;
+    fn += other.fn;
+    return *this;
+  }
+};
+
+/// Classifies every labelled pair with `rule` (match iff similarity >=
+/// 0.5) and tallies the outcomes.
+ConfusionMatrix EvaluateRuleOnPairs(const LinkageRule& rule,
+                                    std::span<const LabeledPair> pairs,
+                                    const Schema& schema_a,
+                                    const Schema& schema_b);
+
+}  // namespace genlink
+
+#endif  // GENLINK_EVAL_CONFUSION_MATRIX_H_

@@ -1,0 +1,82 @@
+#include "eval/cross_validation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genlink {
+
+Moments ComputeMoments(const std::vector<double>& values) {
+  Moments m;
+  if (values.empty()) return m;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  m.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - m.mean) * (v - m.mean);
+  m.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return m;
+}
+
+const AggregatedIteration* CrossValidationResult::FindIteration(
+    size_t iteration) const {
+  const AggregatedIteration* best = nullptr;
+  for (const auto& row : iterations) {
+    if (row.iteration <= iteration) best = &row;
+  }
+  return best;
+}
+
+CrossValidationResult RunCrossValidation(const ReferenceLinkSet& links,
+                                         const CrossValidationConfig& config,
+                                         const LearnerFn& learner) {
+  CrossValidationResult result;
+  Rng master(config.seed);
+
+  for (size_t run = 0; run < config.num_runs; ++run) {
+    Rng run_rng = master.Fork();
+    auto folds = links.SplitFolds(std::max<size_t>(2, config.num_folds), run_rng);
+    ReferenceLinkSet train = folds[0];
+    ReferenceLinkSet val;
+    for (size_t f = 1; f < folds.size(); ++f) val.Merge(folds[f]);
+
+    RunTrajectory trajectory = learner(train, val, run_rng);
+    result.runs.push_back(std::move(trajectory));
+  }
+
+  // Align trajectories: extend shorter runs (early stop at full
+  // F-measure) by repeating their final entry, as the paper's tables
+  // report the converged values at later iterations.
+  size_t max_len = 0;
+  for (const auto& run : result.runs) {
+    max_len = std::max(max_len, run.iterations.size());
+  }
+  for (size_t i = 0; i < max_len; ++i) {
+    AggregatedIteration row;
+    std::vector<double> seconds, train_f1, val_f1, mean_ops, best_ops;
+    for (const auto& run : result.runs) {
+      if (run.iterations.empty()) continue;
+      const IterationStats& stats =
+          i < run.iterations.size() ? run.iterations[i] : run.iterations.back();
+      row.iteration = std::max(row.iteration, stats.iteration);
+      seconds.push_back(stats.seconds);
+      train_f1.push_back(stats.train_f1);
+      val_f1.push_back(stats.val_f1);
+      mean_ops.push_back(stats.mean_operators);
+      best_ops.push_back(stats.best_operators);
+    }
+    row.iteration = i;  // iterations are recorded densely from 0
+    row.seconds = ComputeMoments(seconds);
+    row.train_f1 = ComputeMoments(train_f1);
+    row.val_f1 = ComputeMoments(val_f1);
+    row.mean_operators = ComputeMoments(mean_ops);
+    row.best_operators = ComputeMoments(best_ops);
+    result.iterations.push_back(row);
+  }
+
+  if (!result.runs.empty()) {
+    result.example_rule_sexpr = result.runs.back().best_rule_sexpr;
+  }
+  return result;
+}
+
+}  // namespace genlink

@@ -1,0 +1,98 @@
+// The experimental protocol of Section 6.1 of the paper: N independent
+// runs; for each run the reference links are randomly split into 2 folds,
+// the learner trains on one fold and is validated against the other; all
+// per-iteration statistics are averaged over the runs and the standard
+// deviation is reported.
+//
+// The harness is learner-agnostic: it invokes a callback per run so the
+// same code drives GenLink, its ablated variants, and the Carvalho
+// baseline.
+
+#ifndef GENLINK_EVAL_CROSS_VALIDATION_H_
+#define GENLINK_EVAL_CROSS_VALIDATION_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "model/reference_links.h"
+
+namespace genlink {
+
+/// Statistics of one learner iteration on one run.
+struct IterationStats {
+  size_t iteration = 0;
+  /// Cumulative wall-clock seconds since the start of the run.
+  double seconds = 0.0;
+  double train_f1 = 0.0;
+  double val_f1 = 0.0;
+  double train_mcc = 0.0;
+  double val_mcc = 0.0;
+  /// Mean operator count over the population (bloat tracking).
+  double mean_operators = 0.0;
+  /// Operator count of the best rule.
+  double best_operators = 0.0;
+};
+
+/// One run's full learning trajectory plus the final model (serialized).
+struct RunTrajectory {
+  std::vector<IterationStats> iterations;
+  std::string best_rule_sexpr;
+  double final_val_f1 = 0.0;
+};
+
+/// The learner callback: trains on `train`, may use `val` only for
+/// reporting per-iteration validation scores.
+using LearnerFn = std::function<RunTrajectory(
+    const ReferenceLinkSet& train, const ReferenceLinkSet& val, Rng& rng)>;
+
+/// mean/stddev pair.
+struct Moments {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Per-iteration statistics aggregated over all runs.
+struct AggregatedIteration {
+  size_t iteration = 0;
+  Moments seconds;
+  Moments train_f1;
+  Moments val_f1;
+  Moments mean_operators;
+  Moments best_operators;
+};
+
+/// Result of a full cross-validation experiment.
+struct CrossValidationResult {
+  std::vector<AggregatedIteration> iterations;
+  /// Trajectories of every run (runs-major), for detailed inspection.
+  std::vector<RunTrajectory> runs;
+  /// Serialized best rule of the last run (for Figure 7/8-style output).
+  std::string example_rule_sexpr;
+
+  /// Returns the aggregated row closest to `iteration` (trajectories are
+  /// extended so every iteration up to the maximum exists).
+  const AggregatedIteration* FindIteration(size_t iteration) const;
+};
+
+/// Configuration of the experimental protocol.
+struct CrossValidationConfig {
+  size_t num_runs = 10;
+  size_t num_folds = 2;
+  uint64_t seed = 42;
+};
+
+/// Computes mean and (population) standard deviation of `values`.
+Moments ComputeMoments(const std::vector<double>& values);
+
+/// Runs the protocol: for each run, splits `links` into folds, trains on
+/// fold 0 and validates on the union of the remaining folds.
+CrossValidationResult RunCrossValidation(const ReferenceLinkSet& links,
+                                         const CrossValidationConfig& config,
+                                         const LearnerFn& learner);
+
+}  // namespace genlink
+
+#endif  // GENLINK_EVAL_CROSS_VALIDATION_H_

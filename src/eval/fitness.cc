@@ -1,0 +1,15 @@
+#include "eval/fitness.h"
+
+namespace genlink {
+
+FitnessResult FitnessEvaluator::Evaluate(const LinkageRule& rule) const {
+  FitnessResult result;
+  result.confusion = EvaluateRuleOnPairs(rule, pairs_, *schema_a_, *schema_b_);
+  result.mcc = MatthewsCorrelation(result.confusion);
+  result.f_measure = FMeasure(result.confusion);
+  result.fitness = result.mcc - config_.parsimony_weight *
+                                    static_cast<double>(rule.OperatorCount());
+  return result;
+}
+
+}  // namespace genlink

@@ -1,0 +1,83 @@
+#include "eval/link_metrics.h"
+
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace genlink {
+namespace {
+
+uint64_t PairKey(const std::string& a, const std::string& b) {
+  return HashCombine(HashBytes(a), HashBytes(b));
+}
+
+LinkSetMetrics Score(size_t generated, size_t correct, size_t reference) {
+  LinkSetMetrics m;
+  m.generated = generated;
+  m.correct = correct;
+  m.reference = reference;
+  m.precision = generated == 0 ? 0.0 : static_cast<double>(correct) / generated;
+  m.recall = reference == 0 ? 0.0 : static_cast<double>(correct) / reference;
+  m.f_measure = (m.precision + m.recall) == 0.0
+                    ? 0.0
+                    : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  return m;
+}
+
+}  // namespace
+
+LinkSetMetrics EvaluateLinkSet(const std::vector<GeneratedLink>& links,
+                               const ReferenceLinkSet& reference) {
+  std::unordered_set<uint64_t> truth;
+  truth.reserve(reference.positives().size());
+  for (const auto& link : reference.positives()) {
+    truth.insert(PairKey(link.id_a, link.id_b));
+  }
+  size_t correct = 0;
+  for (const auto& link : links) {
+    if (truth.count(PairKey(link.id_a, link.id_b))) ++correct;
+  }
+  return Score(links.size(), correct, reference.positives().size());
+}
+
+std::vector<PrPoint> PrecisionRecallSweep(const std::vector<GeneratedLink>& links,
+                                          const ReferenceLinkSet& reference,
+                                          size_t num_points,
+                                          double min_threshold) {
+  std::unordered_set<uint64_t> truth;
+  truth.reserve(reference.positives().size());
+  for (const auto& link : reference.positives()) {
+    truth.insert(PairKey(link.id_a, link.id_b));
+  }
+
+  std::vector<PrPoint> sweep;
+  if (num_points < 2) num_points = 2;
+  for (size_t i = 0; i < num_points; ++i) {
+    double threshold = min_threshold + (1.0 - min_threshold) *
+                                           static_cast<double>(i) /
+                                           static_cast<double>(num_points - 1);
+    size_t generated = 0, correct = 0;
+    for (const auto& link : links) {
+      if (link.score < threshold) continue;
+      ++generated;
+      if (truth.count(PairKey(link.id_a, link.id_b))) ++correct;
+    }
+    sweep.push_back({threshold, Score(generated, correct,
+                                      reference.positives().size())});
+  }
+  return sweep;
+}
+
+double BestThreshold(const std::vector<PrPoint>& sweep) {
+  double best_threshold = 0.5;
+  double best_f = -1.0;
+  for (const auto& point : sweep) {
+    if (point.metrics.f_measure > best_f) {
+      best_f = point.metrics.f_measure;
+      best_threshold = point.threshold;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace genlink

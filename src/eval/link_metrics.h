@@ -1,0 +1,50 @@
+// Evaluation of *generated link sets* against reference links: set-based
+// precision/recall/F1 and precision-recall sweeps over the similarity
+// threshold. Complements eval/metrics.h, which scores classifications of
+// labelled pairs.
+
+#ifndef GENLINK_EVAL_LINK_METRICS_H_
+#define GENLINK_EVAL_LINK_METRICS_H_
+
+#include <vector>
+
+#include "matcher/matcher.h"
+#include "model/reference_links.h"
+
+namespace genlink {
+
+/// Set-based quality of a generated link set.
+struct LinkSetMetrics {
+  size_t generated = 0;       // |M_l|
+  size_t reference = 0;       // |R+|
+  size_t correct = 0;         // |M_l ∩ R+|
+  double precision = 0.0;     // correct / generated
+  double recall = 0.0;        // correct / reference
+  double f_measure = 0.0;
+};
+
+/// Scores `links` against the positive reference links. Links to
+/// entities outside the reference set still count toward |generated|
+/// (as they would in a real deployment).
+LinkSetMetrics EvaluateLinkSet(const std::vector<GeneratedLink>& links,
+                               const ReferenceLinkSet& reference);
+
+/// One point of a precision-recall sweep.
+struct PrPoint {
+  double threshold = 0.0;
+  LinkSetMetrics metrics;
+};
+
+/// Sweeps the acceptance threshold over the scored links (descending)
+/// and reports precision/recall at each cut. `num_points` thresholds are
+/// sampled uniformly in [min_threshold, 1].
+std::vector<PrPoint> PrecisionRecallSweep(
+    const std::vector<GeneratedLink>& links, const ReferenceLinkSet& reference,
+    size_t num_points = 11, double min_threshold = 0.5);
+
+/// Returns the threshold of the sweep point with the highest F-measure.
+double BestThreshold(const std::vector<PrPoint>& sweep);
+
+}  // namespace genlink
+
+#endif  // GENLINK_EVAL_LINK_METRICS_H_

@@ -1,0 +1,38 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+namespace genlink {
+
+double Precision(const ConfusionMatrix& cm) {
+  size_t denom = cm.tp + cm.fp;
+  return denom == 0 ? 0.0 : static_cast<double>(cm.tp) / denom;
+}
+
+double Recall(const ConfusionMatrix& cm) {
+  size_t denom = cm.tp + cm.fn;
+  return denom == 0 ? 0.0 : static_cast<double>(cm.tp) / denom;
+}
+
+double FMeasure(const ConfusionMatrix& cm) {
+  double p = Precision(cm);
+  double r = Recall(cm);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double Accuracy(const ConfusionMatrix& cm) {
+  size_t total = cm.total();
+  return total == 0 ? 0.0 : static_cast<double>(cm.tp + cm.tn) / total;
+}
+
+double MatthewsCorrelation(const ConfusionMatrix& cm) {
+  double tp = static_cast<double>(cm.tp);
+  double tn = static_cast<double>(cm.tn);
+  double fp = static_cast<double>(cm.fp);
+  double fn = static_cast<double>(cm.fn);
+  double denom = (tp + fp) * (tp + fn) * (tn + fp) * (tn + fn);
+  if (denom == 0.0) return 0.0;
+  return (tp * tn - fp * fn) / std::sqrt(denom);
+}
+
+}  // namespace genlink

@@ -1,0 +1,29 @@
+// Classification metrics: precision, recall, F-measure, accuracy and
+// Matthews correlation coefficient (the paper's fitness core, Section 5.2).
+
+#ifndef GENLINK_EVAL_METRICS_H_
+#define GENLINK_EVAL_METRICS_H_
+
+#include "eval/confusion_matrix.h"
+
+namespace genlink {
+
+/// tp / (tp + fp); 0 when no positives were predicted.
+double Precision(const ConfusionMatrix& cm);
+
+/// tp / (tp + fn); 0 when there are no actual positives.
+double Recall(const ConfusionMatrix& cm);
+
+/// Harmonic mean of precision and recall.
+double FMeasure(const ConfusionMatrix& cm);
+
+/// (tp + tn) / total.
+double Accuracy(const ConfusionMatrix& cm);
+
+/// Matthews correlation coefficient in [-1, 1]. Returns 0 when any
+/// marginal is zero (the standard convention for the undefined case).
+double MatthewsCorrelation(const ConfusionMatrix& cm);
+
+}  // namespace genlink
+
+#endif  // GENLINK_EVAL_METRICS_H_

@@ -1,0 +1,117 @@
+#include "gp/active_learning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "matcher/blocking.h"
+
+namespace genlink {
+
+ActiveLearner::ActiveLearner(const Dataset& a, const Dataset& b,
+                             ActiveLearningConfig config)
+    : a_(&a), b_(&b), config_(std::move(config)) {}
+
+std::vector<CandidateLink> ActiveLearner::BuildPool(size_t max_pairs) const {
+  TokenBlockingIndex index(*b_);
+  std::vector<CandidateLink> pool;
+  for (size_t i = 0; i < a_->size(); ++i) {
+    const Entity& ea = a_->entity(i);
+    for (size_t j : index.Candidates(ea, a_->schema())) {
+      const Entity& eb = b_->entity(j);
+      if (a_ == b_ && ea.id() >= eb.id()) continue;
+      pool.push_back({ea.id(), eb.id()});
+      if (max_pairs > 0 && pool.size() >= max_pairs) return pool;
+    }
+  }
+  return pool;
+}
+
+Result<ActiveLearningResult> ActiveLearner::Run(
+    const ReferenceLinkSet& seed_labels, const std::vector<CandidateLink>& pool,
+    const Oracle& oracle, const ReferenceLinkSet* validation, Rng& rng) const {
+  if (seed_labels.positives().empty() || seed_labels.negatives().empty()) {
+    return Status::FailedPrecondition(
+        "active learning needs at least one positive and one negative seed "
+        "label");
+  }
+
+  ActiveLearningResult result;
+  result.labels = seed_labels;
+
+  std::unordered_set<uint64_t> labelled;
+  auto key = [](const std::string& x, const std::string& y) {
+    return HashCombine(HashBytes(x), HashBytes(y));
+  };
+  for (const auto& link : seed_labels.positives()) {
+    labelled.insert(key(link.id_a, link.id_b));
+  }
+  for (const auto& link : seed_labels.negatives()) {
+    labelled.insert(key(link.id_a, link.id_b));
+  }
+
+  GenLink learner(*a_, *b_, config_.learner);
+
+  for (size_t round = 0; round < config_.rounds; ++round) {
+    // Train the committee from independent random streams.
+    std::vector<LinkageRule> committee;
+    double best_val = 0.0;
+    LinkageRule best_rule;
+    for (size_t member = 0; member < std::max<size_t>(1, config_.committee_size);
+         ++member) {
+      Rng member_rng = rng.Fork();
+      auto learned = learner.Learn(result.labels, validation, member_rng);
+      if (!learned.ok()) return learned.status();
+      double val = learned->trajectory.final_val_f1;
+      if (val >= best_val || best_rule.empty()) {
+        best_val = val;
+        best_rule = learned->best_rule.Clone();
+      }
+      committee.push_back(std::move(learned->best_rule));
+    }
+
+    ActiveLearningRound stats;
+    stats.round = round;
+    stats.num_labels = result.labels.size();
+    stats.val_f1 = best_val;
+
+    // Query the most disputed unlabelled pairs.
+    for (size_t q = 0; q < config_.queries_per_round; ++q) {
+      const CandidateLink* query = nullptr;
+      double best_disagreement = -1.0;
+      for (const auto& candidate : pool) {
+        if (labelled.count(key(candidate.id_a, candidate.id_b))) continue;
+        const Entity* ea = a_->FindEntity(candidate.id_a);
+        const Entity* eb = b_->FindEntity(candidate.id_b);
+        if (ea == nullptr || eb == nullptr) continue;
+        size_t votes = 0;
+        for (const auto& rule : committee) {
+          if (rule.Matches(*ea, *eb, a_->schema(), b_->schema())) ++votes;
+        }
+        double ratio =
+            static_cast<double>(votes) / static_cast<double>(committee.size());
+        double disagreement = 1.0 - std::abs(2.0 * ratio - 1.0);
+        if (disagreement > best_disagreement) {
+          best_disagreement = disagreement;
+          query = &candidate;
+        }
+      }
+      if (query == nullptr) break;  // pool exhausted
+      stats.query_disagreement = std::max(stats.query_disagreement,
+                                          best_disagreement);
+      labelled.insert(key(query->id_a, query->id_b));
+      if (oracle(*query)) {
+        result.labels.AddPositive(query->id_a, query->id_b);
+      } else {
+        result.labels.AddNegative(query->id_a, query->id_b);
+      }
+    }
+
+    result.rounds.push_back(stats);
+    result.best_rule = std::move(best_rule);
+  }
+  return result;
+}
+
+}  // namespace genlink

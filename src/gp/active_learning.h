@@ -1,0 +1,88 @@
+// Active learning of linkage rules by query-by-committee, the extension
+// the paper references as [21] (Isele, Jentzsch & Bizer, "Active
+// learning of expressive linkage rules for the web of data", ICWE 2012).
+//
+// Instead of labelling thousands of pairs up front, the learner starts
+// from a handful of labels, trains a committee of rules from different
+// random seeds, and asks the human (an oracle callback here) to label
+// the unlabelled candidate pair on which the committee disagrees most.
+
+#ifndef GENLINK_GP_ACTIVE_LEARNING_H_
+#define GENLINK_GP_ACTIVE_LEARNING_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gp/genlink.h"
+
+namespace genlink {
+
+/// An unlabelled candidate pair.
+struct CandidateLink {
+  std::string id_a;
+  std::string id_b;
+};
+
+/// Configuration of the active learner.
+struct ActiveLearningConfig {
+  /// Committee members trained per round (query-by-committee).
+  size_t committee_size = 3;
+  /// Labelling rounds to run.
+  size_t rounds = 10;
+  /// Pairs queried from the oracle per round.
+  size_t queries_per_round = 1;
+  /// Configuration of each committee member's GenLink run.
+  GenLinkConfig learner;
+};
+
+/// Statistics of one active-learning round.
+struct ActiveLearningRound {
+  size_t round = 0;
+  size_t num_labels = 0;
+  /// Best committee member's validation F1 (0 when no validation set).
+  double val_f1 = 0.0;
+  /// Committee disagreement of the selected query in [0,1].
+  double query_disagreement = 0.0;
+};
+
+/// Result of an active-learning session.
+struct ActiveLearningResult {
+  std::vector<ActiveLearningRound> rounds;
+  /// The best rule of the final committee.
+  LinkageRule best_rule;
+  /// All labels accumulated (seed labels + oracle answers).
+  ReferenceLinkSet labels;
+};
+
+/// Answers whether a candidate pair is a true match (the human expert).
+using Oracle = std::function<bool(const CandidateLink&)>;
+
+/// Query-by-committee active learner.
+class ActiveLearner {
+ public:
+  ActiveLearner(const Dataset& a, const Dataset& b,
+                ActiveLearningConfig config = {});
+
+  /// Builds an unlabelled candidate pool with token blocking (pairs
+  /// sharing at least one token), capped at `max_pairs` (0 = no cap).
+  std::vector<CandidateLink> BuildPool(size_t max_pairs = 0) const;
+
+  /// Runs the loop: train committee -> query most-disputed pool pair ->
+  /// oracle labels it -> repeat. `seed_labels` must contain at least one
+  /// positive and one negative link. `validation` may be null.
+  Result<ActiveLearningResult> Run(const ReferenceLinkSet& seed_labels,
+                                   const std::vector<CandidateLink>& pool,
+                                   const Oracle& oracle,
+                                   const ReferenceLinkSet* validation,
+                                   Rng& rng) const;
+
+ private:
+  const Dataset* a_;
+  const Dataset* b_;
+  ActiveLearningConfig config_;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_GP_ACTIVE_LEARNING_H_

@@ -1,0 +1,103 @@
+#include "gp/compatible_properties.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "distance/registry.h"
+#include "text/case_fold.h"
+#include "text/tokenizer.h"
+
+namespace genlink {
+namespace {
+
+std::vector<CompatibilityProbe> DefaultProbes() {
+  const DistanceRegistry& reg = DistanceRegistry::Default();
+  std::vector<CompatibilityProbe> probes;
+  // The paper's experiments used levenshtein with θ_d = 1 on lowercased
+  // tokens: distance < 1 means two identical tokens exist.
+  probes.push_back({reg.Find("levenshtein"), 1.0, /*on_tokens=*/true});
+  // Raw-value probes so that coordinate, date and numeric properties are
+  // also detected (Figure 3 shows a (point, coord, geographic) pair).
+  probes.push_back({reg.Find("geographic"), 10000.0, /*on_tokens=*/false});
+  probes.push_back({reg.Find("date"), 365.0, /*on_tokens=*/false});
+  probes.push_back({reg.Find("numeric"), 1.0, /*on_tokens=*/false});
+  return probes;
+}
+
+ValueSet LowercasedTokens(const ValueSet& values) {
+  ValueSet tokens;
+  for (const auto& value : values) {
+    for (auto& token : TokenizeAlnum(ToLowerAscii(value))) {
+      tokens.push_back(std::move(token));
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::vector<CompatiblePair> FindCompatibleProperties(
+    const Dataset& a, const Dataset& b, const ReferenceLinkSet& links,
+    const CompatiblePropertyConfig& config, Rng& rng) {
+  std::vector<CompatibilityProbe> probes =
+      config.probes.empty() ? DefaultProbes() : config.probes;
+
+  // Sample positive links.
+  std::vector<const ReferenceLink*> sampled;
+  sampled.reserve(links.positives().size());
+  for (const auto& link : links.positives()) sampled.push_back(&link);
+  if (config.max_links > 0 && sampled.size() > config.max_links) {
+    rng.Shuffle(sampled);
+    sampled.resize(config.max_links);
+  }
+
+  const size_t num_a = a.schema().NumProperties();
+  const size_t num_b = b.schema().NumProperties();
+
+  // support[(pa, pb, probe)] = number of links under which they matched.
+  std::map<std::tuple<PropertyId, PropertyId, size_t>, size_t> support;
+
+  for (const ReferenceLink* link : sampled) {
+    const Entity* ea = a.FindEntity(link->id_a);
+    const Entity* eb = b.FindEntity(link->id_b);
+    if (ea == nullptr || eb == nullptr) continue;
+
+    // Precompute per-property token sets for this link.
+    std::vector<ValueSet> tokens_a(num_a), tokens_b(num_b);
+    for (PropertyId p = 0; p < num_a; ++p) tokens_a[p] = LowercasedTokens(ea->Values(p));
+    for (PropertyId p = 0; p < num_b; ++p) tokens_b[p] = LowercasedTokens(eb->Values(p));
+
+    for (PropertyId pa = 0; pa < num_a; ++pa) {
+      if (ea->Values(pa).empty()) continue;
+      for (PropertyId pb = 0; pb < num_b; ++pb) {
+        if (eb->Values(pb).empty()) continue;
+        for (size_t pi = 0; pi < probes.size(); ++pi) {
+          const CompatibilityProbe& probe = probes[pi];
+          if (probe.measure == nullptr) continue;
+          const ValueSet& va = probe.on_tokens ? tokens_a[pa] : ea->Values(pa);
+          const ValueSet& vb = probe.on_tokens ? tokens_b[pb] : eb->Values(pb);
+          if (va.empty() || vb.empty()) continue;
+          double d = probe.measure->Distance(va, vb);
+          if (d < probe.threshold) {
+            ++support[{pa, pb, pi}];
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<CompatiblePair> pairs;
+  pairs.reserve(support.size());
+  for (const auto& [key, count] : support) {
+    auto [pa, pb, pi] = key;
+    pairs.push_back({a.schema().PropertyName(pa), b.schema().PropertyName(pb),
+                     probes[pi].measure, count});
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const auto& x, const auto& y) {
+    return x.support > y.support;
+  });
+  return pairs;
+}
+
+}  // namespace genlink

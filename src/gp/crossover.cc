@@ -1,0 +1,381 @@
+#include "gp/crossover.h"
+
+#include <algorithm>
+
+namespace genlink {
+namespace {
+
+// ------------------------------------------------------------ tree helpers
+
+/// All similarity nodes (aggregations and comparisons) of a rule,
+/// read-only.
+std::vector<const SimilarityOperator*> CollectSimilarityNodes(
+    const LinkageRule& rule) {
+  std::vector<const SimilarityOperator*> nodes;
+  std::vector<const SimilarityOperator*> stack;
+  if (rule.root() != nullptr) stack.push_back(rule.root());
+  while (!stack.empty()) {
+    const SimilarityOperator* node = stack.back();
+    stack.pop_back();
+    nodes.push_back(node);
+    if (node->kind() == OperatorKind::kAggregation) {
+      const auto* agg = static_cast<const AggregationOperator*>(node);
+      for (const auto& child : agg->operands()) stack.push_back(child.get());
+    }
+  }
+  return nodes;
+}
+
+void CollectValueNodesFrom(const ValueOperator* node,
+                           std::vector<const ValueOperator*>& out) {
+  if (node == nullptr) return;
+  out.push_back(node);
+  if (node->kind() == OperatorKind::kTransform) {
+    const auto* tf = static_cast<const TransformOperator*>(node);
+    for (const auto& input : tf->inputs()) CollectValueNodesFrom(input.get(), out);
+  }
+}
+
+/// All value nodes (properties and transformations) of a rule, read-only.
+std::vector<const ValueOperator*> CollectValueNodes(const LinkageRule& rule) {
+  std::vector<const ValueOperator*> nodes;
+  for (const auto* cmp : CollectComparisons(rule)) {
+    CollectValueNodesFrom(cmp->source(), nodes);
+    CollectValueNodesFrom(cmp->target(), nodes);
+  }
+  return nodes;
+}
+
+/// Transformation nodes in the subtree rooted at `node` (including
+/// `node` itself when it is a transformation).
+void CollectTransformsInSubtree(ValueOperator* node,
+                                std::vector<TransformOperator*>& out) {
+  if (node == nullptr || node->kind() != OperatorKind::kTransform) return;
+  auto* tf = static_cast<TransformOperator*>(node);
+  out.push_back(tf);
+  for (auto& input : tf->mutable_inputs()) {
+    CollectTransformsInSubtree(input.get(), out);
+  }
+}
+
+/// Finds the path (input indices) from `from` down to `to` through
+/// transformation nodes. Returns false if `to` is not in the chain.
+bool FindTransformPath(const TransformOperator* from, const TransformOperator* to,
+                       std::vector<size_t>& path) {
+  if (from == to) return true;
+  for (size_t i = 0; i < from->inputs().size(); ++i) {
+    const ValueOperator* input = from->inputs()[i].get();
+    if (input->kind() != OperatorKind::kTransform) continue;
+    path.push_back(i);
+    if (FindTransformPath(static_cast<const TransformOperator*>(input), to, path)) {
+      return true;
+    }
+    path.pop_back();
+  }
+  return false;
+}
+
+/// Removes directly nested duplicate transformations (e.g.
+/// lowerCase(lowerCase(x)) -> lowerCase(x)), per Algorithm 6's final
+/// dedup step.
+void RemoveDuplicateTransforms(std::unique_ptr<ValueOperator>& slot) {
+  if (slot == nullptr || slot->kind() != OperatorKind::kTransform) return;
+  // A duplicate at the slot itself: fold lowerCase(lowerCase(x)) chains
+  // from the top first.
+  while (slot->kind() == OperatorKind::kTransform) {
+    auto* top = static_cast<TransformOperator*>(slot.get());
+    if (top->function()->arity() != 1 || top->inputs().size() != 1) break;
+    ValueOperator* below = top->inputs()[0].get();
+    if (below->kind() != OperatorKind::kTransform ||
+        static_cast<TransformOperator*>(below)->function() != top->function()) {
+      break;
+    }
+    slot = std::move(top->mutable_inputs()[0]);
+  }
+  if (slot->kind() != OperatorKind::kTransform) return;
+  auto* tf = static_cast<TransformOperator*>(slot.get());
+  for (auto& input : tf->mutable_inputs()) {
+    // Splice out children that repeat this node's unary function.
+    while (input != nullptr && input->kind() == OperatorKind::kTransform) {
+      auto* child = static_cast<TransformOperator*>(input.get());
+      if (child->function() == tf->function() && child->function()->arity() == 1 &&
+          child->inputs().size() == 1) {
+        input = std::move(child->mutable_inputs()[0]);
+      } else {
+        break;
+      }
+    }
+    RemoveDuplicateTransforms(input);
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------- FunctionCrossover
+
+std::optional<LinkageRule> FunctionCrossover::Cross(const LinkageRule& r1,
+                                                    const LinkageRule& r2,
+                                                    Rng& rng) const {
+  // Determine which node types exist in both rules.
+  std::vector<OperatorKind> candidates;
+  {
+    bool t1 = !CollectTransforms(const_cast<LinkageRule&>(r1)).empty();
+    bool t2 = !CollectTransforms(const_cast<LinkageRule&>(r2)).empty();
+    if (t1 && t2) candidates.push_back(OperatorKind::kTransform);
+    bool a1 = !CollectAggregations(r1).empty();
+    bool a2 = !CollectAggregations(r2).empty();
+    if (a1 && a2) candidates.push_back(OperatorKind::kAggregation);
+    if (!CollectComparisons(r1).empty() && !CollectComparisons(r2).empty()) {
+      candidates.push_back(OperatorKind::kComparison);
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+  OperatorKind kind = candidates[rng.PickIndex(candidates.size())];
+
+  LinkageRule child = r1.Clone();
+  switch (kind) {
+    case OperatorKind::kComparison: {
+      auto own = CollectComparisons(child);
+      auto other = CollectComparisons(r2);
+      ComparisonOperator* dst = own[rng.PickIndex(own.size())];
+      const ComparisonOperator* src = other[rng.PickIndex(other.size())];
+      double old_max = dst->measure()->MaxThreshold();
+      double new_max = src->measure()->MaxThreshold();
+      dst->set_measure(src->measure());
+      // Rescale the threshold so its relative tightness is preserved
+      // across measure ranges (levenshtein chars vs geographic meters).
+      if (old_max > 0.0) {
+        dst->set_threshold(dst->threshold() * new_max / old_max);
+      }
+      break;
+    }
+    case OperatorKind::kAggregation: {
+      auto own = CollectAggregations(child);
+      auto other = CollectAggregations(r2);
+      own[rng.PickIndex(own.size())]->set_function(
+          other[rng.PickIndex(other.size())]->function());
+      break;
+    }
+    case OperatorKind::kTransform: {
+      auto own = CollectTransforms(child);
+      auto other = CollectTransforms(const_cast<LinkageRule&>(r2));
+      TransformOperator* dst = own[rng.PickIndex(own.size())];
+      // Only functions of matching arity can be interchanged without
+      // breaking the tree structure.
+      std::vector<const Transformation*> same_arity;
+      for (const auto* tf : other) {
+        if (tf->function()->arity() == dst->function()->arity()) {
+          same_arity.push_back(tf->function());
+        }
+      }
+      if (same_arity.empty()) return std::nullopt;
+      dst->set_function(same_arity[rng.PickIndex(same_arity.size())]);
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  return child;
+}
+
+// -------------------------------------------------------- OperatorsCrossover
+
+std::optional<LinkageRule> OperatorsCrossover::Cross(const LinkageRule& r1,
+                                                     const LinkageRule& r2,
+                                                     Rng& rng) const {
+  LinkageRule child = r1.Clone();
+  auto own = CollectAggregations(child);
+  auto other = CollectAggregations(r2);
+  if (own.empty() || other.empty()) return std::nullopt;
+
+  AggregationOperator* agg1 = own[rng.PickIndex(own.size())];
+  const AggregationOperator* agg2 = other[rng.PickIndex(other.size())];
+
+  // Pool = own operands (moved) + other operands (cloned), each kept
+  // with probability 50%.
+  std::vector<std::unique_ptr<SimilarityOperator>> pool;
+  for (auto& op : agg1->mutable_operands()) pool.push_back(std::move(op));
+  for (const auto& op : agg2->operands()) pool.push_back(op->Clone());
+
+  std::vector<std::unique_ptr<SimilarityOperator>> kept;
+  for (auto& op : pool) {
+    if (rng.Bernoulli(0.5)) kept.push_back(std::move(op));
+  }
+  if (kept.empty()) {
+    // Keep one random operand so the aggregation stays valid.
+    std::vector<size_t> remaining;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (pool[i] != nullptr) remaining.push_back(i);
+    }
+    kept.push_back(std::move(pool[remaining[rng.PickIndex(remaining.size())]]));
+  }
+  agg1->mutable_operands() = std::move(kept);
+  return child;
+}
+
+// ------------------------------------------------------ AggregationCrossover
+
+std::optional<LinkageRule> AggregationCrossover::Cross(const LinkageRule& r1,
+                                                       const LinkageRule& r2,
+                                                       Rng& rng) const {
+  LinkageRule child = r1.Clone();
+  auto slots = CollectSimilaritySlots(child);
+  auto donors = CollectSimilarityNodes(r2);
+  if (slots.empty() || donors.empty()) return std::nullopt;
+  auto* slot = slots[rng.PickIndex(slots.size())];
+  *slot = donors[rng.PickIndex(donors.size())]->Clone();
+  return child;
+}
+
+// --------------------------------------------------- TransformationCrossover
+
+std::optional<LinkageRule> TransformationCrossover::Cross(const LinkageRule& r1,
+                                                          const LinkageRule& r2,
+                                                          Rng& rng) const {
+  LinkageRule child = r1.Clone();
+
+  // Upper transformation slot in the child.
+  auto own_slots = CollectTransformSlots(child);
+  if (own_slots.empty()) return std::nullopt;
+  auto* upper1_slot = own_slots[rng.PickIndex(own_slots.size())];
+  auto* upper1 = static_cast<TransformOperator*>(upper1_slot->get());
+
+  // Lower transformation within upper1's chain.
+  std::vector<TransformOperator*> own_chain;
+  CollectTransformsInSubtree(upper1, own_chain);
+  TransformOperator* lower1 = own_chain[rng.PickIndex(own_chain.size())];
+
+  // Upper/lower pair in the donor rule.
+  auto other_transforms = CollectTransforms(const_cast<LinkageRule&>(r2));
+  if (other_transforms.empty()) return std::nullopt;
+  TransformOperator* upper2 =
+      other_transforms[rng.PickIndex(other_transforms.size())];
+  std::vector<TransformOperator*> other_chain;
+  CollectTransformsInSubtree(upper2, other_chain);
+  TransformOperator* lower2 = other_chain[rng.PickIndex(other_chain.size())];
+
+  std::vector<size_t> path;
+  if (!FindTransformPath(upper2, lower2, path)) return std::nullopt;
+
+  // Clone the donor segment and locate the clone of lower2 along the
+  // recorded path.
+  std::unique_ptr<ValueOperator> segment = upper2->Clone();
+  auto* segment_lower = static_cast<TransformOperator*>(segment.get());
+  for (size_t index : path) {
+    segment_lower =
+        static_cast<TransformOperator*>(segment_lower->mutable_inputs()[index].get());
+  }
+
+  // Attach lower1's inputs below the donor segment (two-point crossover:
+  // the child keeps its own chain tail).
+  std::vector<std::unique_ptr<ValueOperator>> tail = std::move(lower1->mutable_inputs());
+  // Adjust to the donor function's arity: pad with clones of the first
+  // input or truncate.
+  size_t arity = segment_lower->function()->arity();
+  while (tail.size() < arity && !tail.empty()) {
+    tail.push_back(tail[0]->Clone());
+  }
+  if (tail.empty()) return std::nullopt;
+  tail.resize(arity == 0 ? 1 : arity);
+  segment_lower->mutable_inputs() = std::move(tail);
+
+  *upper1_slot = std::move(segment);
+  // Deduplicate from the comparison roots: the splice can also create a
+  // duplicate between the segment and its pre-existing parent chain.
+  for (auto* cmp : CollectComparisons(child)) {
+    RemoveDuplicateTransforms(cmp->mutable_source());
+    RemoveDuplicateTransforms(cmp->mutable_target());
+  }
+  return child;
+}
+
+// --------------------------------------------------------- ThresholdCrossover
+
+std::optional<LinkageRule> ThresholdCrossover::Cross(const LinkageRule& r1,
+                                                     const LinkageRule& r2,
+                                                     Rng& rng) const {
+  LinkageRule child = r1.Clone();
+  auto own = CollectComparisons(child);
+  auto other = CollectComparisons(r2);
+  if (own.empty() || other.empty()) return std::nullopt;
+  ComparisonOperator* cmp1 = own[rng.PickIndex(own.size())];
+  const ComparisonOperator* cmp2 = other[rng.PickIndex(other.size())];
+  double merged = 0.5 * (cmp1->threshold() + cmp2->threshold());
+  merged = std::clamp(merged, 0.0, cmp1->measure()->MaxThreshold());
+  cmp1->set_threshold(merged);
+  return child;
+}
+
+// ------------------------------------------------------------ WeightCrossover
+
+std::optional<LinkageRule> WeightCrossover::Cross(const LinkageRule& r1,
+                                                  const LinkageRule& r2,
+                                                  Rng& rng) const {
+  LinkageRule child = r1.Clone();
+  auto own = CollectSimilaritySlots(child);
+  auto other = CollectSimilarityNodes(r2);
+  if (own.empty() || other.empty()) return std::nullopt;
+  SimilarityOperator* dst = own[rng.PickIndex(own.size())]->get();
+  const SimilarityOperator* src = other[rng.PickIndex(other.size())];
+  dst->set_weight(std::max(1e-3, 0.5 * (dst->weight() + src->weight())));
+  return child;
+}
+
+// ----------------------------------------------------------- SubtreeCrossover
+
+std::optional<LinkageRule> SubtreeCrossover::Cross(const LinkageRule& r1,
+                                                   const LinkageRule& r2,
+                                                   Rng& rng) const {
+  LinkageRule child = r1.Clone();
+  auto sim_slots = CollectSimilaritySlots(child);
+  auto value_slots = CollectValueSlots(child);
+  size_t total = sim_slots.size() + value_slots.size();
+  if (total == 0) return std::nullopt;
+  size_t pick = rng.PickIndex(total);
+  if (pick < sim_slots.size()) {
+    auto donors = CollectSimilarityNodes(r2);
+    if (donors.empty()) return std::nullopt;
+    *sim_slots[pick] = donors[rng.PickIndex(donors.size())]->Clone();
+  } else {
+    auto donors = CollectValueNodes(r2);
+    if (donors.empty()) return std::nullopt;
+    *value_slots[pick - sim_slots.size()] =
+        donors[rng.PickIndex(donors.size())]->Clone();
+  }
+  return child;
+}
+
+// -------------------------------------------------------- root invariant
+
+void EnsureAggregationRoot(LinkageRule& rule, const AggregationFunction* fn) {
+  if (rule.empty() || rule.root()->kind() == OperatorKind::kAggregation) return;
+  std::vector<std::unique_ptr<SimilarityOperator>> operands;
+  operands.push_back(std::move(rule.mutable_root()));
+  rule.mutable_root() = std::make_unique<AggregationOperator>(fn, std::move(operands));
+}
+
+// ------------------------------------------------------------ MakeCrossoverSet
+
+std::vector<std::unique_ptr<CrossoverOperator>> MakeCrossoverSet(
+    RepresentationMode mode, bool subtree_only) {
+  std::vector<std::unique_ptr<CrossoverOperator>> ops;
+  if (subtree_only) {
+    ops.push_back(std::make_unique<SubtreeCrossover>());
+    return ops;
+  }
+  ops.push_back(std::make_unique<FunctionCrossover>());
+  ops.push_back(std::make_unique<OperatorsCrossover>());
+  ops.push_back(std::make_unique<ThresholdCrossover>());
+  if (mode != RepresentationMode::kBoolean) {
+    ops.push_back(std::make_unique<WeightCrossover>());
+  }
+  if (mode == RepresentationMode::kNonlinear || mode == RepresentationMode::kFull) {
+    ops.push_back(std::make_unique<AggregationCrossover>());
+  }
+  if (mode == RepresentationMode::kFull) {
+    ops.push_back(std::make_unique<TransformationCrossover>());
+  }
+  return ops;
+}
+
+}  // namespace genlink

@@ -1,0 +1,137 @@
+// The specialized crossover operators of Section 5.3 of the paper. Each
+// operator learns exactly one aspect of a linkage rule:
+//
+//   function crossover        - distance/transformation/aggregation function
+//   operators crossover       - which comparisons an aggregation combines
+//   aggregation crossover     - the aggregation hierarchy (non-linearity)
+//   transformation crossover  - transformation chains
+//   threshold crossover       - distance thresholds
+//   weight crossover          - aggregation weights
+//
+// Subtree crossover (the GP de-facto standard) is provided as the
+// baseline for the Table 15 ablation. Mutation is implemented by the
+// caller as headless-chicken crossover: crossing with a freshly
+// generated random rule.
+
+#ifndef GENLINK_GP_CROSSOVER_H_
+#define GENLINK_GP_CROSSOVER_H_
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "gp/rule_generator.h"
+#include "rule/linkage_rule.h"
+
+namespace genlink {
+
+/// A crossover operator producing a child from two parents. The child is
+/// a modified clone of the first parent (the paper's operators are
+/// asymmetric in this way).
+class CrossoverOperator {
+ public:
+  virtual ~CrossoverOperator() = default;
+
+  /// Stable name for logging and configuration.
+  virtual std::string_view name() const = 0;
+
+  /// Returns the child, or nullopt when the operator is not applicable
+  /// to these parents (e.g. transformation crossover on rules without
+  /// transformations). Callers should then pick a different operator.
+  virtual std::optional<LinkageRule> Cross(const LinkageRule& r1,
+                                           const LinkageRule& r2,
+                                           Rng& rng) const = 0;
+};
+
+/// Interchanges one function (distance measure, transformation or
+/// aggregation function) between the rules (Algorithm 3). When a
+/// comparison's measure is swapped, its threshold is rescaled to the new
+/// measure's range so that thresholds keep their relative tightness.
+class FunctionCrossover : public CrossoverOperator {
+ public:
+  std::string_view name() const override { return "function"; }
+  std::optional<LinkageRule> Cross(const LinkageRule& r1, const LinkageRule& r2,
+                                   Rng& rng) const override;
+};
+
+/// Recombines the operand lists of one aggregation from each rule: the
+/// union of both operand lists is taken and each element is dropped with
+/// probability 50% (Algorithm 4). The child never ends up with an empty
+/// aggregation: one random operand is kept as a floor.
+class OperatorsCrossover : public CrossoverOperator {
+ public:
+  std::string_view name() const override { return "operators"; }
+  std::optional<LinkageRule> Cross(const LinkageRule& r1, const LinkageRule& r2,
+                                   Rng& rng) const override;
+};
+
+/// Replaces a random aggregation-or-comparison node of the first rule
+/// with one from the second rule, building aggregation hierarchies
+/// (Algorithm 5).
+class AggregationCrossover : public CrossoverOperator {
+ public:
+  std::string_view name() const override { return "aggregation"; }
+  std::optional<LinkageRule> Cross(const LinkageRule& r1, const LinkageRule& r2,
+                                   Rng& rng) const override;
+};
+
+/// Two-point crossover on transformation chains (Algorithm 6): an
+/// upper/lower transformation pair is chosen in both rules and the path
+/// between them is exchanged; duplicated consecutive transformations are
+/// removed afterwards.
+class TransformationCrossover : public CrossoverOperator {
+ public:
+  std::string_view name() const override { return "transformation"; }
+  std::optional<LinkageRule> Cross(const LinkageRule& r1, const LinkageRule& r2,
+                                   Rng& rng) const override;
+};
+
+/// Sets a random comparison's threshold to the average of one threshold
+/// from each rule (Algorithm 7), clamped to the measure's range.
+class ThresholdCrossover : public CrossoverOperator {
+ public:
+  std::string_view name() const override { return "threshold"; }
+  std::optional<LinkageRule> Cross(const LinkageRule& r1, const LinkageRule& r2,
+                                   Rng& rng) const override;
+};
+
+/// Sets a random operator's weight to the average of one weight from
+/// each rule (analogous to threshold crossover).
+class WeightCrossover : public CrossoverOperator {
+ public:
+  std::string_view name() const override { return "weight"; }
+  std::optional<LinkageRule> Cross(const LinkageRule& r1, const LinkageRule& r2,
+                                   Rng& rng) const override;
+};
+
+/// Strongly-typed subtree crossover: replaces a random subtree of the
+/// first rule with a type-compatible subtree of the second. Baseline for
+/// the Table 15 comparison.
+class SubtreeCrossover : public CrossoverOperator {
+ public:
+  std::string_view name() const override { return "subtree"; }
+  std::optional<LinkageRule> Cross(const LinkageRule& r1, const LinkageRule& r2,
+                                   Rng& rng) const override;
+};
+
+/// Builds the operator set for a representation mode. Flat modes
+/// (boolean/linear) exclude the hierarchy-building operators; modes
+/// without transformations exclude transformation crossover; boolean
+/// mode excludes weight crossover (weights are fixed at 1).
+/// `subtree_only` replaces the specialized set with subtree crossover.
+std::vector<std::unique_ptr<CrossoverOperator>> MakeCrossoverSet(
+    RepresentationMode mode, bool subtree_only = false);
+
+/// Restores the invariant that a rule's root is an aggregation (as in
+/// the Silk implementation: generated rules are aggregation-rooted, and
+/// operators crossover needs an aggregation to recombine operand lists).
+/// A bare-comparison root is wrapped into a single-operand aggregation
+/// with function `fn`; single-operand aggregations are semantically
+/// transparent for min/max/wmean.
+void EnsureAggregationRoot(LinkageRule& rule, const AggregationFunction* fn);
+
+}  // namespace genlink
+
+#endif  // GENLINK_GP_CROSSOVER_H_

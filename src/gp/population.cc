@@ -1,0 +1,86 @@
+#include "gp/population.h"
+
+#include <cassert>
+
+namespace genlink {
+
+size_t Population::BestIndex() const {
+  assert(!individuals_.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < individuals_.size(); ++i) {
+    if (individuals_[i].fitness.fitness > individuals_[best].fitness.fitness) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+size_t Population::BestByFMeasureIndex() const {
+  assert(!individuals_.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < individuals_.size(); ++i) {
+    if (individuals_[i].fitness.f_measure > individuals_[best].fitness.f_measure) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+double Population::MeanOperatorCount() const {
+  if (individuals_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& ind : individuals_) {
+    sum += static_cast<double>(ind.rule.OperatorCount());
+  }
+  return sum / static_cast<double>(individuals_.size());
+}
+
+const FitnessResult* FitnessCache::Find(uint64_t hash) const {
+  auto it = entries_.find(hash);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void FitnessCache::Insert(uint64_t hash, const FitnessResult& result) {
+  if (entries_.size() >= max_entries_) entries_.clear();
+  entries_[hash] = result;
+}
+
+void EvaluatePopulation(Population& population, const FitnessEvaluator& evaluator,
+                        ThreadPool* pool, FitnessCache* cache) {
+  // Resolve cache hits serially, collect misses.
+  std::vector<size_t> misses;
+  std::vector<uint64_t> miss_hashes;
+  for (size_t i = 0; i < population.size(); ++i) {
+    Individual& ind = population[i];
+    if (ind.evaluated) continue;
+    uint64_t hash = ind.rule.StructuralHash();
+    if (cache != nullptr) {
+      if (const FitnessResult* hit = cache->Find(hash)) {
+        ind.fitness = *hit;
+        ind.evaluated = true;
+        continue;
+      }
+    }
+    misses.push_back(i);
+    miss_hashes.push_back(hash);
+  }
+
+  auto evaluate_one = [&](size_t k) {
+    Individual& ind = population[misses[k]];
+    ind.fitness = evaluator.Evaluate(ind.rule);
+    ind.evaluated = true;
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(misses.size(), evaluate_one);
+  } else {
+    for (size_t k = 0; k < misses.size(); ++k) evaluate_one(k);
+  }
+
+  if (cache != nullptr) {
+    for (size_t k = 0; k < misses.size(); ++k) {
+      cache->Insert(miss_hashes[k], population[misses[k]].fitness);
+    }
+  }
+}
+
+}  // namespace genlink

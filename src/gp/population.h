@@ -1,0 +1,82 @@
+// Population of candidate linkage rules with cached fitness, plus the
+// parallel evaluation helper with structural-hash memoization.
+
+#ifndef GENLINK_GP_POPULATION_H_
+#define GENLINK_GP_POPULATION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "eval/fitness.h"
+#include "rule/linkage_rule.h"
+
+namespace genlink {
+
+/// One candidate solution.
+struct Individual {
+  LinkageRule rule;
+  FitnessResult fitness;
+  bool evaluated = false;
+};
+
+/// A generation of candidate rules.
+class Population {
+ public:
+  Population() = default;
+  explicit Population(std::vector<Individual> individuals)
+      : individuals_(std::move(individuals)) {}
+
+  size_t size() const { return individuals_.size(); }
+  bool empty() const { return individuals_.empty(); }
+
+  Individual& operator[](size_t i) { return individuals_[i]; }
+  const Individual& operator[](size_t i) const { return individuals_[i]; }
+
+  std::vector<Individual>& individuals() { return individuals_; }
+  const std::vector<Individual>& individuals() const { return individuals_; }
+
+  void Add(Individual individual) { individuals_.push_back(std::move(individual)); }
+
+  /// Index of the individual with the highest fitness. Requires a
+  /// non-empty, evaluated population.
+  size_t BestIndex() const;
+
+  /// Index of the individual with the highest training F-measure (used
+  /// for the stop condition and reporting).
+  size_t BestByFMeasureIndex() const;
+
+  /// Mean operator count across the population (bloat metric).
+  double MeanOperatorCount() const;
+
+ private:
+  std::vector<Individual> individuals_;
+};
+
+/// Memoizes fitness results by structural rule hash across generations.
+/// Rules with identical structure are only evaluated once.
+class FitnessCache {
+ public:
+  /// `max_entries` bounds memory; the cache is cleared when exceeded.
+  explicit FitnessCache(size_t max_entries = 1 << 18)
+      : max_entries_(max_entries) {}
+
+  const FitnessResult* Find(uint64_t hash) const;
+  void Insert(uint64_t hash, const FitnessResult& result);
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, FitnessResult> entries_;
+  size_t max_entries_;
+};
+
+/// Evaluates all unevaluated individuals with `evaluator`, using `pool`
+/// for parallelism (may be null) and `cache` for memoization (may be
+/// null).
+void EvaluatePopulation(Population& population, const FitnessEvaluator& evaluator,
+                        ThreadPool* pool, FitnessCache* cache);
+
+}  // namespace genlink
+
+#endif  // GENLINK_GP_POPULATION_H_

@@ -1,0 +1,21 @@
+#include "gp/selection.h"
+
+#include <cassert>
+
+namespace genlink {
+
+size_t TournamentSelect(const Population& population, size_t tournament_size,
+                        Rng& rng) {
+  assert(!population.empty());
+  if (tournament_size == 0) tournament_size = 1;
+  size_t best = rng.PickIndex(population.size());
+  for (size_t i = 1; i < tournament_size; ++i) {
+    size_t candidate = rng.PickIndex(population.size());
+    if (population[candidate].fitness.fitness > population[best].fitness.fitness) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace genlink

@@ -1,0 +1,20 @@
+// Tournament selection (Section 5.2 of the paper): draw `tournament_size`
+// individuals uniformly and return the fittest. Chosen by the paper for
+// its strong results across GP systems and easy parallelization.
+
+#ifndef GENLINK_GP_SELECTION_H_
+#define GENLINK_GP_SELECTION_H_
+
+#include "common/random.h"
+#include "gp/population.h"
+
+namespace genlink {
+
+/// Returns the index of the tournament winner. The population must be
+/// non-empty and evaluated.
+size_t TournamentSelect(const Population& population, size_t tournament_size,
+                        Rng& rng);
+
+}  // namespace genlink
+
+#endif  // GENLINK_GP_SELECTION_H_

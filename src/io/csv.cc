@@ -1,0 +1,169 @@
+#include "io/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace genlink {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
+                                                       char separator) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  size_t i = 0;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty() && !field_was_quoted) {
+      in_quotes = true;
+      field_was_quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == separator) {
+      end_field();
+      ++i;
+      continue;
+    }
+    if (c == '\r') {
+      if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      end_row();
+      ++i;
+      continue;
+    }
+    if (c == '\n') {
+      end_row();
+      ++i;
+      continue;
+    }
+    field.push_back(c);
+    ++i;
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted CSV field");
+  // Final row without trailing newline.
+  if (!field.empty() || !row.empty() || field_was_quoted) end_row();
+  return rows;
+}
+
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
+                     char separator) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(separator);
+      const std::string& f = row[i];
+      bool needs_quotes = f.find_first_of("\"\r\n") != std::string::npos ||
+                          f.find(separator) != std::string::npos;
+      if (needs_quotes) {
+        out.push_back('"');
+        for (char c : f) {
+          if (c == '"') out.push_back('"');
+          out.push_back(c);
+        }
+        out.push_back('"');
+      } else {
+        out += f;
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<Dataset> ReadCsvDataset(std::string_view text, std::string name,
+                               const CsvDatasetOptions& options) {
+  auto rows = ParseCsv(text, options.separator);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) return Status::ParseError("CSV input has no header row");
+
+  Dataset dataset(std::move(name));
+  const std::vector<std::string>& header = (*rows)[0];
+  int id_col = -1;
+  std::vector<int> prop_of_col(header.size(), -1);
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (!options.id_column.empty() && header[c] == options.id_column) {
+      id_col = static_cast<int>(c);
+      continue;
+    }
+    prop_of_col[c] = static_cast<int>(dataset.schema().AddProperty(header[c]));
+  }
+  if (!options.id_column.empty() && id_col < 0) {
+    return Status::NotFound("id column '" + options.id_column +
+                            "' not present in CSV header");
+  }
+
+  for (size_t r = 1; r < rows->size(); ++r) {
+    const auto& row = (*rows)[r];
+    std::string id = id_col >= 0 && static_cast<size_t>(id_col) < row.size()
+                         ? row[id_col]
+                         : "row" + std::to_string(r - 1);
+    Entity entity(std::move(id));
+    for (size_t c = 0; c < row.size() && c < header.size(); ++c) {
+      if (prop_of_col[c] < 0) continue;
+      const std::string& cell = row[c];
+      if (cell.empty()) continue;
+      if (!options.missing_marker.empty() && cell == options.missing_marker) {
+        continue;
+      }
+      PropertyId pid = static_cast<PropertyId>(prop_of_col[c]);
+      if (options.value_separator != '\0') {
+        for (auto& value : Split(cell, options.value_separator)) {
+          if (!value.empty()) entity.AddValue(pid, std::move(value));
+        }
+      } else {
+        entity.AddValue(pid, cell);
+      }
+    }
+    GENLINK_RETURN_IF_ERROR(dataset.AddEntity(std::move(entity)));
+  }
+  return dataset;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("error reading file: " + path);
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open file for writing: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::IoError("error writing file: " + path);
+  return Status::Ok();
+}
+
+}  // namespace genlink

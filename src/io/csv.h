@@ -1,0 +1,52 @@
+// RFC 4180-style CSV reading/writing and loading datasets from CSV
+// files (one row per entity, one column per property; a designated id
+// column).
+
+#ifndef GENLINK_IO_CSV_H_
+#define GENLINK_IO_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "model/dataset.h"
+
+namespace genlink {
+
+/// Parses CSV text into rows of fields. Handles quoted fields, embedded
+/// separators/newlines and doubled quotes. Rows keep ragged widths.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
+                                                       char separator = ',');
+
+/// Serializes rows to CSV, quoting fields when needed.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
+                     char separator = ',');
+
+/// Options for ReadCsvDataset.
+struct CsvDatasetOptions {
+  char separator = ',';
+  /// Name of the column holding entity ids; when empty, row numbers are
+  /// used ("row0", "row1", ...).
+  std::string id_column;
+  /// Values equal to this string are treated as missing.
+  std::string missing_marker;
+  /// When non-empty, multi-valued cells are split on this character
+  /// (e.g. '|').
+  char value_separator = '\0';
+};
+
+/// Loads a dataset from CSV text. The first row must be the header with
+/// property names.
+Result<Dataset> ReadCsvDataset(std::string_view text, std::string name,
+                               const CsvDatasetOptions& options = {});
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file, replacing its contents.
+Status WriteStringToFile(const std::string& path, std::string_view content);
+
+}  // namespace genlink
+
+#endif  // GENLINK_IO_CSV_H_

@@ -1,0 +1,83 @@
+#include "io/link_io.h"
+
+#include "common/string_util.h"
+#include "io/csv.h"
+#include "io/ntriples.h"
+
+namespace genlink {
+namespace {
+
+constexpr std::string_view kSameAsIri = "http://www.w3.org/2002/07/owl#sameAs";
+
+bool IsPositiveLabel(std::string_view label) {
+  return label == "1" || label == "true" || label == "+" || label == "positive";
+}
+
+}  // namespace
+
+Result<ReferenceLinkSet> ReadLinksCsv(std::string_view text, char separator) {
+  auto rows = ParseCsv(text, separator);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) return Status::ParseError("link CSV has no header");
+
+  ReferenceLinkSet links;
+  for (size_t r = 1; r < rows->size(); ++r) {
+    const auto& row = (*rows)[r];
+    if (row.size() < 2) {
+      return Status::ParseError("link CSV row " + std::to_string(r) +
+                                " has fewer than 2 columns");
+    }
+    bool positive = row.size() < 3 || IsPositiveLabel(row[2]);
+    if (positive) {
+      links.AddPositive(row[0], row[1]);
+    } else {
+      links.AddNegative(row[0], row[1]);
+    }
+  }
+  return links;
+}
+
+std::string WriteLinksCsv(const ReferenceLinkSet& links, char separator) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"id_a", "id_b", "label"});
+  for (const auto& link : links.positives()) {
+    rows.push_back({link.id_a, link.id_b, "1"});
+  }
+  for (const auto& link : links.negatives()) {
+    rows.push_back({link.id_a, link.id_b, "0"});
+  }
+  return WriteCsv(rows, separator);
+}
+
+Result<ReferenceLinkSet> ReadSameAsLinks(std::string_view text) {
+  ReferenceLinkSet links;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    std::string_view line = nl == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, nl - start);
+    start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    auto triple = ParseNTriplesLine(line);
+    if (!triple.ok()) {
+      if (triple.status().code() == StatusCode::kNotFound) continue;
+      return triple.status();
+    }
+    if (triple->predicate == kSameAsIri && triple->object_is_iri) {
+      links.AddPositive(triple->subject, triple->object);
+    }
+  }
+  return links;
+}
+
+std::string WriteSameAsLinks(const ReferenceLinkSet& links) {
+  std::string out;
+  for (const auto& link : links.positives()) {
+    out += "<" + link.id_a + "> <" + std::string(kSameAsIri) + "> <" + link.id_b +
+           "> .\n";
+  }
+  return out;
+}
+
+}  // namespace genlink

@@ -1,0 +1,32 @@
+// Reading/writing reference links: CSV (id_a,id_b,label) and N-Triples
+// owl:sameAs dumps.
+
+#ifndef GENLINK_IO_LINK_IO_H_
+#define GENLINK_IO_LINK_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "model/reference_links.h"
+
+namespace genlink {
+
+/// Reads links from CSV with columns id_a, id_b and optionally a label
+/// column ("1"/"true"/"+" = positive, anything else negative; links
+/// without a label column are all positive). A header row is expected.
+Result<ReferenceLinkSet> ReadLinksCsv(std::string_view text, char separator = ',');
+
+/// Serializes links to CSV with header "id_a,id_b,label".
+std::string WriteLinksCsv(const ReferenceLinkSet& links, char separator = ',');
+
+/// Reads positive links from N-Triples owl:sameAs statements
+/// (<a> <http://www.w3.org/2002/07/owl#sameAs> <b> .).
+Result<ReferenceLinkSet> ReadSameAsLinks(std::string_view text);
+
+/// Serializes positive links as owl:sameAs N-Triples.
+std::string WriteSameAsLinks(const ReferenceLinkSet& links);
+
+}  // namespace genlink
+
+#endif  // GENLINK_IO_LINK_IO_H_

@@ -1,0 +1,153 @@
+#include "io/ntriples.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace genlink {
+namespace {
+
+Status Malformed(std::string_view line, std::string_view why) {
+  return Status::ParseError("malformed N-Triples line (" + std::string(why) +
+                            "): " + std::string(line.substr(0, 120)));
+}
+
+/// Decodes the \-escapes permitted in N-Triples literals.
+std::string UnescapeLiteral(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c != '\\' || i + 1 >= text.size()) {
+      out.push_back(c);
+      continue;
+    }
+    char next = text[++i];
+    switch (next) {
+      case 'n': out.push_back('\n'); break;
+      case 't': out.push_back('\t'); break;
+      case 'r': out.push_back('\r'); break;
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      default:
+        out.push_back('\\');
+        out.push_back(next);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Triple> ParseNTriplesLine(std::string_view line) {
+  std::string_view t = TrimView(line);
+  if (t.empty() || t[0] == '#') {
+    return Status::NotFound("blank or comment line");
+  }
+
+  Triple triple;
+
+  // Subject.
+  if (t[0] != '<') return Malformed(line, "subject must be an IRI");
+  size_t end = t.find('>');
+  if (end == std::string_view::npos) return Malformed(line, "unterminated subject");
+  triple.subject = std::string(t.substr(1, end - 1));
+  t = TrimView(t.substr(end + 1));
+
+  // Predicate.
+  if (t.empty() || t[0] != '<') return Malformed(line, "predicate must be an IRI");
+  end = t.find('>');
+  if (end == std::string_view::npos) {
+    return Malformed(line, "unterminated predicate");
+  }
+  triple.predicate = std::string(t.substr(1, end - 1));
+  t = TrimView(t.substr(end + 1));
+
+  // Object: IRI or literal.
+  if (t.empty()) return Malformed(line, "missing object");
+  if (t[0] == '<') {
+    end = t.find('>');
+    if (end == std::string_view::npos) return Malformed(line, "unterminated object");
+    triple.object = std::string(t.substr(1, end - 1));
+    triple.object_is_iri = true;
+    t = TrimView(t.substr(end + 1));
+  } else if (t[0] == '"') {
+    // Find the closing unescaped quote.
+    size_t i = 1;
+    while (i < t.size()) {
+      if (t[i] == '\\') {
+        i += 2;
+        continue;
+      }
+      if (t[i] == '"') break;
+      ++i;
+    }
+    if (i >= t.size()) return Malformed(line, "unterminated literal");
+    triple.object = UnescapeLiteral(t.substr(1, i - 1));
+    t = TrimView(t.substr(i + 1));
+    // Skip optional language tag or datatype annotation.
+    if (!t.empty() && t[0] == '@') {
+      size_t sp = t.find_first_of(" \t");
+      t = sp == std::string_view::npos ? std::string_view{} : TrimView(t.substr(sp));
+    } else if (StartsWith(t, "^^")) {
+      size_t sp = t.find_first_of(" \t");
+      t = sp == std::string_view::npos ? std::string_view{} : TrimView(t.substr(sp));
+    }
+  } else {
+    return Malformed(line, "object must be an IRI or literal");
+  }
+
+  if (t.empty() || t[0] != '.') return Malformed(line, "missing final dot");
+  return triple;
+}
+
+std::string IriLocalName(std::string_view iri) {
+  size_t hash = iri.rfind('#');
+  if (hash != std::string_view::npos && hash + 1 < iri.size()) {
+    return std::string(iri.substr(hash + 1));
+  }
+  size_t slash = iri.rfind('/');
+  if (slash != std::string_view::npos && slash + 1 < iri.size()) {
+    return std::string(iri.substr(slash + 1));
+  }
+  return std::string(iri);
+}
+
+Result<Dataset> ReadNTriplesDataset(std::string_view text, std::string name,
+                                    const NTriplesOptions& options) {
+  Dataset dataset(std::move(name));
+  std::unordered_map<std::string, size_t> entity_index;
+  std::vector<Entity> entities;
+
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    std::string_view line = nl == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, nl - start);
+    start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    auto triple = ParseNTriplesLine(line);
+    if (!triple.ok()) {
+      if (triple.status().code() == StatusCode::kNotFound) continue;  // blank
+      return triple.status();
+    }
+    if (options.literals_only && triple->object_is_iri) continue;
+
+    std::string property = options.use_local_names
+                               ? IriLocalName(triple->predicate)
+                               : triple->predicate;
+    PropertyId pid = dataset.schema().AddProperty(property);
+
+    auto [it, inserted] = entity_index.emplace(triple->subject, entities.size());
+    if (inserted) entities.emplace_back(triple->subject);
+    entities[it->second].AddValue(pid, std::move(triple->object));
+  }
+
+  for (auto& entity : entities) {
+    GENLINK_RETURN_IF_ERROR(dataset.AddEntity(std::move(entity)));
+  }
+  return dataset;
+}
+
+}  // namespace genlink

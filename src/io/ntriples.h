@@ -1,0 +1,52 @@
+// A reader for a practical subset of the N-Triples RDF serialization,
+// sufficient for Linked Data dumps:
+//
+//   <subject> <predicate> "literal" .
+//   <subject> <predicate> <object> .
+//
+// Triples are grouped by subject into entities; the property name is the
+// local name (fragment or last path segment) of the predicate IRI.
+
+#ifndef GENLINK_IO_NTRIPLES_H_
+#define GENLINK_IO_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "model/dataset.h"
+
+namespace genlink {
+
+/// One parsed triple.
+struct Triple {
+  std::string subject;    // IRI (without angle brackets)
+  std::string predicate;  // IRI
+  std::string object;     // literal value or IRI
+  bool object_is_iri = false;
+};
+
+/// Parses a single N-Triples line. Returns NotFound for blank/comment
+/// lines (callers skip those) and ParseError for malformed input.
+Result<Triple> ParseNTriplesLine(std::string_view line);
+
+/// Returns the local name of an IRI: the fragment after '#' if present,
+/// else the last path segment.
+std::string IriLocalName(std::string_view iri);
+
+/// Options for ReadNTriplesDataset.
+struct NTriplesOptions {
+  /// Use the predicate's local name as the property name (default);
+  /// otherwise the full IRI is used.
+  bool use_local_names = true;
+  /// Skip triples whose object is an IRI (keep literals only) when true.
+  bool literals_only = false;
+};
+
+/// Loads all triples of `text` into a dataset (one entity per subject).
+Result<Dataset> ReadNTriplesDataset(std::string_view text, std::string name,
+                                    const NTriplesOptions& options = {});
+
+}  // namespace genlink
+
+#endif  // GENLINK_IO_NTRIPLES_H_

@@ -1,0 +1,95 @@
+#include "matcher/blocking.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/case_fold.h"
+#include "text/tokenizer.h"
+
+namespace genlink {
+namespace {
+
+void CollectPropertiesFromValue(const ValueOperator* op,
+                                std::unordered_set<std::string>& out) {
+  if (op == nullptr) return;
+  if (op->kind() == OperatorKind::kProperty) {
+    out.insert(static_cast<const PropertyOperator*>(op)->property());
+    return;
+  }
+  const auto* tf = static_cast<const TransformOperator*>(op);
+  for (const auto& input : tf->inputs()) {
+    CollectPropertiesFromValue(input.get(), out);
+  }
+}
+
+std::vector<std::string> CollectSideProperties(const LinkageRule& rule,
+                                               bool source_side) {
+  std::unordered_set<std::string> names;
+  for (const auto* cmp : CollectComparisons(rule)) {
+    CollectPropertiesFromValue(source_side ? cmp->source() : cmp->target(), names);
+  }
+  std::vector<std::string> out(names.begin(), names.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+TokenBlockingIndex::TokenBlockingIndex(const Dataset& dataset,
+                                       const std::vector<std::string>& properties)
+    : dataset_(&dataset) {
+  if (properties.empty()) {
+    for (PropertyId p = 0; p < dataset.schema().NumProperties(); ++p) {
+      indexed_properties_.push_back(p);
+    }
+  } else {
+    for (const auto& name : properties) {
+      if (auto id = dataset.schema().FindProperty(name)) {
+        indexed_properties_.push_back(*id);
+      }
+    }
+  }
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const Entity& entity = dataset.entity(i);
+    std::unordered_set<std::string> seen;
+    for (PropertyId p : indexed_properties_) {
+      for (const auto& value : entity.Values(p)) {
+        for (auto& token : TokenizeAlnum(ToLowerAscii(value))) {
+          if (seen.insert(token).second) {
+            index_[token].push_back(i);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<size_t> TokenBlockingIndex::Candidates(const Entity& entity,
+                                                   const Schema& schema) const {
+  std::unordered_set<size_t> candidates;
+  // Probe with the tokens of every property of the query entity; the
+  // source schema generally differs from the indexed one, so all
+  // properties are used.
+  for (PropertyId p = 0; p < schema.NumProperties(); ++p) {
+    for (const auto& value : entity.Values(p)) {
+      for (auto& token : TokenizeAlnum(ToLowerAscii(value))) {
+        auto it = index_.find(token);
+        if (it == index_.end()) continue;
+        candidates.insert(it->second.begin(), it->second.end());
+      }
+    }
+  }
+  std::vector<size_t> out(candidates.begin(), candidates.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> SourceProperties(const LinkageRule& rule) {
+  return CollectSideProperties(rule, /*source_side=*/true);
+}
+
+std::vector<std::string> TargetProperties(const LinkageRule& rule) {
+  return CollectSideProperties(rule, /*source_side=*/false);
+}
+
+}  // namespace genlink

@@ -1,0 +1,50 @@
+// Token-based blocking: indexes target entities by the lowercased tokens
+// of the properties a rule compares, so that rule execution over two
+// datasets evaluates only candidate pairs that share at least one token
+// instead of the full cross product. (The paper defers efficient
+// execution to [19]; this index is this library's implementation of that
+// substrate.)
+
+#ifndef GENLINK_MATCHER_BLOCKING_H_
+#define GENLINK_MATCHER_BLOCKING_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/dataset.h"
+#include "rule/linkage_rule.h"
+
+namespace genlink {
+
+/// Inverted index from token to entity indexes of the target dataset.
+class TokenBlockingIndex {
+ public:
+  /// Indexes `dataset` over the given properties (all properties when
+  /// empty). Tokens are lowercased alphanumeric runs.
+  TokenBlockingIndex(const Dataset& dataset,
+                     const std::vector<std::string>& properties = {});
+
+  /// Returns the indexes of candidate entities sharing at least one
+  /// token with `entity` (whose properties live in `schema`), restricted
+  /// to `properties` given at construction. Sorted, deduplicated.
+  std::vector<size_t> Candidates(const Entity& entity,
+                                 const Schema& schema) const;
+
+  /// Number of distinct tokens in the index.
+  size_t NumTokens() const { return index_.size(); }
+
+ private:
+  const Dataset* dataset_;
+  std::vector<PropertyId> indexed_properties_;  // in dataset_'s schema
+  std::unordered_map<std::string, std::vector<size_t>> index_;
+};
+
+/// Extracts the source-side / target-side property names a rule reads
+/// (from its property operators).
+std::vector<std::string> SourceProperties(const LinkageRule& rule);
+std::vector<std::string> TargetProperties(const LinkageRule& rule);
+
+}  // namespace genlink
+
+#endif  // GENLINK_MATCHER_BLOCKING_H_

@@ -1,0 +1,59 @@
+#include "matcher/matcher.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace genlink {
+
+std::vector<GeneratedLink> GenerateLinks(const LinkageRule& rule,
+                                         const Dataset& a, const Dataset& b,
+                                         const MatchOptions& options) {
+  std::vector<GeneratedLink> links;
+  std::mutex links_mutex;
+
+  std::unique_ptr<TokenBlockingIndex> index;
+  if (options.use_blocking) {
+    index = std::make_unique<TokenBlockingIndex>(b, TargetProperties(rule));
+  }
+
+  ThreadPool pool(options.num_threads);
+  pool.ParallelFor(a.size(), [&](size_t i) {
+    const Entity& ea = a.entity(i);
+    std::vector<GeneratedLink> local;
+    auto consider = [&](size_t j) {
+      const Entity& eb = b.entity(j);
+      if (&a == &b && ea.id() >= eb.id()) return;  // dedup: each pair once
+      double score = rule.Evaluate(ea, eb, a.schema(), b.schema());
+      if (score >= options.threshold) {
+        local.push_back({ea.id(), eb.id(), score});
+      }
+    };
+    if (index != nullptr) {
+      for (size_t j : index->Candidates(ea, a.schema())) consider(j);
+    } else {
+      for (size_t j = 0; j < b.size(); ++j) consider(j);
+    }
+    if (options.best_match_only && local.size() > 1) {
+      auto best = std::max_element(local.begin(), local.end(),
+                                   [](const auto& x, const auto& y) {
+                                     return x.score < y.score;
+                                   });
+      GeneratedLink keep = *best;
+      local.clear();
+      local.push_back(std::move(keep));
+    }
+    if (!local.empty()) {
+      std::lock_guard<std::mutex> lock(links_mutex);
+      for (auto& link : local) links.push_back(std::move(link));
+    }
+  });
+
+  std::sort(links.begin(), links.end(), [](const auto& x, const auto& y) {
+    if (x.score != y.score) return x.score > y.score;
+    if (x.id_a != y.id_a) return x.id_a < y.id_a;
+    return x.id_b < y.id_b;
+  });
+  return links;
+}
+
+}  // namespace genlink

@@ -1,0 +1,46 @@
+// Rule execution over whole datasets: generates the set of links
+// M_l = {(a,b) : l(a,b) >= 0.5} (Definition 3 of the paper), using token
+// blocking or the exhaustive cross product.
+
+#ifndef GENLINK_MATCHER_MATCHER_H_
+#define GENLINK_MATCHER_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "matcher/blocking.h"
+#include "model/dataset.h"
+#include "rule/linkage_rule.h"
+
+namespace genlink {
+
+/// A generated link with its similarity score.
+struct GeneratedLink {
+  std::string id_a;
+  std::string id_b;
+  double score = 0.0;
+};
+
+/// Options for link generation.
+struct MatchOptions {
+  /// Use the token blocking index (recommended); exhaustive cross
+  /// product otherwise.
+  bool use_blocking = true;
+  /// Minimum similarity for a link to be emitted.
+  double threshold = 0.5;
+  /// Keep only the best-scoring target per source entity when true.
+  bool best_match_only = false;
+  /// Worker threads (0 = hardware concurrency).
+  size_t num_threads = 0;
+};
+
+/// Executes `rule` over all pairs of `a` x `b` and returns the links
+/// whose similarity reaches the threshold, sorted by descending score.
+std::vector<GeneratedLink> GenerateLinks(const LinkageRule& rule,
+                                         const Dataset& a, const Dataset& b,
+                                         const MatchOptions& options = {});
+
+}  // namespace genlink
+
+#endif  // GENLINK_MATCHER_MATCHER_H_

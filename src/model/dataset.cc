@@ -1,0 +1,23 @@
+#include "model/dataset.h"
+
+namespace genlink {
+
+Status Dataset::AddEntity(Entity entity) {
+  if (entity.id().empty()) {
+    return Status::InvalidArgument("entity id must be non-empty");
+  }
+  auto [it, inserted] = index_by_id_.emplace(entity.id(), entities_.size());
+  if (!inserted) {
+    return Status::InvalidArgument("duplicate entity id: " + entity.id());
+  }
+  entities_.push_back(std::move(entity));
+  return Status::Ok();
+}
+
+const Entity* Dataset::FindEntity(std::string_view id) const {
+  auto it = index_by_id_.find(std::string(id));
+  if (it == index_by_id_.end()) return nullptr;
+  return &entities_[it->second];
+}
+
+}  // namespace genlink

@@ -1,0 +1,51 @@
+// Dataset: a schema plus a collection of entities with id-based lookup.
+
+#ifndef GENLINK_MODEL_DATASET_H_
+#define GENLINK_MODEL_DATASET_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "model/entity.h"
+#include "model/schema.h"
+
+namespace genlink {
+
+/// One data source (the paper's A or B).
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  Schema& schema() { return schema_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Adds an entity; its id must be unique within the dataset.
+  Status AddEntity(Entity entity);
+
+  size_t size() const { return entities_.size(); }
+  bool empty() const { return entities_.empty(); }
+
+  const Entity& entity(size_t index) const { return entities_[index]; }
+  Entity& mutable_entity(size_t index) { return entities_[index]; }
+  const std::vector<Entity>& entities() const { return entities_; }
+
+  /// Returns the entity with the given id, or nullptr.
+  const Entity* FindEntity(std::string_view id) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Entity> entities_;
+  std::unordered_map<std::string, size_t> index_by_id_;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_MODEL_DATASET_H_

@@ -1,0 +1,15 @@
+#include "model/entity.h"
+
+namespace genlink {
+
+void Entity::AddValue(PropertyId id, std::string value) {
+  if (id >= values_.size()) values_.resize(id + 1);
+  values_[id].push_back(std::move(value));
+}
+
+void Entity::SetValues(PropertyId id, ValueSet values) {
+  if (id >= values_.size()) values_.resize(id + 1);
+  values_[id] = std::move(values);
+}
+
+}  // namespace genlink

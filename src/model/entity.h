@@ -1,0 +1,55 @@
+// Entity: a record described by a set of multi-valued properties
+// (Section 2 of the paper). Values are stored densely indexed by the
+// owning dataset's schema.
+
+#ifndef GENLINK_MODEL_ENTITY_H_
+#define GENLINK_MODEL_ENTITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/schema.h"
+#include "model/value.h"
+
+namespace genlink {
+
+/// A single entity (RDF resource / database record).
+class Entity {
+ public:
+  Entity() = default;
+  explicit Entity(std::string id) : id_(std::move(id)) {}
+
+  const std::string& id() const { return id_; }
+  void set_id(std::string id) { id_ = std::move(id); }
+
+  /// Returns the values of property `id`; empty set when unset. Safe for
+  /// ids beyond the stored width (sparse entities).
+  const ValueSet& Values(PropertyId id) const {
+    static const ValueSet kEmpty;
+    if (id >= values_.size()) return kEmpty;
+    return values_[id];
+  }
+
+  /// Appends a value for property `id`, growing storage as needed.
+  void AddValue(PropertyId id, std::string value);
+
+  /// Replaces all values of property `id`.
+  void SetValues(PropertyId id, ValueSet values);
+
+  /// True if the property has at least one value.
+  bool HasProperty(PropertyId id) const {
+    return id < values_.size() && !values_[id].empty();
+  }
+
+  /// Number of property slots allocated (upper bound on set properties).
+  size_t NumPropertySlots() const { return values_.size(); }
+
+ private:
+  std::string id_;
+  std::vector<ValueSet> values_;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_MODEL_ENTITY_H_

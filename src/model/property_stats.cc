@@ -1,0 +1,39 @@
+#include "model/property_stats.h"
+
+namespace genlink {
+
+double PropertyStats::MeanCoverage() const {
+  if (coverage.empty()) return 0.0;
+  double sum = 0.0;
+  for (double c : coverage) sum += c;
+  return sum / static_cast<double>(coverage.size());
+}
+
+PropertyStats ComputePropertyStats(const Dataset& dataset) {
+  PropertyStats stats;
+  size_t num_props = dataset.schema().NumProperties();
+  stats.coverage.assign(num_props, 0.0);
+  stats.mean_values.assign(num_props, 0.0);
+  if (dataset.empty() || num_props == 0) return stats;
+
+  std::vector<size_t> present(num_props, 0);
+  std::vector<size_t> value_count(num_props, 0);
+  for (const Entity& e : dataset.entities()) {
+    for (PropertyId p = 0; p < num_props; ++p) {
+      const ValueSet& values = e.Values(p);
+      if (!values.empty()) {
+        ++present[p];
+        value_count[p] += values.size();
+      }
+    }
+  }
+  for (PropertyId p = 0; p < num_props; ++p) {
+    stats.coverage[p] = static_cast<double>(present[p]) / dataset.size();
+    stats.mean_values[p] =
+        present[p] == 0 ? 0.0
+                        : static_cast<double>(value_count[p]) / present[p];
+  }
+  return stats;
+}
+
+}  // namespace genlink

@@ -1,0 +1,30 @@
+// Property statistics: coverage (fraction of entities with a value per
+// property), as reported by Table 6 of the paper.
+
+#ifndef GENLINK_MODEL_PROPERTY_STATS_H_
+#define GENLINK_MODEL_PROPERTY_STATS_H_
+
+#include <vector>
+
+#include "model/dataset.h"
+
+namespace genlink {
+
+/// Per-property coverage statistics of one dataset.
+struct PropertyStats {
+  /// coverage[p] = fraction of entities that have >= 1 value for p.
+  std::vector<double> coverage;
+  /// mean_values[p] = average number of values among entities that have p.
+  std::vector<double> mean_values;
+
+  /// Mean of `coverage` over all properties (the C_A / C_B numbers of
+  /// Table 6).
+  double MeanCoverage() const;
+};
+
+/// Computes coverage statistics over all entities of `dataset`.
+PropertyStats ComputePropertyStats(const Dataset& dataset);
+
+}  // namespace genlink
+
+#endif  // GENLINK_MODEL_PROPERTY_STATS_H_

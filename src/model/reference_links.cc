@@ -1,0 +1,95 @@
+#include "model/reference_links.h"
+
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace genlink {
+namespace {
+
+uint64_t LinkKey(const std::string& a, const std::string& b) {
+  return HashCombine(HashBytes(a), HashBytes(b));
+}
+
+}  // namespace
+
+void ReferenceLinkSet::GenerateNegativesFromPositives(Rng& rng, size_t count) {
+  if (positives_.size() < 2) return;
+  if (count == 0) count = positives_.size();
+
+  std::unordered_set<uint64_t> taken;
+  taken.reserve(positives_.size() + count);
+  for (const auto& link : positives_) taken.insert(LinkKey(link.id_a, link.id_b));
+
+  // The paper pairs up positives (a,b), (c,d) and emits (a,d), (c,b); we
+  // draw the pairings at random and keep deduplicating until the target
+  // count is reached (or no progress can be made).
+  size_t stale = 0;
+  while (negatives_.size() < count && stale < 50 * count + 100) {
+    const ReferenceLink& first = positives_[rng.PickIndex(positives_.size())];
+    const ReferenceLink& second = positives_[rng.PickIndex(positives_.size())];
+    if (first.id_a == second.id_a || first.id_b == second.id_b) {
+      ++stale;
+      continue;
+    }
+    uint64_t key = LinkKey(first.id_a, second.id_b);
+    if (!taken.insert(key).second) {
+      ++stale;
+      continue;
+    }
+    negatives_.push_back({first.id_a, second.id_b});
+    stale = 0;
+  }
+}
+
+Result<std::vector<LabeledPair>> ReferenceLinkSet::Resolve(const Dataset& a,
+                                                           const Dataset& b) const {
+  std::vector<LabeledPair> pairs;
+  pairs.reserve(size());
+  auto resolve_side = [&](const std::vector<ReferenceLink>& links,
+                          bool is_match) -> Status {
+    for (const auto& link : links) {
+      const Entity* ea = a.FindEntity(link.id_a);
+      if (ea == nullptr) {
+        return Status::NotFound("entity not in source dataset: " + link.id_a);
+      }
+      const Entity* eb = b.FindEntity(link.id_b);
+      if (eb == nullptr) {
+        return Status::NotFound("entity not in target dataset: " + link.id_b);
+      }
+      pairs.push_back({ea, eb, is_match});
+    }
+    return Status::Ok();
+  };
+  Status s = resolve_side(positives_, true);
+  if (!s.ok()) return s;
+  s = resolve_side(negatives_, false);
+  if (!s.ok()) return s;
+  return pairs;
+}
+
+std::vector<ReferenceLinkSet> ReferenceLinkSet::SplitFolds(size_t num_folds,
+                                                           Rng& rng) const {
+  std::vector<ReferenceLinkSet> folds(num_folds == 0 ? 1 : num_folds);
+  auto deal = [&](std::vector<ReferenceLink> links, bool positive) {
+    rng.Shuffle(links);
+    for (size_t i = 0; i < links.size(); ++i) {
+      auto& fold = folds[i % folds.size()];
+      if (positive) {
+        fold.AddPositive(links[i].id_a, links[i].id_b);
+      } else {
+        fold.AddNegative(links[i].id_a, links[i].id_b);
+      }
+    }
+  };
+  deal(positives_, true);
+  deal(negatives_, false);
+  return folds;
+}
+
+void ReferenceLinkSet::Merge(const ReferenceLinkSet& other) {
+  positives_.insert(positives_.end(), other.positives_.begin(), other.positives_.end());
+  negatives_.insert(negatives_.end(), other.negatives_.begin(), other.negatives_.end());
+}
+
+}  // namespace genlink

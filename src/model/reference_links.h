@@ -1,0 +1,76 @@
+// Reference links (Definition 2 of the paper): known matching pairs R+
+// and known non-matching pairs R-.
+
+#ifndef GENLINK_MODEL_REFERENCE_LINKS_H_
+#define GENLINK_MODEL_REFERENCE_LINKS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "model/dataset.h"
+
+namespace genlink {
+
+/// An assertion that entity `id_a` (in A) and `id_b` (in B) do / do not
+/// refer to the same real-world object.
+struct ReferenceLink {
+  std::string id_a;
+  std::string id_b;
+
+  bool operator==(const ReferenceLink&) const = default;
+};
+
+/// A pair of entities resolved to their records, labelled with the ground
+/// truth. This is the unit the fitness function consumes.
+struct LabeledPair {
+  const Entity* a = nullptr;
+  const Entity* b = nullptr;
+  bool is_match = false;
+};
+
+/// The set of positive and negative reference links for a matching task.
+class ReferenceLinkSet {
+ public:
+  ReferenceLinkSet() = default;
+
+  void AddPositive(std::string id_a, std::string id_b) {
+    positives_.push_back({std::move(id_a), std::move(id_b)});
+  }
+  void AddNegative(std::string id_a, std::string id_b) {
+    negatives_.push_back({std::move(id_a), std::move(id_b)});
+  }
+
+  const std::vector<ReferenceLink>& positives() const { return positives_; }
+  const std::vector<ReferenceLink>& negatives() const { return negatives_; }
+  size_t size() const { return positives_.size() + negatives_.size(); }
+
+  /// Generates negative links from the positives using the paper's
+  /// scheme: for positives (a,b) and (c,d), emit (a,d) and (c,b). Sound
+  /// when entities within each source are internally unique. Produces
+  /// `count` negatives (default: as many as there are positives), skipping
+  /// candidates that coincide with a positive.
+  void GenerateNegativesFromPositives(Rng& rng, size_t count = 0);
+
+  /// Resolves the links against the datasets. Fails with NotFound if a
+  /// referenced entity is missing.
+  Result<std::vector<LabeledPair>> Resolve(const Dataset& a, const Dataset& b) const;
+
+  /// Splits all resolved pairs into `num_folds` folds of near-equal size
+  /// after shuffling (the paper uses 2-fold cross-validation). Positives
+  /// and negatives are split independently so folds stay balanced.
+  std::vector<ReferenceLinkSet> SplitFolds(size_t num_folds, Rng& rng) const;
+
+  /// Merges the links of `other` into this set.
+  void Merge(const ReferenceLinkSet& other);
+
+ private:
+  std::vector<ReferenceLink> positives_;
+  std::vector<ReferenceLink> negatives_;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_MODEL_REFERENCE_LINKS_H_

@@ -1,0 +1,24 @@
+#include "model/schema.h"
+
+namespace genlink {
+
+Schema::Schema(const std::vector<std::string>& property_names) {
+  for (const auto& name : property_names) AddProperty(name);
+}
+
+PropertyId Schema::AddProperty(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  PropertyId id = static_cast<PropertyId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<PropertyId> Schema::FindProperty(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace genlink

@@ -1,0 +1,51 @@
+// Schema: the ordered set of property names of a data source.
+//
+// The two data sources being matched may adhere to different schemata
+// (Section 1 of the paper); property operators store property *names*
+// which are resolved against the schema of the side they read from.
+
+#ifndef GENLINK_MODEL_SCHEMA_H_
+#define GENLINK_MODEL_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace genlink {
+
+/// Identifier of a property within one schema (dense, 0-based).
+using PropertyId = uint32_t;
+
+/// An immutable-after-construction mapping between property names and
+/// dense ids.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Constructs a schema from an ordered list of property names.
+  /// Duplicate names collapse to the first occurrence.
+  explicit Schema(const std::vector<std::string>& property_names);
+
+  /// Adds a property if absent; returns its id either way.
+  PropertyId AddProperty(std::string_view name);
+
+  /// Returns the id of `name`, or nullopt if the property is unknown.
+  std::optional<PropertyId> FindProperty(std::string_view name) const;
+
+  /// Returns the name of property `id`. `id` must be valid.
+  const std::string& PropertyName(PropertyId id) const { return names_[id]; }
+
+  size_t NumProperties() const { return names_.size(); }
+  const std::vector<std::string>& property_names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, PropertyId> ids_;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_MODEL_SCHEMA_H_

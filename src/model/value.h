@@ -1,0 +1,21 @@
+// The value vocabulary of the linkage-rule semantics (Section 3 of the
+// paper): value operators map an entity to a (possibly empty) *set* of
+// string values, denoted Σ in the paper.
+
+#ifndef GENLINK_MODEL_VALUE_H_
+#define GENLINK_MODEL_VALUE_H_
+
+#include <string>
+#include <vector>
+
+namespace genlink {
+
+/// A (possibly empty) set of property values. Represented as a vector:
+/// order is preserved for transformations such as `concatenate`, and
+/// duplicates are allowed (set semantics are applied by the measures that
+/// need them, e.g. Jaccard).
+using ValueSet = std::vector<std::string>;
+
+}  // namespace genlink
+
+#endif  // GENLINK_MODEL_VALUE_H_

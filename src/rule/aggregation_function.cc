@@ -1,0 +1,55 @@
+#include "rule/aggregation_function.h"
+
+#include <algorithm>
+
+namespace genlink {
+
+double MinAggregation::Aggregate(std::span<const double> scores,
+                                 std::span<const double>) const {
+  double best = 1.0;
+  for (double s : scores) best = std::min(best, s);
+  return best;
+}
+
+double MaxAggregation::Aggregate(std::span<const double> scores,
+                                 std::span<const double>) const {
+  double best = 0.0;
+  for (double s : scores) best = std::max(best, s);
+  return best;
+}
+
+double WeightedMeanAggregation::Aggregate(std::span<const double> scores,
+                                          std::span<const double> weights) const {
+  double sum = 0.0;
+  double weight_sum = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    sum += weights[i] * scores[i];
+    weight_sum += weights[i];
+  }
+  if (weight_sum <= 0.0) return 0.0;
+  return sum / weight_sum;
+}
+
+AggregationRegistry::AggregationRegistry() {
+  auto add = [this](std::unique_ptr<AggregationFunction> fn) {
+    views_.push_back(fn.get());
+    functions_.push_back(std::move(fn));
+  };
+  add(std::make_unique<MinAggregation>());
+  add(std::make_unique<MaxAggregation>());
+  add(std::make_unique<WeightedMeanAggregation>());
+}
+
+const AggregationRegistry& AggregationRegistry::Default() {
+  static const AggregationRegistry* registry = new AggregationRegistry();
+  return *registry;
+}
+
+const AggregationFunction* AggregationRegistry::Find(std::string_view name) const {
+  for (const auto* fn : views_) {
+    if (fn->name() == name) return fn;
+  }
+  return nullptr;
+}
+
+}  // namespace genlink

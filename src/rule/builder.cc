@@ -1,0 +1,139 @@
+#include "rule/builder.h"
+
+#include "distance/registry.h"
+#include "transform/registry.h"
+
+namespace genlink {
+
+// ----------------------------------------------------------------- ValueExpr
+
+ValueExpr ValueExpr::Property(std::string name) {
+  ValueExpr expr;
+  expr.op_ = std::make_unique<PropertyOperator>(std::move(name));
+  return expr;
+}
+
+ValueExpr ValueExpr::Transform(std::string_view transform_name) && {
+  if (!status_.ok()) return std::move(*this);
+  const Transformation* fn = TransformRegistry::Default().Find(transform_name);
+  if (fn == nullptr) {
+    status_ = Status::NotFound("unknown transformation '" +
+                               std::string(transform_name) + "'");
+    return std::move(*this);
+  }
+  if (fn->arity() != 1) {
+    status_ = Status::InvalidArgument("transformation '" +
+                                      std::string(transform_name) +
+                                      "' is not unary; use Concat()");
+    return std::move(*this);
+  }
+  std::vector<std::unique_ptr<ValueOperator>> inputs;
+  inputs.push_back(std::move(op_));
+  op_ = std::make_unique<TransformOperator>(fn, std::move(inputs));
+  return std::move(*this);
+}
+
+ValueExpr ValueExpr::Concat(ValueExpr other) && {
+  if (!status_.ok()) return std::move(*this);
+  if (!other.status_.ok()) {
+    status_ = other.status_;
+    return std::move(*this);
+  }
+  const Transformation* fn = TransformRegistry::Default().Find("concatenate");
+  std::vector<std::unique_ptr<ValueOperator>> inputs;
+  inputs.push_back(std::move(op_));
+  inputs.push_back(std::move(other.op_));
+  op_ = std::make_unique<TransformOperator>(fn, std::move(inputs));
+  return std::move(*this);
+}
+
+std::unique_ptr<ValueOperator> ValueExpr::Release(Status* status) && {
+  if (!status_.ok() && status != nullptr && status->ok()) *status = status_;
+  return std::move(op_);
+}
+
+// ---------------------------------------------------------------- RuleBuilder
+
+void RuleBuilder::RecordError(Status status) {
+  if (status_.ok()) status_ = std::move(status);
+}
+
+RuleBuilder& RuleBuilder::Aggregate(std::string_view function_name, double weight) {
+  const AggregationFunction* fn =
+      AggregationRegistry::Default().Find(function_name);
+  if (fn == nullptr) {
+    RecordError(Status::NotFound("unknown aggregation '" +
+                                 std::string(function_name) + "'"));
+    fn = AggregationRegistry::Default().Find("min");  // keeps builder usable
+  }
+  stack_.push_back(OpenAggregation{fn, weight, {}});
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::End() {
+  if (stack_.empty()) {
+    RecordError(Status::FailedPrecondition("End() without open aggregation"));
+    return *this;
+  }
+  OpenAggregation open = std::move(stack_.back());
+  stack_.pop_back();
+  if (open.operands.empty()) {
+    RecordError(Status::InvalidArgument("aggregation with no operands"));
+    return *this;
+  }
+  auto agg = std::make_unique<AggregationOperator>(open.function,
+                                                   std::move(open.operands));
+  agg->set_weight(open.weight);
+  AddSimilarity(std::move(agg));
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::Compare(std::string_view measure_name, double threshold,
+                                  ValueExpr source, ValueExpr target,
+                                  double weight) {
+  const DistanceMeasure* measure = DistanceRegistry::Default().Find(measure_name);
+  if (measure == nullptr) {
+    RecordError(Status::NotFound("unknown distance measure '" +
+                                 std::string(measure_name) + "'"));
+    return *this;
+  }
+  auto source_op = std::move(source).Release(&status_);
+  auto target_op = std::move(target).Release(&status_);
+  if (source_op == nullptr || target_op == nullptr) {
+    RecordError(Status::InvalidArgument("comparison with missing value operator"));
+    return *this;
+  }
+  auto cmp = std::make_unique<ComparisonOperator>(
+      std::move(source_op), std::move(target_op), measure, threshold);
+  cmp->set_weight(weight);
+  AddSimilarity(std::move(cmp));
+  return *this;
+}
+
+void RuleBuilder::AddSimilarity(std::unique_ptr<SimilarityOperator> op) {
+  if (!stack_.empty()) {
+    stack_.back().operands.push_back(std::move(op));
+    return;
+  }
+  if (root_ != nullptr) {
+    RecordError(Status::FailedPrecondition(
+        "multiple root operators; wrap them in an aggregation"));
+    return;
+  }
+  root_ = std::move(op);
+}
+
+Result<LinkageRule> RuleBuilder::Build() {
+  if (!status_.ok()) return status_;
+  if (!stack_.empty()) {
+    return Status::FailedPrecondition("unclosed aggregation: missing End()");
+  }
+  if (root_ == nullptr) {
+    return Status::FailedPrecondition("empty rule: nothing was added");
+  }
+  LinkageRule rule(std::move(root_));
+  GENLINK_RETURN_IF_ERROR(rule.Validate());
+  return rule;
+}
+
+}  // namespace genlink

@@ -1,0 +1,104 @@
+// A small fluent API for writing linkage rules by hand, used by the
+// examples and tests:
+//
+//   LinkageRule rule = RuleBuilder()
+//       .Aggregate("min")
+//         .Compare("levenshtein", /*threshold=*/1.0,
+//                  Prop("label").Lower(), Prop("label"))
+//         .Compare("geographic", 50.0, Prop("point"), Prop("coord"))
+//       .Build();
+//
+// Builder functions resolve function names against the default
+// registries. Unknown names are programming errors: the builder records
+// them and Build() returns an error status through RuleBuilder::status().
+
+#ifndef GENLINK_RULE_BUILDER_H_
+#define GENLINK_RULE_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "rule/linkage_rule.h"
+
+namespace genlink {
+
+/// Value-operator expression under construction.
+class ValueExpr {
+ public:
+  /// Reads property `name`.
+  static ValueExpr Property(std::string name);
+
+  /// Wraps this expression in a unary transformation by name.
+  ValueExpr Transform(std::string_view transform_name) &&;
+
+  /// Convenience shortcuts for common transformations.
+  ValueExpr Lower() && { return std::move(*this).Transform("lowerCase"); }
+  ValueExpr Tokenize() && { return std::move(*this).Transform("tokenize"); }
+  ValueExpr StripUriPrefix() && {
+    return std::move(*this).Transform("stripUriPrefix");
+  }
+  ValueExpr Stem() && { return std::move(*this).Transform("stem"); }
+
+  /// Concatenates this expression with `other` ("concatenate" transform).
+  ValueExpr Concat(ValueExpr other) &&;
+
+  /// Releases the built operator (nullptr + error status on failure).
+  std::unique_ptr<ValueOperator> Release(Status* status) &&;
+
+ private:
+  ValueExpr() = default;
+
+  std::unique_ptr<ValueOperator> op_;
+  Status status_;
+};
+
+/// Shorthand for ValueExpr::Property.
+inline ValueExpr Prop(std::string name) {
+  return ValueExpr::Property(std::move(name));
+}
+
+/// Builds a linkage rule as a tree of aggregations and comparisons.
+class RuleBuilder {
+ public:
+  RuleBuilder() = default;
+
+  /// Opens an aggregation scope; subsequent Compare()/Aggregate() calls
+  /// add children until the matching End().
+  RuleBuilder& Aggregate(std::string_view function_name, double weight = 1.0);
+
+  /// Closes the innermost aggregation scope.
+  RuleBuilder& End();
+
+  /// Adds a comparison to the current scope (or sets it as the root when
+  /// no aggregation is open).
+  RuleBuilder& Compare(std::string_view measure_name, double threshold,
+                       ValueExpr source, ValueExpr target, double weight = 1.0);
+
+  /// First error encountered while building, if any.
+  const Status& status() const { return status_; }
+
+  /// Finalizes the rule. Returns an error if the structure is invalid or
+  /// any name failed to resolve.
+  Result<LinkageRule> Build();
+
+ private:
+  void AddSimilarity(std::unique_ptr<SimilarityOperator> op);
+  void RecordError(Status status);
+
+  struct OpenAggregation {
+    const AggregationFunction* function;
+    double weight;
+    std::vector<std::unique_ptr<SimilarityOperator>> operands;
+  };
+
+  std::vector<OpenAggregation> stack_;
+  std::unique_ptr<SimilarityOperator> root_;
+  Status status_;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_RULE_BUILDER_H_

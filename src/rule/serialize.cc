@@ -1,0 +1,94 @@
+#include "rule/serialize.h"
+
+#include "common/string_util.h"
+
+namespace genlink {
+namespace {
+
+std::string QuoteString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void Indent(std::string& out, int depth, bool pretty) {
+  if (!pretty) {
+    out.push_back(' ');
+    return;
+  }
+  out.push_back('\n');
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+void WriteValue(const ValueOperator* op, std::string& out, int depth, bool pretty);
+
+void WriteValueChildren(const std::vector<std::unique_ptr<ValueOperator>>& inputs,
+                        std::string& out, int depth, bool pretty) {
+  for (const auto& input : inputs) {
+    Indent(out, depth, pretty);
+    WriteValue(input.get(), out, depth, pretty);
+  }
+}
+
+void WriteValue(const ValueOperator* op, std::string& out, int depth, bool pretty) {
+  if (op->kind() == OperatorKind::kProperty) {
+    const auto* prop = static_cast<const PropertyOperator*>(op);
+    out += "(property ";
+    out += QuoteString(prop->property());
+    out += ")";
+    return;
+  }
+  const auto* tf = static_cast<const TransformOperator*>(op);
+  out += "(transform ";
+  out += tf->function()->name();
+  WriteValueChildren(tf->inputs(), out, depth + 1, pretty);
+  out += ")";
+}
+
+void WriteSimilarity(const SimilarityOperator* op, std::string& out, int depth,
+                     bool pretty) {
+  if (op->kind() == OperatorKind::kComparison) {
+    const auto* cmp = static_cast<const ComparisonOperator*>(op);
+    out += "(compare ";
+    out += cmp->measure()->name();
+    out += " :t ";
+    out += FormatDoubleExact(cmp->threshold());
+    out += " :w ";
+    out += FormatDoubleExact(cmp->weight());
+    Indent(out, depth + 1, pretty);
+    WriteValue(cmp->source(), out, depth + 1, pretty);
+    Indent(out, depth + 1, pretty);
+    WriteValue(cmp->target(), out, depth + 1, pretty);
+    out += ")";
+    return;
+  }
+  const auto* agg = static_cast<const AggregationOperator*>(op);
+  out += "(aggregate ";
+  out += agg->function()->name();
+  out += " :w ";
+  out += FormatDoubleExact(agg->weight());
+  for (const auto& child : agg->operands()) {
+    Indent(out, depth + 1, pretty);
+    WriteSimilarity(child.get(), out, depth + 1, pretty);
+  }
+  out += ")";
+}
+
+std::string Render(const LinkageRule& rule, bool pretty) {
+  if (rule.empty()) return "(empty)";
+  std::string out;
+  WriteSimilarity(rule.root(), out, 0, pretty);
+  return out;
+}
+
+}  // namespace
+
+std::string ToSexpr(const LinkageRule& rule) { return Render(rule, false); }
+
+std::string ToPrettySexpr(const LinkageRule& rule) { return Render(rule, true); }
+
+}  // namespace genlink

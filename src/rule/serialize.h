@@ -1,0 +1,29 @@
+// Serialization of linkage rules to a human-readable s-expression form.
+// The format round-trips through rule/parse.h and is what the paper's
+// Figures 2, 7 and 8 correspond to in this implementation:
+//
+//   (aggregate min :w 1
+//     (compare levenshtein :t 1 :w 1
+//       (transform lowerCase (property "label"))
+//       (property "label"))
+//     (compare geographic :t 50 :w 1
+//       (property "point") (property "coord")))
+
+#ifndef GENLINK_RULE_SERIALIZE_H_
+#define GENLINK_RULE_SERIALIZE_H_
+
+#include <string>
+
+#include "rule/linkage_rule.h"
+
+namespace genlink {
+
+/// Renders the rule as a single-line s-expression.
+std::string ToSexpr(const LinkageRule& rule);
+
+/// Renders the rule as an indented, multi-line s-expression.
+std::string ToPrettySexpr(const LinkageRule& rule);
+
+}  // namespace genlink
+
+#endif  // GENLINK_RULE_SERIALIZE_H_

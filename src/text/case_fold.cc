@@ -1,0 +1,42 @@
+#include "text/case_fold.h"
+
+#include <cctype>
+
+namespace genlink {
+
+std::string ToLowerAscii(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string ToUpperAscii(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string StripPunctuation(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (!std::ispunct(static_cast<unsigned char>(c))) out.push_back(c);
+  }
+  return out;
+}
+
+bool IsAsciiDigits(std::string_view text) {
+  if (text.empty()) return false;
+  for (char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace genlink

@@ -1,0 +1,25 @@
+// ASCII case folding and punctuation stripping.
+
+#ifndef GENLINK_TEXT_CASE_FOLD_H_
+#define GENLINK_TEXT_CASE_FOLD_H_
+
+#include <string>
+#include <string_view>
+
+namespace genlink {
+
+/// Lowercases ASCII letters; other bytes pass through unchanged.
+std::string ToLowerAscii(std::string_view text);
+
+/// Uppercases ASCII letters; other bytes pass through unchanged.
+std::string ToUpperAscii(std::string_view text);
+
+/// Removes ASCII punctuation characters.
+std::string StripPunctuation(std::string_view text);
+
+/// True if the string contains only ASCII digits (and is non-empty).
+bool IsAsciiDigits(std::string_view text);
+
+}  // namespace genlink
+
+#endif  // GENLINK_TEXT_CASE_FOLD_H_

@@ -1,0 +1,29 @@
+#include "text/ngram.h"
+
+namespace genlink {
+
+std::vector<std::string> CharNgrams(std::string_view text, size_t n) {
+  std::vector<std::string> grams;
+  if (text.empty() || n == 0) return grams;
+  if (text.size() <= n) {
+    grams.emplace_back(text);
+    return grams;
+  }
+  grams.reserve(text.size() - n + 1);
+  for (size_t i = 0; i + n <= text.size(); ++i) {
+    grams.emplace_back(text.substr(i, n));
+  }
+  return grams;
+}
+
+std::vector<std::string> PaddedCharNgrams(std::string_view text, size_t n, char pad) {
+  if (text.empty() || n == 0) return {};
+  std::string padded;
+  padded.reserve(text.size() + 2 * (n - 1));
+  padded.append(n - 1, pad);
+  padded.append(text);
+  padded.append(n - 1, pad);
+  return CharNgrams(padded, n);
+}
+
+}  // namespace genlink

@@ -1,0 +1,26 @@
+// Character n-grams, used by the q-gram based blocking index and the
+// cosine distance measure.
+
+#ifndef GENLINK_TEXT_NGRAM_H_
+#define GENLINK_TEXT_NGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace genlink {
+
+/// Returns all contiguous character n-grams of `text`. Strings shorter
+/// than `n` yield a single gram equal to the whole string (if non-empty).
+std::vector<std::string> CharNgrams(std::string_view text, size_t n);
+
+/// Like CharNgrams but pads with `pad` on both sides first, so boundary
+/// characters participate in `n` grams each ("##ab", padding "#", n=2 ->
+/// {"#a","ab","b#"}).
+std::vector<std::string> PaddedCharNgrams(std::string_view text, size_t n,
+                                          char pad = '#');
+
+}  // namespace genlink
+
+#endif  // GENLINK_TEXT_NGRAM_H_

@@ -1,0 +1,208 @@
+#include "text/porter_stemmer.h"
+
+#include <cctype>
+
+namespace genlink {
+namespace {
+
+// The implementation follows the original 1980 paper structure: steps
+// 1a/1b/1c, 2, 3, 4, 5a/5b operating on a mutable buffer.
+
+bool IsVowelAt(const std::string& w, size_t i) {
+  char c = w[i];
+  if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') return true;
+  // 'y' is a vowel when preceded by a consonant.
+  if (c == 'y') return i > 0 && !IsVowelAt(w, i - 1);
+  return false;
+}
+
+// Measure m: number of VC sequences in w[0..end).
+int Measure(const std::string& w, size_t end) {
+  int m = 0;
+  size_t i = 0;
+  // Skip initial consonants.
+  while (i < end && !IsVowelAt(w, i)) ++i;
+  while (i < end) {
+    // Inside a V run.
+    while (i < end && IsVowelAt(w, i)) ++i;
+    if (i >= end) break;
+    // A C run after a V run -> one VC.
+    ++m;
+    while (i < end && !IsVowelAt(w, i)) ++i;
+  }
+  return m;
+}
+
+bool ContainsVowel(const std::string& w, size_t end) {
+  for (size_t i = 0; i < end; ++i) {
+    if (IsVowelAt(w, i)) return true;
+  }
+  return false;
+}
+
+bool EndsWithDoubleConsonant(const std::string& w) {
+  size_t n = w.size();
+  return n >= 2 && w[n - 1] == w[n - 2] && !IsVowelAt(w, n - 1);
+}
+
+// *o: stem ends cvc where the final c is not w, x or y.
+bool EndsCvc(const std::string& w) {
+  size_t n = w.size();
+  if (n < 3) return false;
+  if (IsVowelAt(w, n - 3) || !IsVowelAt(w, n - 2) || IsVowelAt(w, n - 1)) return false;
+  char c = w[n - 1];
+  return c != 'w' && c != 'x' && c != 'y';
+}
+
+bool HasSuffix(const std::string& w, std::string_view suffix) {
+  return w.size() >= suffix.size() &&
+         w.compare(w.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// If w ends with `suffix` and the measure of the stem is > m_min, replace
+// the suffix with `replacement` and return true.
+bool ReplaceSuffix(std::string& w, std::string_view suffix,
+                   std::string_view replacement, int m_min) {
+  if (!HasSuffix(w, suffix)) return false;
+  size_t stem_len = w.size() - suffix.size();
+  if (Measure(w, stem_len) <= m_min) return false;
+  w.resize(stem_len);
+  w.append(replacement);
+  return true;
+}
+
+void Step1a(std::string& w) {
+  if (HasSuffix(w, "sses")) {
+    w.resize(w.size() - 2);
+  } else if (HasSuffix(w, "ies")) {
+    w.resize(w.size() - 2);
+  } else if (HasSuffix(w, "ss")) {
+    // unchanged
+  } else if (HasSuffix(w, "s")) {
+    w.resize(w.size() - 1);
+  }
+}
+
+void Step1bCleanup(std::string& w) {
+  if (HasSuffix(w, "at") || HasSuffix(w, "bl") || HasSuffix(w, "iz")) {
+    w.push_back('e');
+  } else if (EndsWithDoubleConsonant(w)) {
+    char c = w.back();
+    if (c != 'l' && c != 's' && c != 'z') w.resize(w.size() - 1);
+  } else if (Measure(w, w.size()) == 1 && EndsCvc(w)) {
+    w.push_back('e');
+  }
+}
+
+void Step1b(std::string& w) {
+  if (HasSuffix(w, "eed")) {
+    if (Measure(w, w.size() - 3) > 0) w.resize(w.size() - 1);
+    return;
+  }
+  if (HasSuffix(w, "ed") && ContainsVowel(w, w.size() - 2)) {
+    w.resize(w.size() - 2);
+    Step1bCleanup(w);
+  } else if (HasSuffix(w, "ing") && ContainsVowel(w, w.size() - 3)) {
+    w.resize(w.size() - 3);
+    Step1bCleanup(w);
+  }
+}
+
+void Step1c(std::string& w) {
+  if (HasSuffix(w, "y") && ContainsVowel(w, w.size() - 1)) {
+    w.back() = 'i';
+  }
+}
+
+void Step2(std::string& w) {
+  static constexpr struct {
+    std::string_view from, to;
+  } kRules[] = {
+      {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+      {"izer", "ize"},    {"abli", "able"},   {"alli", "al"},   {"entli", "ent"},
+      {"eli", "e"},       {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+      {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"}, {"fulness", "ful"},
+      {"ousness", "ous"}, {"aliti", "al"},    {"iviti", "ive"},   {"biliti", "ble"},
+  };
+  for (const auto& rule : kRules) {
+    if (HasSuffix(w, rule.from)) {
+      ReplaceSuffix(w, rule.from, rule.to, 0);
+      return;
+    }
+  }
+}
+
+void Step3(std::string& w) {
+  static constexpr struct {
+    std::string_view from, to;
+  } kRules[] = {
+      {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+      {"ical", "ic"},  {"ful", ""},   {"ness", ""},
+  };
+  for (const auto& rule : kRules) {
+    if (HasSuffix(w, rule.from)) {
+      ReplaceSuffix(w, rule.from, rule.to, 0);
+      return;
+    }
+  }
+}
+
+void Step4(std::string& w) {
+  static constexpr std::string_view kSuffixes[] = {
+      "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+      "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+  };
+  for (std::string_view suffix : kSuffixes) {
+    if (!HasSuffix(w, suffix)) continue;
+    size_t stem_len = w.size() - suffix.size();
+    // "ion" needs the stem to end in s or t; handled separately below.
+    if (Measure(w, stem_len) > 1) w.resize(stem_len);
+    return;
+  }
+  if (HasSuffix(w, "ion")) {
+    size_t stem_len = w.size() - 3;
+    if (stem_len > 0 && (w[stem_len - 1] == 's' || w[stem_len - 1] == 't') &&
+        Measure(w, stem_len) > 1) {
+      w.resize(stem_len);
+    }
+  }
+}
+
+void Step5a(std::string& w) {
+  if (!HasSuffix(w, "e")) return;
+  size_t stem_len = w.size() - 1;
+  int m = Measure(w, stem_len);
+  if (m > 1) {
+    w.resize(stem_len);
+  } else if (m == 1) {
+    std::string stem = w.substr(0, stem_len);
+    if (!EndsCvc(stem)) w.resize(stem_len);
+  }
+}
+
+void Step5b(std::string& w) {
+  if (EndsWithDoubleConsonant(w) && w.back() == 'l' && Measure(w, w.size()) > 1) {
+    w.resize(w.size() - 1);
+  }
+}
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  std::string w(word);
+  if (w.size() < 3) return w;
+  for (char c : w) {
+    if (!std::islower(static_cast<unsigned char>(c))) return w;
+  }
+  Step1a(w);
+  Step1b(w);
+  Step1c(w);
+  Step2(w);
+  Step3(w);
+  Step4(w);
+  Step5a(w);
+  Step5b(w);
+  return w;
+}
+
+}  // namespace genlink

@@ -1,0 +1,20 @@
+// Porter stemming algorithm (M.F. Porter, 1980), used by the `stem`
+// transformation that appears in the paper's transformation-crossover
+// example (Figure 6).
+
+#ifndef GENLINK_TEXT_PORTER_STEMMER_H_
+#define GENLINK_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace genlink {
+
+/// Returns the Porter stem of a single lowercase ASCII word.
+/// Words shorter than 3 characters are returned unchanged, per the
+/// original algorithm. Non-alphabetic input passes through unchanged.
+std::string PorterStem(std::string_view word);
+
+}  // namespace genlink
+
+#endif  // GENLINK_TEXT_PORTER_STEMMER_H_

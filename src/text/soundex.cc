@@ -1,0 +1,59 @@
+#include "text/soundex.h"
+
+#include <cctype>
+
+namespace genlink {
+namespace {
+
+char SoundexDigit(char c) {
+  switch (std::tolower(static_cast<unsigned char>(c))) {
+    case 'b': case 'f': case 'p': case 'v':
+      return '1';
+    case 'c': case 'g': case 'j': case 'k': case 'q': case 's': case 'x': case 'z':
+      return '2';
+    case 'd': case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm': case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    default:
+      return '0';  // vowels and h/w/y
+  }
+}
+
+bool IsHw(char c) {
+  char l = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return l == 'h' || l == 'w';
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view word) {
+  size_t i = 0;
+  while (i < word.size() && !std::isalpha(static_cast<unsigned char>(word[i]))) ++i;
+  if (i == word.size()) return "";
+
+  std::string code;
+  code.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(word[i]))));
+  char prev_digit = SoundexDigit(word[i]);
+  ++i;
+  for (; i < word.size() && code.size() < 4; ++i) {
+    char c = word[i];
+    if (!std::isalpha(static_cast<unsigned char>(c))) {
+      prev_digit = '0';
+      continue;
+    }
+    // h and w do not reset the previous digit (classic Soundex rule).
+    if (IsHw(c)) continue;
+    char digit = SoundexDigit(c);
+    if (digit != '0' && digit != prev_digit) code.push_back(digit);
+    prev_digit = digit;
+  }
+  while (code.size() < 4) code.push_back('0');
+  return code;
+}
+
+}  // namespace genlink

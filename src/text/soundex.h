@@ -1,0 +1,19 @@
+// American Soundex phonetic encoding, offered as an additional
+// transformation for matching misspelled person names.
+
+#ifndef GENLINK_TEXT_SOUNDEX_H_
+#define GENLINK_TEXT_SOUNDEX_H_
+
+#include <string>
+#include <string_view>
+
+namespace genlink {
+
+/// Returns the 4-character Soundex code of `word` (e.g. "Robert" ->
+/// "R163"). Returns an empty string when the word contains no ASCII
+/// letter.
+std::string Soundex(std::string_view word);
+
+}  // namespace genlink
+
+#endif  // GENLINK_TEXT_SOUNDEX_H_

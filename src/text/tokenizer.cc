@@ -1,0 +1,25 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace genlink {
+
+std::vector<std::string> TokenizeAlnum(std::string_view text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !std::isalnum(static_cast<unsigned char>(text[i]))) ++i;
+    size_t start = i;
+    while (i < text.size() && std::isalnum(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) tokens.emplace_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::vector<std::string> TokenizeWhitespace(std::string_view text) {
+  return SplitWhitespace(text);
+}
+
+}  // namespace genlink

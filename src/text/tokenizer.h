@@ -1,0 +1,23 @@
+// Tokenization used by the `tokenize` transformation (Table 1 of the
+// paper) and by token-based distance measures and the blocking index.
+
+#ifndef GENLINK_TEXT_TOKENIZER_H_
+#define GENLINK_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace genlink {
+
+/// Splits `text` into maximal runs of ASCII alphanumeric characters.
+/// "J. Doe (ed.)" -> {"J", "Doe", "ed"}.
+std::vector<std::string> TokenizeAlnum(std::string_view text);
+
+/// Splits on whitespace only, keeping interior punctuation.
+/// "J. Doe" -> {"J.", "Doe"}.
+std::vector<std::string> TokenizeWhitespace(std::string_view text);
+
+}  // namespace genlink
+
+#endif  // GENLINK_TEXT_TOKENIZER_H_

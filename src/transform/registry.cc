@@ -1,0 +1,46 @@
+#include "transform/registry.h"
+
+#include "transform/string_transforms.h"
+#include "transform/structural_transforms.h"
+
+namespace genlink {
+
+TransformRegistry::TransformRegistry() {
+  Register(std::make_unique<LowerCaseTransform>());
+  Register(std::make_unique<UpperCaseTransform>());
+  Register(std::make_unique<TokenizeTransform>());
+  Register(std::make_unique<StripUriPrefixTransform>());
+  Register(std::make_unique<ConcatenateTransform>());
+  Register(std::make_unique<TrimTransform>());
+  Register(std::make_unique<StripPunctuationTransform>());
+  Register(std::make_unique<RemoveDashesTransform>());
+  Register(std::make_unique<StemTransform>());
+  Register(std::make_unique<SoundexTransform>());
+}
+
+const TransformRegistry& TransformRegistry::Default() {
+  static const TransformRegistry* registry = new TransformRegistry();
+  return *registry;
+}
+
+const Transformation* TransformRegistry::Find(std::string_view name) const {
+  for (const auto* t : views_) {
+    if (t->name() == name) return t;
+  }
+  return nullptr;
+}
+
+std::vector<const Transformation*> TransformRegistry::UnaryTransformations() const {
+  std::vector<const Transformation*> out;
+  for (const auto* t : views_) {
+    if (t->arity() == 1) out.push_back(t);
+  }
+  return out;
+}
+
+void TransformRegistry::Register(std::unique_ptr<Transformation> transformation) {
+  views_.push_back(transformation.get());
+  transformations_.push_back(std::move(transformation));
+}
+
+}  // namespace genlink

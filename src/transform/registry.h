@@ -1,0 +1,43 @@
+// Registry of available transformations, mirroring DistanceRegistry.
+
+#ifndef GENLINK_TRANSFORM_REGISTRY_H_
+#define GENLINK_TRANSFORM_REGISTRY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "transform/transformation.h"
+
+namespace genlink {
+
+/// Owns one instance of every built-in transformation.
+class TransformRegistry {
+ public:
+  /// The process-wide registry with all built-in transformations.
+  static const TransformRegistry& Default();
+
+  TransformRegistry();
+
+  /// Returns the transformation with the given name, or nullptr.
+  const Transformation* Find(std::string_view name) const;
+
+  /// All registered transformations, in registration order.
+  const std::vector<const Transformation*>& transformations() const {
+    return views_;
+  }
+
+  /// Unary transformations only (candidates for chain building).
+  std::vector<const Transformation*> UnaryTransformations() const;
+
+  /// Registers a custom transformation (takes ownership).
+  void Register(std::unique_ptr<Transformation> transformation);
+
+ private:
+  std::vector<std::unique_ptr<Transformation>> transformations_;
+  std::vector<const Transformation*> views_;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_TRANSFORM_REGISTRY_H_

@@ -1,0 +1,62 @@
+#include "transform/string_transforms.h"
+
+#include "common/string_util.h"
+#include "text/case_fold.h"
+#include "text/porter_stemmer.h"
+#include "text/soundex.h"
+#include "text/tokenizer.h"
+
+namespace genlink {
+
+ValueSet PerValueTransformation::Apply(std::span<const ValueSet> inputs) const {
+  ValueSet out;
+  if (inputs.empty()) return out;
+  out.reserve(inputs[0].size());
+  for (const auto& value : inputs[0]) out.push_back(ApplyValue(value));
+  return out;
+}
+
+std::string LowerCaseTransform::ApplyValue(std::string_view value) const {
+  return ToLowerAscii(value);
+}
+
+std::string UpperCaseTransform::ApplyValue(std::string_view value) const {
+  return ToUpperAscii(value);
+}
+
+std::string StripUriPrefixTransform::ApplyValue(std::string_view value) const {
+  std::string_view rest = value;
+  if (StartsWith(rest, "http://") || StartsWith(rest, "https://") ||
+      StartsWith(rest, "urn:")) {
+    size_t cut = rest.find_last_of("/#");
+    if (cut != std::string_view::npos && cut + 1 < rest.size()) {
+      rest = rest.substr(cut + 1);
+    }
+    return ReplaceAll(rest, "_", " ");
+  }
+  return std::string(value);
+}
+
+std::string TrimTransform::ApplyValue(std::string_view value) const {
+  return Trim(value);
+}
+
+std::string StripPunctuationTransform::ApplyValue(std::string_view value) const {
+  return StripPunctuation(value);
+}
+
+std::string RemoveDashesTransform::ApplyValue(std::string_view value) const {
+  return ReplaceAll(value, "-", "");
+}
+
+std::string StemTransform::ApplyValue(std::string_view value) const {
+  auto words = TokenizeAlnum(ToLowerAscii(value));
+  for (auto& w : words) w = PorterStem(w);
+  return Join(words, " ");
+}
+
+std::string SoundexTransform::ApplyValue(std::string_view value) const {
+  return Soundex(value);
+}
+
+}  // namespace genlink

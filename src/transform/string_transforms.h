@@ -1,0 +1,101 @@
+// Per-value string transformations: case normalization, trimming,
+// punctuation stripping, URI prefix stripping, stemming, soundex,
+// dash removal.
+
+#ifndef GENLINK_TRANSFORM_STRING_TRANSFORMS_H_
+#define GENLINK_TRANSFORM_STRING_TRANSFORMS_H_
+
+#include <string>
+
+#include "transform/transformation.h"
+
+namespace genlink {
+
+/// Base for unary transformations that map each value independently.
+class PerValueTransformation : public Transformation {
+ public:
+  ValueSet Apply(std::span<const ValueSet> inputs) const override;
+
+ protected:
+  /// Maps one input value to one output value.
+  virtual std::string ApplyValue(std::string_view value) const = 0;
+};
+
+/// Converts all values to lower case (Table 1).
+class LowerCaseTransform : public PerValueTransformation {
+ public:
+  std::string_view name() const override { return "lowerCase"; }
+
+ protected:
+  std::string ApplyValue(std::string_view value) const override;
+};
+
+/// Converts all values to upper case.
+class UpperCaseTransform : public PerValueTransformation {
+ public:
+  std::string_view name() const override { return "upperCase"; }
+
+ protected:
+  std::string ApplyValue(std::string_view value) const override;
+};
+
+/// Strips URI prefixes, e.g. "http://dbpedia.org/resource/Berlin" ->
+/// "Berlin" (Table 1). Also decodes '_' to ' ' as in DBpedia resource
+/// names.
+class StripUriPrefixTransform : public PerValueTransformation {
+ public:
+  std::string_view name() const override { return "stripUriPrefix"; }
+
+ protected:
+  std::string ApplyValue(std::string_view value) const override;
+};
+
+/// Removes leading/trailing whitespace from each value.
+class TrimTransform : public PerValueTransformation {
+ public:
+  std::string_view name() const override { return "trim"; }
+
+ protected:
+  std::string ApplyValue(std::string_view value) const override;
+};
+
+/// Removes ASCII punctuation from each value.
+class StripPunctuationTransform : public PerValueTransformation {
+ public:
+  std::string_view name() const override { return "stripPunctuation"; }
+
+ protected:
+  std::string ApplyValue(std::string_view value) const override;
+};
+
+/// Removes dashes (useful for identifiers such as CAS numbers).
+class RemoveDashesTransform : public PerValueTransformation {
+ public:
+  std::string_view name() const override { return "removeDashes"; }
+
+ protected:
+  std::string ApplyValue(std::string_view value) const override;
+};
+
+/// Porter-stems each (lowercased) word of each value; the `stem`
+/// transformation shown in Figure 6 of the paper.
+class StemTransform : public PerValueTransformation {
+ public:
+  std::string_view name() const override { return "stem"; }
+
+ protected:
+  std::string ApplyValue(std::string_view value) const override;
+};
+
+/// Replaces each value by its Soundex phonetic code.
+class SoundexTransform : public PerValueTransformation {
+ public:
+  std::string_view name() const override { return "soundex"; }
+
+ protected:
+  std::string ApplyValue(std::string_view value) const override;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_TRANSFORM_STRING_TRANSFORMS_H_

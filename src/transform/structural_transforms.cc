@@ -1,0 +1,34 @@
+#include "transform/structural_transforms.h"
+
+#include "text/tokenizer.h"
+
+namespace genlink {
+
+ValueSet TokenizeTransform::Apply(std::span<const ValueSet> inputs) const {
+  ValueSet out;
+  if (inputs.empty()) return out;
+  for (const auto& value : inputs[0]) {
+    for (auto& token : TokenizeAlnum(value)) out.push_back(std::move(token));
+  }
+  return out;
+}
+
+ValueSet ConcatenateTransform::Apply(std::span<const ValueSet> inputs) const {
+  ValueSet out;
+  if (inputs.size() < 2) return out;
+  const ValueSet& left = inputs[0];
+  const ValueSet& right = inputs[1];
+  // If one side is missing, fall back to the other so that partially
+  // filled records still produce a comparable value.
+  if (left.empty()) return right;
+  if (right.empty()) return left;
+  out.reserve(left.size() * right.size());
+  for (const auto& l : left) {
+    for (const auto& r : right) {
+      out.push_back(l + separator_ + r);
+    }
+  }
+  return out;
+}
+
+}  // namespace genlink

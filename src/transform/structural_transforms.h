@@ -1,0 +1,40 @@
+// Transformations that change the structure of the value set: tokenize
+// (one value -> many tokens) and concatenate (two inputs -> combined
+// values). Both appear in Table 1 of the paper.
+
+#ifndef GENLINK_TRANSFORM_STRUCTURAL_TRANSFORMS_H_
+#define GENLINK_TRANSFORM_STRUCTURAL_TRANSFORMS_H_
+
+#include <string>
+
+#include "transform/transformation.h"
+
+namespace genlink {
+
+/// Splits every value into alphanumeric tokens; the output set is the
+/// concatenation of all token lists.
+class TokenizeTransform : public Transformation {
+ public:
+  std::string_view name() const override { return "tokenize"; }
+  ValueSet Apply(std::span<const ValueSet> inputs) const override;
+};
+
+/// Concatenates the values of two inputs pairwise (cross product),
+/// separated by a single space: used e.g. to join foaf:firstName and
+/// foaf:lastName into a full name (Section 3 of the paper).
+class ConcatenateTransform : public Transformation {
+ public:
+  explicit ConcatenateTransform(std::string separator = " ")
+      : separator_(std::move(separator)) {}
+
+  std::string_view name() const override { return "concatenate"; }
+  size_t arity() const override { return 2; }
+  ValueSet Apply(std::span<const ValueSet> inputs) const override;
+
+ private:
+  std::string separator_;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_TRANSFORM_STRUCTURAL_TRANSFORMS_H_

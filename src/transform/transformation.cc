@@ -1,0 +1,5 @@
+#include "transform/transformation.h"
+
+namespace genlink {
+// Base class is interface-only; this translation unit anchors the vtable.
+}  // namespace genlink

@@ -1,0 +1,35 @@
+// Data transformation functions f_t: Σ^n → Σ (Definition 6 of the paper).
+//
+// A transformation maps the value sets produced by `arity()` input value
+// operators to a single output value set. Transformation operators can be
+// nested to form chains (e.g. stripUriPrefix -> lowerCase -> tokenize).
+
+#ifndef GENLINK_TRANSFORM_TRANSFORMATION_H_
+#define GENLINK_TRANSFORM_TRANSFORMATION_H_
+
+#include <span>
+#include <string_view>
+
+#include "model/value.h"
+
+namespace genlink {
+
+/// Abstract transformation function.
+class Transformation {
+ public:
+  virtual ~Transformation() = default;
+
+  /// Stable identifier used in serialized rules (e.g. "lowerCase").
+  virtual std::string_view name() const = 0;
+
+  /// Number of input value operators this transformation consumes.
+  /// Almost all transformations are unary; `concatenate` is binary.
+  virtual size_t arity() const { return 1; }
+
+  /// Applies the transformation. `inputs.size()` equals `arity()`.
+  virtual ValueSet Apply(std::span<const ValueSet> inputs) const = 0;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_TRANSFORM_TRANSFORMATION_H_

@@ -1,0 +1,120 @@
+// Tests for the query-by-committee active learner.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datasets/restaurant.h"
+#include "gp/active_learning.h"
+
+namespace genlink {
+namespace {
+
+class ActiveLearningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RestaurantConfig config;
+    config.scale = 0.3;
+    task_ = GenerateRestaurant(config);
+    for (const auto& link : task_.links.positives()) {
+      truth_.insert({link.id_a, link.id_b});
+    }
+  }
+
+  ActiveLearningConfig FastConfig() {
+    ActiveLearningConfig config;
+    config.committee_size = 2;
+    config.rounds = 3;
+    config.learner.population_size = 40;
+    config.learner.max_iterations = 5;
+    config.learner.num_threads = 1;
+    return config;
+  }
+
+  Oracle TruthOracle() {
+    return [this](const CandidateLink& pair) {
+      return truth_.count({pair.id_a, pair.id_b}) > 0;
+    };
+  }
+
+  MatchingTask task_;
+  std::set<std::pair<std::string, std::string>> truth_;
+};
+
+TEST_F(ActiveLearningTest, PoolContainsTrueMatches) {
+  ActiveLearner learner(task_.Source(), task_.Target(), FastConfig());
+  auto pool = learner.BuildPool();
+  ASSERT_FALSE(pool.empty());
+  size_t hits = 0;
+  for (const auto& candidate : pool) {
+    if (truth_.count({candidate.id_a, candidate.id_b})) ++hits;
+  }
+  // Token blocking must retain the vast majority of true matches.
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(truth_.size()), 0.9);
+}
+
+TEST_F(ActiveLearningTest, PoolCapIsRespected) {
+  ActiveLearner learner(task_.Source(), task_.Target(), FastConfig());
+  EXPECT_LE(learner.BuildPool(10).size(), 10u);
+}
+
+TEST_F(ActiveLearningTest, RunAccumulatesLabelsEachRound) {
+  ActiveLearner learner(task_.Source(), task_.Target(), FastConfig());
+  auto pool = learner.BuildPool(300);
+
+  ReferenceLinkSet seed;
+  seed.AddPositive(task_.links.positives()[0].id_a,
+                   task_.links.positives()[0].id_b);
+  seed.AddNegative(task_.links.negatives()[0].id_a,
+                   task_.links.negatives()[0].id_b);
+
+  Rng rng(3);
+  auto result =
+      learner.Run(seed, pool, TruthOracle(), &task_.links, rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rounds.size(), 3u);
+  // One oracle label per round.
+  EXPECT_EQ(result->rounds[0].num_labels, 2u);
+  EXPECT_EQ(result->rounds[1].num_labels, 3u);
+  EXPECT_EQ(result->rounds[2].num_labels, 4u);
+  EXPECT_EQ(result->labels.size(), 5u);
+  EXPECT_TRUE(result->best_rule.Validate().ok());
+}
+
+TEST_F(ActiveLearningTest, RequiresBothSeedClasses) {
+  ActiveLearner learner(task_.Source(), task_.Target(), FastConfig());
+  ReferenceLinkSet only_positive;
+  only_positive.AddPositive("a", "b");
+  Rng rng(1);
+  auto result = learner.Run(only_positive, {}, TruthOracle(), nullptr, rng);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ActiveLearningTest, OracleAnswersLandInTheRightClass) {
+  ActiveLearner learner(task_.Source(), task_.Target(), FastConfig());
+  auto pool = learner.BuildPool(200);
+
+  ReferenceLinkSet seed;
+  seed.AddPositive(task_.links.positives()[0].id_a,
+                   task_.links.positives()[0].id_b);
+  seed.AddNegative(task_.links.negatives()[0].id_a,
+                   task_.links.negatives()[0].id_b);
+
+  Rng rng(5);
+  auto result = learner.Run(seed, pool, TruthOracle(), nullptr, rng);
+  ASSERT_TRUE(result.ok());
+  // Every accumulated positive label must be a true match and every
+  // negative label a true non-match.
+  for (const auto& link : result->labels.positives()) {
+    EXPECT_TRUE(truth_.count({link.id_a, link.id_b}))
+        << link.id_a << " / " << link.id_b;
+  }
+  for (const auto& link : result->labels.negatives()) {
+    EXPECT_FALSE(truth_.count({link.id_a, link.id_b}))
+        << link.id_a << " / " << link.id_b;
+  }
+}
+
+}  // namespace
+}  // namespace genlink

@@ -1,0 +1,175 @@
+// Tests for the Carvalho et al. GP baseline: arithmetic tree evaluation,
+// generation, and end-to-end learning of a separable toy task.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baseline/carvalho_gp.h"
+
+namespace genlink {
+namespace {
+
+std::unique_ptr<MathNode> Leaf(double c) {
+  auto node = std::make_unique<MathNode>();
+  node->type = MathNodeType::kConstant;
+  node->constant = c;
+  return node;
+}
+
+std::unique_ptr<MathNode> Feature(size_t index) {
+  auto node = std::make_unique<MathNode>();
+  node->type = MathNodeType::kFeature;
+  node->feature_index = index;
+  return node;
+}
+
+std::unique_ptr<MathNode> Binary(MathNodeType type, std::unique_ptr<MathNode> l,
+                                 std::unique_ptr<MathNode> r) {
+  auto node = std::make_unique<MathNode>();
+  node->type = type;
+  node->left = std::move(l);
+  node->right = std::move(r);
+  return node;
+}
+
+TEST(MathTreeTest, ArithmeticEvaluation) {
+  // (f0 + 2) * f1
+  auto tree = Binary(MathNodeType::kMul,
+                     Binary(MathNodeType::kAdd, Feature(0), Leaf(2.0)), Feature(1));
+  std::vector<double> features{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(tree->Evaluate(features), 9.0);
+  EXPECT_EQ(tree->Count(), 5u);
+}
+
+TEST(MathTreeTest, ProtectedDivision) {
+  auto tree = Binary(MathNodeType::kDiv, Leaf(5.0), Leaf(0.0));
+  EXPECT_DOUBLE_EQ(tree->Evaluate({}), 1.0);
+  auto normal = Binary(MathNodeType::kDiv, Leaf(6.0), Leaf(2.0));
+  EXPECT_DOUBLE_EQ(normal->Evaluate({}), 3.0);
+}
+
+TEST(MathTreeTest, ExpIsClampedAgainstOverflow) {
+  auto inner = Binary(MathNodeType::kMul, Leaf(1000.0), Leaf(1000.0));
+  auto tree = std::make_unique<MathNode>();
+  tree->type = MathNodeType::kExp;
+  tree->left = std::move(inner);
+  double v = tree->Evaluate({});
+  EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(MathTreeTest, MissingFeatureIsZero) {
+  auto tree = Feature(99);
+  std::vector<double> features{1.0};
+  EXPECT_DOUBLE_EQ(tree->Evaluate(features), 0.0);
+}
+
+TEST(MathTreeTest, CloneIsDeep) {
+  auto tree = Binary(MathNodeType::kSub, Feature(0), Leaf(1.0));
+  auto clone = tree->Clone();
+  tree->left->feature_index = 5;
+  EXPECT_EQ(clone->left->feature_index, 0u);
+}
+
+TEST(MathTreeTest, ToStringRendersInfix) {
+  auto tree = Binary(MathNodeType::kAdd, Feature(0), Leaf(2.0));
+  EXPECT_EQ(tree->ToString({"sim(name)"}), "(sim(name) + 2)");
+}
+
+TEST(MathTreeTest, RandomTreesRespectDepthBounds) {
+  Rng rng(3);
+  MathTreeGenConfig config;
+  config.num_features = 4;
+  config.min_depth = 1;
+  config.max_depth = 3;
+  for (int i = 0; i < 100; ++i) {
+    auto tree = RandomMathTree(config, rng, i % 2 == 0);
+    // Depth 3 binary tree has at most 2^4 - 1 = 15 nodes.
+    EXPECT_LE(tree->Count(), 15u);
+    EXPECT_GE(tree->Count(), 1u);
+  }
+}
+
+TEST(MathTreeTest, CollectSlotsFindsAllNodes) {
+  auto tree = Binary(MathNodeType::kAdd, Feature(0),
+                     Binary(MathNodeType::kMul, Leaf(1.0), Feature(1)));
+  auto slots = CollectMathSlots(tree);
+  EXPECT_EQ(slots.size(), 5u);
+}
+
+// ------------------------------------------------------------- end-to-end
+
+class CarvalhoToyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Same-schema record linkage setting (their paper's scenario).
+    PropertyId a_name = a_.schema().AddProperty("name");
+    PropertyId b_name = b_.schema().AddProperty("name");
+    const char* names[] = {"alpha", "bravo", "charlie", "delta", "echo",
+                           "foxtrot", "golf", "hotel", "india", "juliet",
+                           "kilo", "lima", "mike", "november", "oscar",
+                           "papa", "quebec", "romeo", "sierra", "tango"};
+    for (int i = 0; i < 20; ++i) {
+      Entity ea("a" + std::to_string(i));
+      ea.AddValue(a_name, names[i]);
+      ASSERT_TRUE(a_.AddEntity(std::move(ea)).ok());
+      Entity eb("b" + std::to_string(i));
+      eb.AddValue(b_name, names[i]);
+      ASSERT_TRUE(b_.AddEntity(std::move(eb)).ok());
+      links_.AddPositive("a" + std::to_string(i), "b" + std::to_string(i));
+    }
+    Rng rng(31);
+    links_.GenerateNegativesFromPositives(rng);
+  }
+
+  Dataset a_{"a"}, b_{"b"};
+  ReferenceLinkSet links_;
+};
+
+TEST_F(CarvalhoToyTest, LearnsSeparableTask) {
+  CarvalhoConfig config;
+  config.population_size = 50;
+  config.max_generations = 20;
+  CarvalhoGP learner(a_, b_, config);
+  Rng rng(1);
+  auto result = learner.Learn(links_, nullptr, rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->trajectory.iterations.empty());
+  EXPECT_GT(result->trajectory.iterations.back().train_f1, 0.95);
+  EXPECT_NE(result->best_tree, nullptr);
+  // Features were presupplied from the shared "name" property.
+  ASSERT_FALSE(result->features.empty());
+  EXPECT_EQ(result->features[0].property_a, "name");
+}
+
+TEST_F(CarvalhoToyTest, DeterministicForSameSeed) {
+  CarvalhoConfig config;
+  config.population_size = 30;
+  config.max_generations = 5;
+  CarvalhoGP learner(a_, b_, config);
+  Rng rng1(5), rng2(5);
+  auto r1 = learner.Learn(links_, nullptr, rng1);
+  auto r2 = learner.Learn(links_, nullptr, rng2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->trajectory.iterations.size(), r2->trajectory.iterations.size());
+  for (size_t i = 0; i < r1->trajectory.iterations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1->trajectory.iterations[i].train_f1,
+                     r2->trajectory.iterations[i].train_f1);
+  }
+}
+
+TEST_F(CarvalhoToyTest, RecordsValidationScores) {
+  Rng split_rng(7);
+  auto folds = links_.SplitFolds(2, split_rng);
+  CarvalhoConfig config;
+  config.population_size = 50;
+  config.max_generations = 15;
+  CarvalhoGP learner(a_, b_, config);
+  Rng rng(9);
+  auto result = learner.Learn(folds[0], &folds[1], rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->trajectory.iterations.back().val_f1, 0.7);
+}
+
+}  // namespace
+}  // namespace genlink

@@ -1,0 +1,258 @@
+// Tests for the specialized crossover operators of Section 5.3. Each
+// operator is checked for (1) its specific semantics on hand-built rules
+// and (2) the property that arbitrary applications always produce valid,
+// strongly typed rules.
+
+#include <gtest/gtest.h>
+
+#include "gp/crossover.h"
+#include "rule/builder.h"
+#include "rule/serialize.h"
+
+namespace genlink {
+namespace {
+
+LinkageRule RuleWithTransforms() {
+  auto rule =
+      RuleBuilder()
+          .Aggregate("min")
+          .Compare("levenshtein", 2.0, Prop("title").Lower().Tokenize(),
+                   Prop("name").Lower(), 2.0)
+          .Compare("date", 100.0, Prop("date"), Prop("released"), 3.0)
+          .End()
+          .Build();
+  EXPECT_TRUE(rule.ok());
+  return std::move(rule).value();
+}
+
+LinkageRule OtherRuleWithTransforms() {
+  auto rule =
+      RuleBuilder()
+          .Aggregate("wmean")
+          .Compare("jaccard", 0.8, Prop("title").Stem(), Prop("name").Tokenize(),
+                   4.0)
+          .Compare("geographic", 1000.0, Prop("pos"), Prop("coord"), 5.0)
+          .End()
+          .Build();
+  EXPECT_TRUE(rule.ok());
+  return std::move(rule).value();
+}
+
+// ------------------------------------------------------- semantics checks
+
+TEST(ThresholdCrossoverTest, AveragesThresholds) {
+  auto r1 = RuleBuilder()
+                .Compare("levenshtein", 1.0, Prop("x"), Prop("y"))
+                .Build();
+  auto r2 = RuleBuilder()
+                .Compare("levenshtein", 3.0, Prop("x"), Prop("y"))
+                .Build();
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  Rng rng(1);
+  ThresholdCrossover op;
+  auto child = op.Cross(*r1, *r2, rng);
+  ASSERT_TRUE(child.has_value());
+  EXPECT_DOUBLE_EQ(CollectComparisons(*child)[0]->threshold(), 2.0);
+  // The parents are untouched.
+  EXPECT_DOUBLE_EQ(CollectComparisons(*r1)[0]->threshold(), 1.0);
+}
+
+TEST(WeightCrossoverTest, AveragesWeights) {
+  auto r1 = RuleBuilder()
+                .Compare("levenshtein", 1.0, Prop("x"), Prop("y"), /*weight=*/2.0)
+                .Build();
+  auto r2 = RuleBuilder()
+                .Compare("levenshtein", 1.0, Prop("x"), Prop("y"), /*weight=*/6.0)
+                .Build();
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  Rng rng(1);
+  WeightCrossover op;
+  auto child = op.Cross(*r1, *r2, rng);
+  ASSERT_TRUE(child.has_value());
+  EXPECT_DOUBLE_EQ(CollectComparisons(*child)[0]->weight(), 4.0);
+}
+
+TEST(FunctionCrossoverTest, SwapsAFunctionFromTheDonor) {
+  auto r1 = RuleBuilder()
+                .Compare("levenshtein", 2.5, Prop("x"), Prop("y"))
+                .Build();
+  auto r2 = RuleBuilder()
+                .Compare("jaccard", 0.5, Prop("x"), Prop("y"))
+                .Build();
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  Rng rng(3);
+  FunctionCrossover op;
+  auto child = op.Cross(*r1, *r2, rng);
+  ASSERT_TRUE(child.has_value());
+  const ComparisonOperator* cmp = CollectComparisons(*child)[0];
+  EXPECT_EQ(cmp->measure()->name(), "jaccard");
+  // Threshold rescaled from levenshtein's range (5) to jaccard's (1):
+  // 2.5 * 1/5 = 0.5.
+  EXPECT_DOUBLE_EQ(cmp->threshold(), 0.5);
+}
+
+TEST(OperatorsCrossoverTest, ChildOperandsComeFromParents) {
+  LinkageRule r1 = RuleWithTransforms();
+  LinkageRule r2 = OtherRuleWithTransforms();
+  Rng rng(5);
+  OperatorsCrossover op;
+  for (int i = 0; i < 50; ++i) {
+    auto child = op.Cross(r1, r2, rng);
+    ASSERT_TRUE(child.has_value());
+    ASSERT_TRUE(child->Validate().ok()) << ToSexpr(*child);
+    auto aggregations = CollectAggregations(*child);
+    ASSERT_FALSE(aggregations.empty());
+    // Between 1 and 4 comparisons survive the 50% filter.
+    size_t n = CollectComparisons(*child).size();
+    EXPECT_GE(n, 1u);
+    EXPECT_LE(n, 4u);
+  }
+}
+
+TEST(OperatorsCrossoverTest, NotApplicableWithoutAggregations) {
+  auto r1 = RuleBuilder()
+                .Compare("levenshtein", 1.0, Prop("x"), Prop("y"))
+                .Build();
+  auto r2 = RuleBuilder()
+                .Compare("levenshtein", 1.0, Prop("x"), Prop("y"))
+                .Build();
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  Rng rng(1);
+  OperatorsCrossover op;
+  EXPECT_FALSE(op.Cross(*r1, *r2, rng).has_value());
+}
+
+TEST(AggregationCrossoverTest, CanBuildHierarchies) {
+  LinkageRule r1 = RuleWithTransforms();
+  LinkageRule r2 = OtherRuleWithTransforms();
+  Rng rng(7);
+  AggregationCrossover op;
+  bool saw_nested = false;
+  for (int i = 0; i < 100; ++i) {
+    auto child = op.Cross(r1, r2, rng);
+    ASSERT_TRUE(child.has_value());
+    ASSERT_TRUE(child->Validate().ok()) << ToSexpr(*child);
+    if (CollectAggregations(*child).size() > 1) saw_nested = true;
+  }
+  // Replacing a comparison with the donor's aggregation nests; over 100
+  // draws this must occur.
+  EXPECT_TRUE(saw_nested);
+}
+
+TEST(TransformationCrossoverTest, RequiresTransformsInBothRules) {
+  auto bare = RuleBuilder()
+                  .Compare("levenshtein", 1.0, Prop("x"), Prop("y"))
+                  .Build();
+  ASSERT_TRUE(bare.ok());
+  LinkageRule with = RuleWithTransforms();
+  Rng rng(1);
+  TransformationCrossover op;
+  EXPECT_FALSE(op.Cross(*bare, with, rng).has_value());
+  EXPECT_FALSE(op.Cross(with, *bare, rng).has_value());
+}
+
+TEST(TransformationCrossoverTest, ProducesValidChainsAndDedups) {
+  LinkageRule r1 = RuleWithTransforms();
+  LinkageRule r2 = OtherRuleWithTransforms();
+  Rng rng(9);
+  TransformationCrossover op;
+  for (int i = 0; i < 200; ++i) {
+    auto child = op.Cross(r1, r2, rng);
+    if (!child.has_value()) continue;
+    ASSERT_TRUE(child->Validate().ok()) << ToSexpr(*child);
+    // Dedup property: no directly nested duplicated unary transform.
+    for (const auto* tf : CollectTransforms(*child)) {
+      for (const auto& input : tf->inputs()) {
+        if (input->kind() == OperatorKind::kTransform) {
+          const auto* child_tf = static_cast<const TransformOperator*>(input.get());
+          if (tf->function()->arity() == 1 && child_tf->function()->arity() == 1) {
+            EXPECT_NE(tf->function(), child_tf->function()) << ToSexpr(*child);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SubtreeCrossoverTest, ProducesValidTypedRules) {
+  LinkageRule r1 = RuleWithTransforms();
+  LinkageRule r2 = OtherRuleWithTransforms();
+  Rng rng(11);
+  SubtreeCrossover op;
+  for (int i = 0; i < 200; ++i) {
+    auto child = op.Cross(r1, r2, rng);
+    ASSERT_TRUE(child.has_value());
+    EXPECT_TRUE(child->Validate().ok()) << ToSexpr(*child);
+  }
+}
+
+// --------------------------------------------------------- operator sets
+
+TEST(CrossoverSetTest, ModeControlsAvailableOperators) {
+  auto names = [](const std::vector<std::unique_ptr<CrossoverOperator>>& ops) {
+    std::vector<std::string> out;
+    for (const auto& op : ops) out.emplace_back(op->name());
+    return out;
+  };
+  auto contains = [](const std::vector<std::string>& v, const std::string& s) {
+    return std::find(v.begin(), v.end(), s) != v.end();
+  };
+
+  auto full = names(MakeCrossoverSet(RepresentationMode::kFull));
+  EXPECT_TRUE(contains(full, "transformation"));
+  EXPECT_TRUE(contains(full, "aggregation"));
+  EXPECT_TRUE(contains(full, "weight"));
+
+  auto nonlinear = names(MakeCrossoverSet(RepresentationMode::kNonlinear));
+  EXPECT_FALSE(contains(nonlinear, "transformation"));
+  EXPECT_TRUE(contains(nonlinear, "aggregation"));
+
+  auto linear = names(MakeCrossoverSet(RepresentationMode::kLinear));
+  EXPECT_FALSE(contains(linear, "aggregation"));
+  EXPECT_TRUE(contains(linear, "weight"));
+
+  auto boolean = names(MakeCrossoverSet(RepresentationMode::kBoolean));
+  EXPECT_FALSE(contains(boolean, "weight"));
+  EXPECT_TRUE(contains(boolean, "function"));
+
+  auto subtree = names(MakeCrossoverSet(RepresentationMode::kFull, true));
+  EXPECT_EQ(subtree, std::vector<std::string>{"subtree"});
+}
+
+// --------------------------------------------- whole-set validity property
+
+class CrossoverPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossoverPropertyTest, RandomApplicationsAlwaysValid) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  std::vector<CompatiblePair> pairs;
+  pairs.push_back({"title", "name", DistanceRegistry::Default().Find("levenshtein"), 5});
+  pairs.push_back({"date", "released", DistanceRegistry::Default().Find("date"), 3});
+  pairs.push_back({"pos", "coord", DistanceRegistry::Default().Find("geographic"), 2});
+  RuleGenerator generator(pairs, {"title", "date", "pos"},
+                          {"name", "released", "coord"});
+  auto ops = MakeCrossoverSet(RepresentationMode::kFull);
+
+  // Evolve a small pool through random crossovers; every child that an
+  // operator produces must validate.
+  std::vector<LinkageRule> pool;
+  for (int i = 0; i < 8; ++i) pool.push_back(generator.RandomRule(rng));
+  for (int step = 0; step < 300; ++step) {
+    const LinkageRule& p1 = pool[rng.PickIndex(pool.size())];
+    const LinkageRule& p2 = pool[rng.PickIndex(pool.size())];
+    const CrossoverOperator& op = *ops[rng.PickIndex(ops.size())];
+    auto child = op.Cross(p1, p2, rng);
+    if (!child.has_value()) continue;
+    ASSERT_TRUE(child->Validate().ok())
+        << op.name() << " produced: " << ToSexpr(*child);
+    if (child->OperatorCount() <= 50) {
+      pool[rng.PickIndex(pool.size())] = std::move(*child);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossoverPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace genlink

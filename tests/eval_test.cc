@@ -1,0 +1,231 @@
+// Unit tests for the evaluation module: confusion matrix, metrics, the
+// MCC-based fitness with parsimony pressure, and the cross-validation
+// harness.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/cross_validation.h"
+#include "eval/fitness.h"
+#include "eval/metrics.h"
+#include "rule/builder.h"
+
+namespace genlink {
+namespace {
+
+TEST(MetricsTest, PerfectClassifier) {
+  ConfusionMatrix cm{10, 10, 0, 0};
+  EXPECT_DOUBLE_EQ(Precision(cm), 1.0);
+  EXPECT_DOUBLE_EQ(Recall(cm), 1.0);
+  EXPECT_DOUBLE_EQ(FMeasure(cm), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(cm), 1.0);
+  EXPECT_DOUBLE_EQ(MatthewsCorrelation(cm), 1.0);
+}
+
+TEST(MetricsTest, InvertedClassifier) {
+  ConfusionMatrix cm{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(FMeasure(cm), 0.0);
+  EXPECT_DOUBLE_EQ(MatthewsCorrelation(cm), -1.0);
+}
+
+TEST(MetricsTest, KnownMixedCase) {
+  // tp=6, tn=3, fp=1, fn=2.
+  ConfusionMatrix cm{6, 3, 1, 2};
+  EXPECT_DOUBLE_EQ(Precision(cm), 6.0 / 7.0);
+  EXPECT_DOUBLE_EQ(Recall(cm), 6.0 / 8.0);
+  double p = 6.0 / 7.0, r = 0.75;
+  EXPECT_DOUBLE_EQ(FMeasure(cm), 2 * p * r / (p + r));
+  EXPECT_DOUBLE_EQ(Accuracy(cm), 0.75);
+  double expected_mcc = (6.0 * 3 - 1.0 * 2) / std::sqrt(7.0 * 8 * 4 * 5);
+  EXPECT_NEAR(MatthewsCorrelation(cm), expected_mcc, 1e-12);
+}
+
+TEST(MetricsTest, DegenerateMarginalsYieldZeroMcc) {
+  EXPECT_DOUBLE_EQ(MatthewsCorrelation({0, 10, 0, 0}), 0.0);  // no positives
+  EXPECT_DOUBLE_EQ(MatthewsCorrelation({10, 0, 0, 0}), 0.0);  // no negatives
+  EXPECT_DOUBLE_EQ(Precision({0, 5, 0, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(Recall({0, 5, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(FMeasure({0, 5, 0, 5}), 0.0);
+}
+
+TEST(MetricsTest, MccUnbalancedVsFMeasure) {
+  // A classifier predicting everything positive on unbalanced data: F1
+  // looks decent, MCC is 0 - the reason the paper picks MCC (Sec 5.2).
+  ConfusionMatrix cm{90, 0, 10, 0};
+  EXPECT_GT(FMeasure(cm), 0.9);
+  EXPECT_DOUBLE_EQ(MatthewsCorrelation(cm), 0.0);
+}
+
+class FitnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PropertyId name_a = a_.schema().AddProperty("name");
+    PropertyId name_b = b_.schema().AddProperty("name");
+    auto add = [](Dataset& ds, PropertyId p, const std::string& id,
+                  const std::string& value) {
+      Entity e(id);
+      e.AddValue(p, value);
+      ASSERT_TRUE(ds.AddEntity(std::move(e)).ok());
+    };
+    add(a_, name_a, "a1", "alpha");
+    add(a_, name_a, "a2", "beta");
+    add(b_, name_b, "b1", "alpha");
+    add(b_, name_b, "b2", "beta");
+
+    pairs_ = {{a_.FindEntity("a1"), b_.FindEntity("b1"), true},
+              {a_.FindEntity("a2"), b_.FindEntity("b2"), true},
+              {a_.FindEntity("a1"), b_.FindEntity("b2"), false},
+              {a_.FindEntity("a2"), b_.FindEntity("b1"), false}};
+  }
+
+  Dataset a_{"a"}, b_{"b"};
+  std::vector<LabeledPair> pairs_;
+};
+
+TEST_F(FitnessTest, PerfectRuleGetsMccMinusPenalty) {
+  auto rule = RuleBuilder()
+                  .Compare("equality", 0.5, Prop("name"), Prop("name"))
+                  .Build();
+  ASSERT_TRUE(rule.ok());
+  FitnessConfig config;
+  config.parsimony_weight = 0.05;  // the paper's printed constant
+  FitnessEvaluator evaluator(pairs_, a_.schema(), b_.schema(), config);
+  FitnessResult result = evaluator.Evaluate(*rule);
+  EXPECT_DOUBLE_EQ(result.mcc, 1.0);
+  EXPECT_DOUBLE_EQ(result.f_measure, 1.0);
+  // 3 operators (comparison + 2 properties): fitness = 1 - 0.05*3.
+  EXPECT_DOUBLE_EQ(result.fitness, 1.0 - 0.15);
+  EXPECT_EQ(result.confusion.tp, 2u);
+  EXPECT_EQ(result.confusion.tn, 2u);
+}
+
+TEST_F(FitnessTest, ParsimonyPenalizesLargerEquivalentRule) {
+  auto small = RuleBuilder()
+                   .Compare("equality", 0.5, Prop("name"), Prop("name"))
+                   .Build();
+  auto large = RuleBuilder()
+                   .Aggregate("min")
+                   .Compare("equality", 0.5, Prop("name"), Prop("name"))
+                   .Compare("equality", 0.5, Prop("name").Lower(), Prop("name"))
+                   .End()
+                   .Build();
+  ASSERT_TRUE(small.ok() && large.ok());
+  FitnessEvaluator evaluator(pairs_, a_.schema(), b_.schema());
+  EXPECT_GT(evaluator.Evaluate(*small).fitness, evaluator.Evaluate(*large).fitness);
+}
+
+TEST(MomentsTest, MeanAndStddev) {
+  Moments m = ComputeMoments({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.mean, 2.5);
+  EXPECT_NEAR(m.stddev, std::sqrt(1.25), 1e-12);
+  Moments empty = ComputeMoments({});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+TEST(CrossValidationTest, RunsLearnerPerRunAndAggregates) {
+  ReferenceLinkSet links;
+  for (int i = 0; i < 40; ++i) {
+    links.AddPositive("a" + std::to_string(i), "b" + std::to_string(i));
+    links.AddNegative("a" + std::to_string(i), "c" + std::to_string(i));
+  }
+  CrossValidationConfig config;
+  config.num_runs = 4;
+  config.seed = 7;
+
+  size_t calls = 0;
+  auto learner = [&](const ReferenceLinkSet& train, const ReferenceLinkSet& val,
+                     Rng&) -> RunTrajectory {
+    ++calls;
+    // 2 folds of 40+40 links: each fold has 20+20.
+    EXPECT_EQ(train.size(), 40u);
+    EXPECT_EQ(val.size(), 40u);
+    RunTrajectory trajectory;
+    for (size_t iter = 0; iter <= 3; ++iter) {
+      IterationStats stats;
+      stats.iteration = iter;
+      stats.train_f1 = 0.5 + 0.1 * static_cast<double>(iter);
+      stats.val_f1 = 0.4 + 0.1 * static_cast<double>(iter);
+      stats.seconds = static_cast<double>(iter);
+      trajectory.iterations.push_back(stats);
+    }
+    trajectory.best_rule_sexpr = "(rule)";
+    return trajectory;
+  };
+
+  CrossValidationResult result = RunCrossValidation(links, config, learner);
+  EXPECT_EQ(calls, 4u);
+  ASSERT_EQ(result.iterations.size(), 4u);
+  EXPECT_DOUBLE_EQ(result.iterations[0].train_f1.mean, 0.5);
+  EXPECT_DOUBLE_EQ(result.iterations[3].train_f1.mean, 0.8);
+  EXPECT_DOUBLE_EQ(result.iterations[3].val_f1.mean, 0.7);
+  EXPECT_DOUBLE_EQ(result.iterations[2].train_f1.stddev, 0.0);
+  EXPECT_EQ(result.example_rule_sexpr, "(rule)");
+}
+
+TEST(CrossValidationTest, ShorterRunsAreExtendedWithFinalValue) {
+  ReferenceLinkSet links;
+  for (int i = 0; i < 8; ++i) {
+    links.AddPositive("a" + std::to_string(i), "b" + std::to_string(i));
+    links.AddNegative("a" + std::to_string(i), "c" + std::to_string(i));
+  }
+  CrossValidationConfig config;
+  config.num_runs = 2;
+  size_t call = 0;
+  auto learner = [&](const ReferenceLinkSet&, const ReferenceLinkSet&,
+                     Rng&) -> RunTrajectory {
+    RunTrajectory trajectory;
+    size_t len = (call++ == 0) ? 2 : 4;  // first run stops early (F=1)
+    for (size_t iter = 0; iter < len; ++iter) {
+      IterationStats stats;
+      stats.iteration = iter;
+      stats.train_f1 = (iter + 1 == len && len == 2) ? 1.0 : 0.5;
+      trajectory.iterations.push_back(stats);
+    }
+    return trajectory;
+  };
+  CrossValidationResult result = RunCrossValidation(links, config, learner);
+  ASSERT_EQ(result.iterations.size(), 4u);
+  // The early-stopped run contributes its final value (1.0) at iters 2-3.
+  EXPECT_DOUBLE_EQ(result.iterations[3].train_f1.mean, 0.75);
+}
+
+TEST(CrossValidationTest, FindIterationReturnsClosestRow) {
+  CrossValidationResult result;
+  for (size_t i = 0; i < 5; ++i) {
+    AggregatedIteration row;
+    row.iteration = i;
+    result.iterations.push_back(row);
+  }
+  EXPECT_EQ(result.FindIteration(3)->iteration, 3u);
+  EXPECT_EQ(result.FindIteration(99)->iteration, 4u);
+}
+
+TEST(CrossValidationTest, DeterministicForSameSeed) {
+  ReferenceLinkSet links;
+  for (int i = 0; i < 10; ++i) {
+    links.AddPositive("a" + std::to_string(i), "b" + std::to_string(i));
+    links.AddNegative("a" + std::to_string(i), "c" + std::to_string(i));
+  }
+  CrossValidationConfig config;
+  config.num_runs = 2;
+  config.seed = 123;
+  std::vector<std::string> seen_train_ids;
+  auto learner = [&](const ReferenceLinkSet& train, const ReferenceLinkSet&,
+                     Rng&) -> RunTrajectory {
+    std::string ids;
+    for (const auto& link : train.positives()) ids += link.id_a + ",";
+    seen_train_ids.push_back(ids);
+    RunTrajectory t;
+    t.iterations.push_back({});
+    return t;
+  };
+  RunCrossValidation(links, config, learner);
+  auto first = seen_train_ids;
+  seen_train_ids.clear();
+  RunCrossValidation(links, config, learner);
+  EXPECT_EQ(first, seen_train_ids);
+}
+
+}  // namespace
+}  // namespace genlink

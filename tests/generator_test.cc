@@ -1,0 +1,212 @@
+// Tests for compatible-property mining (Algorithm 2) and random rule
+// generation (Section 5.1), including the representation restrictions.
+
+#include <gtest/gtest.h>
+
+#include "gp/compatible_properties.h"
+#include "gp/rule_generator.h"
+#include "rule/serialize.h"
+
+namespace genlink {
+namespace {
+
+// Fixture planting two datasets with one obviously compatible property
+// pair (title <-> name) and unrelated noise properties, mirroring the
+// Figure 3 example.
+class CompatiblePropertiesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PropertyId a_title = a_.schema().AddProperty("title");
+    PropertyId a_junk = a_.schema().AddProperty("internalCode");
+    PropertyId b_name = b_.schema().AddProperty("name");
+    PropertyId b_junk = b_.schema().AddProperty("catalogId");
+
+    const char* titles[] = {"alpha beta", "gamma delta", "epsilon zeta",
+                            "eta theta", "iota kappa"};
+    for (int i = 0; i < 5; ++i) {
+      Entity ea("a" + std::to_string(i));
+      ea.AddValue(a_title, titles[i]);
+      ea.AddValue(a_junk, "code-" + std::to_string(i * 131 + 7));
+      ASSERT_TRUE(a_.AddEntity(std::move(ea)).ok());
+
+      Entity eb("b" + std::to_string(i));
+      eb.AddValue(b_name, titles[i]);  // same values on the other schema
+      eb.AddValue(b_junk, "cat-" + std::to_string(i * 977 + 13));
+      ASSERT_TRUE(b_.AddEntity(std::move(eb)).ok());
+      links_.AddPositive("a" + std::to_string(i), "b" + std::to_string(i));
+    }
+  }
+
+  Dataset a_{"a"}, b_{"b"};
+  ReferenceLinkSet links_;
+};
+
+TEST_F(CompatiblePropertiesTest, FindsPlantedPair) {
+  Rng rng(1);
+  auto pairs = FindCompatibleProperties(a_, b_, links_, {}, rng);
+  ASSERT_FALSE(pairs.empty());
+  // The strongest-support pair must be title <-> name.
+  EXPECT_EQ(pairs[0].property_a, "title");
+  EXPECT_EQ(pairs[0].property_b, "name");
+  EXPECT_EQ(pairs[0].support, 5u);
+}
+
+TEST_F(CompatiblePropertiesTest, DoesNotPairUnrelatedProperties) {
+  Rng rng(1);
+  auto pairs = FindCompatibleProperties(a_, b_, links_, {}, rng);
+  for (const auto& pair : pairs) {
+    EXPECT_FALSE(pair.property_a == "internalCode" && pair.property_b == "catalogId");
+  }
+}
+
+TEST_F(CompatiblePropertiesTest, GeographicProbeDetectsCoordinates) {
+  // Add coordinate properties under different names (Figure 3: point /
+  // coord with the geographic measure).
+  PropertyId a_point = a_.schema().AddProperty("point");
+  PropertyId b_coord = b_.schema().AddProperty("coord");
+  for (int i = 0; i < 5; ++i) {
+    a_.mutable_entity(i).AddValue(a_point, "52.5 13.4");
+    b_.mutable_entity(i).AddValue(b_coord, "52.5 13.4");
+  }
+  Rng rng(1);
+  auto pairs = FindCompatibleProperties(a_, b_, links_, {}, rng);
+  bool found_geo = false;
+  for (const auto& pair : pairs) {
+    if (pair.property_a == "point" && pair.property_b == "coord" &&
+        pair.measure->name() == "geographic") {
+      found_geo = true;
+    }
+  }
+  EXPECT_TRUE(found_geo);
+}
+
+TEST_F(CompatiblePropertiesTest, SamplingBoundsRespected) {
+  Rng rng(1);
+  CompatiblePropertyConfig config;
+  config.max_links = 2;  // only 2 of 5 links sampled
+  auto pairs = FindCompatibleProperties(a_, b_, links_, config, rng);
+  ASSERT_FALSE(pairs.empty());
+  EXPECT_LE(pairs[0].support, 2u);
+}
+
+// ------------------------------------------------------------ RuleGenerator
+
+class RuleGeneratorTest : public ::testing::Test {
+ protected:
+  RuleGenerator MakeGenerator(RepresentationMode mode, bool seeded = true) {
+    std::vector<CompatiblePair> pairs;
+    pairs.push_back(
+        {"title", "name", DistanceRegistry::Default().Find("levenshtein"), 5});
+    pairs.push_back(
+        {"date", "released", DistanceRegistry::Default().Find("date"), 3});
+    RuleGeneratorConfig config;
+    config.mode = mode;
+    config.seeded = seeded;
+    return RuleGenerator(pairs, {"title", "date"}, {"name", "released"}, config);
+  }
+};
+
+TEST_F(RuleGeneratorTest, GeneratedRulesAreValid) {
+  Rng rng(3);
+  RuleGenerator generator = MakeGenerator(RepresentationMode::kFull);
+  for (int i = 0; i < 200; ++i) {
+    LinkageRule rule = generator.RandomRule(rng);
+    EXPECT_TRUE(rule.Validate().ok()) << ToSexpr(rule);
+    EXPECT_LE(CollectComparisons(rule).size(), 2u);
+  }
+}
+
+TEST_F(RuleGeneratorTest, SeededRulesUseCompatibleProperties) {
+  Rng rng(5);
+  RuleGenerator generator = MakeGenerator(RepresentationMode::kFull);
+  for (int i = 0; i < 100; ++i) {
+    LinkageRule rule = generator.RandomRule(rng);
+    for (const auto* cmp : CollectComparisons(rule)) {
+      // Source property must come from the seeded pair list.
+      const ValueOperator* src = cmp->source();
+      while (src->kind() == OperatorKind::kTransform) {
+        src = static_cast<const TransformOperator*>(src)->inputs()[0].get();
+      }
+      std::string prop = static_cast<const PropertyOperator*>(src)->property();
+      EXPECT_TRUE(prop == "title" || prop == "date") << prop;
+    }
+  }
+}
+
+TEST_F(RuleGeneratorTest, BooleanModeIsFlatUnweightedUntransformed) {
+  Rng rng(7);
+  RuleGenerator generator = MakeGenerator(RepresentationMode::kBoolean);
+  for (int i = 0; i < 100; ++i) {
+    LinkageRule rule = generator.RandomRule(rng);
+    EXPECT_TRUE(CollectTransforms(rule).empty());
+    auto aggregations = CollectAggregations(rule);
+    ASSERT_EQ(aggregations.size(), 1u);
+    std::string fn(aggregations[0]->function()->name());
+    EXPECT_TRUE(fn == "min" || fn == "max") << fn;
+    for (const auto* cmp : CollectComparisons(rule)) {
+      EXPECT_DOUBLE_EQ(cmp->weight(), 1.0);
+    }
+  }
+}
+
+TEST_F(RuleGeneratorTest, LinearModeUsesOnlyWeightedMean) {
+  Rng rng(9);
+  RuleGenerator generator = MakeGenerator(RepresentationMode::kLinear);
+  for (int i = 0; i < 100; ++i) {
+    LinkageRule rule = generator.RandomRule(rng);
+    EXPECT_TRUE(CollectTransforms(rule).empty());
+    for (const auto* agg : CollectAggregations(rule)) {
+      EXPECT_EQ(agg->function()->name(), "wmean");
+    }
+  }
+}
+
+TEST_F(RuleGeneratorTest, NonlinearModeHasNoTransforms) {
+  Rng rng(11);
+  RuleGenerator generator = MakeGenerator(RepresentationMode::kNonlinear);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(CollectTransforms(generator.RandomRule(rng)).empty());
+  }
+}
+
+TEST_F(RuleGeneratorTest, FullModeEventuallyAddsTransforms) {
+  Rng rng(13);
+  RuleGenerator generator = MakeGenerator(RepresentationMode::kFull);
+  size_t with_transforms = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!CollectTransforms(generator.RandomRule(rng)).empty()) ++with_transforms;
+  }
+  // P(transform) = 50% per property; over 100 rules this is near-certain.
+  EXPECT_GT(with_transforms, 30u);
+}
+
+TEST_F(RuleGeneratorTest, ThresholdsWithinMeasureRange) {
+  Rng rng(15);
+  RuleGenerator generator = MakeGenerator(RepresentationMode::kFull);
+  for (int i = 0; i < 200; ++i) {
+    LinkageRule rule = generator.RandomRule(rng);
+    for (const auto* cmp : CollectComparisons(rule)) {
+      EXPECT_GT(cmp->threshold(), 0.0);
+      EXPECT_LE(cmp->threshold(), cmp->measure()->MaxThreshold());
+    }
+  }
+}
+
+TEST_F(RuleGeneratorTest, UnseededFallsBackToSchemaProperties) {
+  Rng rng(17);
+  RuleGenerator generator = MakeGenerator(RepresentationMode::kFull,
+                                          /*seeded=*/false);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(generator.RandomRule(rng).Validate().ok());
+  }
+}
+
+TEST(RepresentationModeTest, Names) {
+  EXPECT_EQ(RepresentationModeName(RepresentationMode::kBoolean), "boolean");
+  EXPECT_EQ(RepresentationModeName(RepresentationMode::kLinear), "linear");
+  EXPECT_EQ(RepresentationModeName(RepresentationMode::kNonlinear), "nonlinear");
+  EXPECT_EQ(RepresentationModeName(RepresentationMode::kFull), "full");
+}
+
+}  // namespace
+}  // namespace genlink

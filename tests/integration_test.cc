@@ -1,0 +1,182 @@
+// Integration tests: GenLink end-to-end on scaled-down versions of the
+// paper's six (synthetic) evaluation data sets, plus learner-vs-baseline
+// and representation-restriction sanity checks. These mirror - at small
+// scale - the shapes of the paper's Tables 7-13.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baseline/carvalho_gp.h"
+#include "datasets/cora.h"
+#include "datasets/dbpedia_drugbank.h"
+#include "datasets/linkedmdb.h"
+#include "datasets/nyt.h"
+#include "datasets/restaurant.h"
+#include "datasets/sider_drugbank.h"
+#include "gp/genlink.h"
+#include "matcher/matcher.h"
+#include "rule/parse.h"
+#include "rule/serialize.h"
+
+namespace genlink {
+namespace {
+
+GenLinkConfig FastConfig() {
+  GenLinkConfig config;
+  config.population_size = 60;
+  config.max_iterations = 12;
+  config.num_threads = 1;
+  return config;
+}
+
+// Trains on one fold, validates on the other; returns final val F1.
+double LearnAndValidate(const MatchingTask& task, const GenLinkConfig& config,
+                        uint64_t seed, std::string* rule_out = nullptr) {
+  Rng rng(seed);
+  auto folds = task.links.SplitFolds(2, rng);
+  GenLink learner(task.Source(), task.Target(), config);
+  auto result = learner.Learn(folds[0], &folds[1], rng);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) return 0.0;
+  if (rule_out != nullptr) *rule_out = ToPrettySexpr(result->best_rule);
+  return result->trajectory.iterations.back().val_f1;
+}
+
+TEST(IntegrationTest, LearnsCoraLike) {
+  CoraConfig config;
+  config.scale = 0.08;
+  MatchingTask task = GenerateCora(config);
+  EXPECT_GT(LearnAndValidate(task, FastConfig(), 101), 0.8);
+}
+
+TEST(IntegrationTest, LearnsRestaurantLike) {
+  RestaurantConfig config;
+  config.scale = 0.5;
+  MatchingTask task = GenerateRestaurant(config);
+  EXPECT_GT(LearnAndValidate(task, FastConfig(), 102), 0.85);
+}
+
+TEST(IntegrationTest, LearnsSiderDrugbankLike) {
+  SiderDrugbankConfig config;
+  config.scale = 0.06;
+  MatchingTask task = GenerateSiderDrugbank(config);
+  EXPECT_GT(LearnAndValidate(task, FastConfig(), 103), 0.8);
+}
+
+TEST(IntegrationTest, LearnsNytLike) {
+  // NYT is the paper's hardest task (homonym places, URI labels,
+  // jittered coordinates); give the learner a bigger budget.
+  NytConfig config;
+  config.scale = 0.1;
+  MatchingTask task = GenerateNyt(config);
+  GenLinkConfig learn = FastConfig();
+  learn.population_size = 120;
+  learn.max_iterations = 25;
+  EXPECT_GT(LearnAndValidate(task, learn, 104), 0.65);
+}
+
+TEST(IntegrationTest, LearnsLinkedMdbLike) {
+  LinkedMdbConfig config;
+  config.scale = 1.0;  // already small (199/174 entities)
+  MatchingTask task = GenerateLinkedMdb(config);
+  EXPECT_GT(LearnAndValidate(task, FastConfig(), 105), 0.85);
+}
+
+TEST(IntegrationTest, LearnsDbpediaDrugbankLike) {
+  DbpediaDrugbankConfig config;
+  config.scale = 0.04;
+  MatchingTask task = GenerateDbpediaDrugbank(config);
+  EXPECT_GT(LearnAndValidate(task, FastConfig(), 106), 0.8);
+}
+
+// The Table 7/8 shape: GenLink's validation F1 is at least as good as
+// the Carvalho baseline's on the noisy citation data (where GenLink's
+// transformations matter).
+TEST(IntegrationTest, GenLinkBeatsOrMatchesBaselineOnCora) {
+  CoraConfig config;
+  config.scale = 0.25;  // enough links that 2-fold validation is stable
+  MatchingTask task = GenerateCora(config);
+
+  Rng rng(201);
+  auto folds = task.links.SplitFolds(2, rng);
+
+  GenLinkConfig gl_config = FastConfig();
+  gl_config.population_size = 120;
+  gl_config.max_iterations = 25;
+  GenLink genlink(task.Source(), task.Target(), gl_config);
+  Rng gl_rng(7);
+  auto gl = genlink.Learn(folds[0], &folds[1], gl_rng);
+  ASSERT_TRUE(gl.ok());
+
+  CarvalhoConfig cv_config;
+  cv_config.population_size = 60;
+  cv_config.max_generations = 12;
+  CarvalhoGP baseline(task.Source(), task.Target(), cv_config);
+  Rng cv_rng(7);
+  auto cv = baseline.Learn(folds[0], &folds[1], cv_rng);
+  ASSERT_TRUE(cv.ok());
+
+  EXPECT_GE(gl->trajectory.iterations.back().val_f1 + 0.08,
+            cv->trajectory.iterations.back().val_f1);
+}
+
+// The Table 13 shape on NYT-like data: the full representation beats the
+// boolean representation (transformations + non-linearity matter).
+TEST(IntegrationTest, FullRepresentationBeatsBooleanOnNyt) {
+  NytConfig config;
+  config.scale = 0.04;
+  MatchingTask task = GenerateNyt(config);
+
+  GenLinkConfig full = FastConfig();
+  full.max_iterations = 15;
+  full.mode = RepresentationMode::kFull;
+  GenLinkConfig boolean = full;
+  boolean.mode = RepresentationMode::kBoolean;
+
+  double f_full = 0.0, f_bool = 0.0;
+  for (uint64_t seed : {301, 302, 303}) {
+    f_full += LearnAndValidate(task, full, seed);
+    f_bool += LearnAndValidate(task, boolean, seed);
+  }
+  EXPECT_GT(f_full, f_bool - 0.05);  // full wins or ties within noise
+}
+
+// The learned rule is executable on the full datasets through the
+// matcher and finds most reference links.
+TEST(IntegrationTest, LearnedRuleExecutesViaMatcher) {
+  LinkedMdbConfig config;
+  MatchingTask task = GenerateLinkedMdb(config);
+  GenLinkConfig learn = FastConfig();
+  GenLink learner(task.Source(), task.Target(), learn);
+  Rng rng(401);
+  auto result = learner.Learn(task.links, nullptr, rng);
+  ASSERT_TRUE(result.ok());
+
+  auto links = GenerateLinks(result->best_rule, task.a, task.b);
+  std::set<std::pair<std::string, std::string>> found;
+  for (const auto& link : links) found.insert({link.id_a, link.id_b});
+  size_t hit = 0;
+  for (const auto& ref : task.links.positives()) {
+    if (found.count({ref.id_a, ref.id_b})) ++hit;
+  }
+  EXPECT_GT(static_cast<double>(hit) /
+                static_cast<double>(task.links.positives().size()),
+            0.8);
+}
+
+// Serialized learned rules parse back (the Figure 7/8 path).
+TEST(IntegrationTest, LearnedRuleRoundTripsThroughSexpr) {
+  CoraConfig config;
+  config.scale = 0.05;
+  MatchingTask task = GenerateCora(config);
+  std::string sexpr;
+  LearnAndValidate(task, FastConfig(), 501, &sexpr);
+  ASSERT_FALSE(sexpr.empty());
+  auto parsed = ParseRule(sexpr);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << sexpr;
+  EXPECT_TRUE(parsed->Validate().ok());
+}
+
+}  // namespace
+}  // namespace genlink

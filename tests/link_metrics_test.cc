@@ -1,0 +1,93 @@
+// Tests for link-set evaluation: set precision/recall and the
+// precision-recall threshold sweep.
+
+#include <gtest/gtest.h>
+
+#include "eval/link_metrics.h"
+
+namespace genlink {
+namespace {
+
+ReferenceLinkSet Truth() {
+  ReferenceLinkSet links;
+  links.AddPositive("a1", "b1");
+  links.AddPositive("a2", "b2");
+  links.AddPositive("a3", "b3");
+  links.AddPositive("a4", "b4");
+  return links;
+}
+
+TEST(LinkMetricsTest, PerfectLinkSet) {
+  std::vector<GeneratedLink> links{
+      {"a1", "b1", 1.0}, {"a2", "b2", 0.9}, {"a3", "b3", 0.8}, {"a4", "b4", 0.7}};
+  LinkSetMetrics m = EvaluateLinkSet(links, Truth());
+  EXPECT_EQ(m.correct, 4u);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f_measure, 1.0);
+}
+
+TEST(LinkMetricsTest, MixedLinkSet) {
+  // 2 correct, 2 wrong, 2 of 4 reference links missed.
+  std::vector<GeneratedLink> links{
+      {"a1", "b1", 1.0}, {"a2", "b2", 0.9}, {"a1", "b9", 0.8}, {"a9", "b1", 0.7}};
+  LinkSetMetrics m = EvaluateLinkSet(links, Truth());
+  EXPECT_EQ(m.correct, 2u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_DOUBLE_EQ(m.f_measure, 0.5);
+}
+
+TEST(LinkMetricsTest, EmptyInputs) {
+  LinkSetMetrics m = EvaluateLinkSet({}, Truth());
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+
+  ReferenceLinkSet empty;
+  std::vector<GeneratedLink> links{{"a1", "b1", 1.0}};
+  LinkSetMetrics m2 = EvaluateLinkSet(links, empty);
+  EXPECT_DOUBLE_EQ(m2.recall, 0.0);
+  EXPECT_EQ(m2.generated, 1u);
+}
+
+TEST(LinkMetricsTest, SweepTradesPrecisionForRecall) {
+  // High-score links are correct, low-score ones are wrong: raising the
+  // threshold must increase precision and decrease recall.
+  std::vector<GeneratedLink> links{
+      {"a1", "b1", 0.95}, {"a2", "b2", 0.9}, {"a3", "b3", 0.85},
+      {"a1", "b9", 0.6},  {"a9", "b1", 0.55}};
+  auto sweep = PrecisionRecallSweep(links, Truth(), 6, 0.5);
+  ASSERT_EQ(sweep.size(), 6u);
+  EXPECT_DOUBLE_EQ(sweep.front().threshold, 0.5);
+  EXPECT_DOUBLE_EQ(sweep.back().threshold, 1.0);
+  // At 0.5: all 5 links kept -> precision 3/5.
+  EXPECT_DOUBLE_EQ(sweep.front().metrics.precision, 0.6);
+  EXPECT_DOUBLE_EQ(sweep.front().metrics.recall, 0.75);
+  // At 0.7: only the 3 correct links remain.
+  const PrPoint* at07 = nullptr;
+  for (const auto& point : sweep) {
+    if (std::abs(point.threshold - 0.7) < 1e-9) at07 = &point;
+  }
+  ASSERT_NE(at07, nullptr);
+  EXPECT_DOUBLE_EQ(at07->metrics.precision, 1.0);
+  EXPECT_DOUBLE_EQ(at07->metrics.recall, 0.75);
+  // Precision is monotonically non-decreasing until links run out.
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    if (sweep[i].metrics.generated == 0) break;
+    EXPECT_GE(sweep[i].metrics.precision + 1e-12, sweep[i - 1].metrics.precision);
+  }
+}
+
+TEST(LinkMetricsTest, BestThresholdMaximizesF) {
+  std::vector<GeneratedLink> links{
+      {"a1", "b1", 0.95}, {"a2", "b2", 0.9}, {"a3", "b3", 0.85},
+      {"a1", "b9", 0.6},  {"a9", "b1", 0.55}};
+  auto sweep = PrecisionRecallSweep(links, Truth(), 11, 0.5);
+  double best = BestThreshold(sweep);
+  // The wrong links disappear above 0.6; best F is at a cut in (0.6, 0.85].
+  EXPECT_GT(best, 0.6);
+  EXPECT_LE(best, 0.85 + 1e-9);
+}
+
+}  // namespace
+}  // namespace genlink

@@ -1,0 +1,175 @@
+// Unit tests for the data model: schema, entity, dataset, reference
+// links and property statistics.
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "model/dataset.h"
+#include "model/property_stats.h"
+#include "model/reference_links.h"
+
+namespace genlink {
+namespace {
+
+TEST(SchemaTest, AddAndFind) {
+  Schema schema({"name", "age"});
+  EXPECT_EQ(schema.NumProperties(), 2u);
+  EXPECT_EQ(schema.FindProperty("name"), PropertyId{0});
+  EXPECT_EQ(schema.FindProperty("age"), PropertyId{1});
+  EXPECT_FALSE(schema.FindProperty("missing").has_value());
+  EXPECT_EQ(schema.PropertyName(1), "age");
+}
+
+TEST(SchemaTest, DuplicateNamesCollapse) {
+  Schema schema;
+  PropertyId a = schema.AddProperty("x");
+  PropertyId b = schema.AddProperty("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(schema.NumProperties(), 1u);
+}
+
+TEST(EntityTest, MultiValuedProperties) {
+  Entity e("e1");
+  e.AddValue(0, "a");
+  e.AddValue(0, "b");
+  e.AddValue(2, "c");
+  EXPECT_EQ(e.Values(0), (ValueSet{"a", "b"}));
+  EXPECT_TRUE(e.Values(1).empty());
+  EXPECT_EQ(e.Values(2), (ValueSet{"c"}));
+  EXPECT_TRUE(e.Values(99).empty());  // out of range is safe
+  EXPECT_TRUE(e.HasProperty(0));
+  EXPECT_FALSE(e.HasProperty(1));
+}
+
+TEST(DatasetTest, AddAndFind) {
+  Dataset ds("test");
+  Entity e("e1");
+  ASSERT_TRUE(ds.AddEntity(std::move(e)).ok());
+  EXPECT_EQ(ds.size(), 1u);
+  EXPECT_NE(ds.FindEntity("e1"), nullptr);
+  EXPECT_EQ(ds.FindEntity("nope"), nullptr);
+}
+
+TEST(DatasetTest, RejectsDuplicateAndEmptyIds) {
+  Dataset ds("test");
+  ASSERT_TRUE(ds.AddEntity(Entity("e1")).ok());
+  Status dup = ds.AddEntity(Entity("e1"));
+  EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
+  Status empty = ds.AddEntity(Entity(""));
+  EXPECT_EQ(empty.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReferenceLinksTest, NegativeGenerationFollowsPaperScheme) {
+  // For positives (a,b), (c,d): negatives must pair a source id from one
+  // positive with a target id from a different positive.
+  ReferenceLinkSet links;
+  links.AddPositive("a1", "b1");
+  links.AddPositive("a2", "b2");
+  links.AddPositive("a3", "b3");
+  Rng rng(5);
+  links.GenerateNegativesFromPositives(rng);
+  EXPECT_EQ(links.negatives().size(), links.positives().size());
+
+  std::unordered_set<std::string> sources{"a1", "a2", "a3"};
+  std::unordered_set<std::string> targets{"b1", "b2", "b3"};
+  for (const auto& neg : links.negatives()) {
+    EXPECT_TRUE(sources.count(neg.id_a)) << neg.id_a;
+    EXPECT_TRUE(targets.count(neg.id_b)) << neg.id_b;
+    // Never coincides with a positive: a_i pairs only with b_j, i != j.
+    EXPECT_NE(neg.id_a.substr(1), neg.id_b.substr(1));
+  }
+}
+
+TEST(ReferenceLinksTest, NegativesNeverDuplicate) {
+  ReferenceLinkSet links;
+  for (int i = 0; i < 20; ++i) {
+    links.AddPositive("a" + std::to_string(i), "b" + std::to_string(i));
+  }
+  Rng rng(7);
+  links.GenerateNegativesFromPositives(rng, 40);
+  std::unordered_set<std::string> seen;
+  for (const auto& neg : links.negatives()) {
+    EXPECT_TRUE(seen.insert(neg.id_a + "|" + neg.id_b).second);
+  }
+  EXPECT_EQ(links.negatives().size(), 40u);
+}
+
+TEST(ReferenceLinksTest, ResolveFailsOnMissingEntity) {
+  Dataset a("a"), b("b");
+  ASSERT_TRUE(a.AddEntity(Entity("x")).ok());
+  ASSERT_TRUE(b.AddEntity(Entity("y")).ok());
+  ReferenceLinkSet links;
+  links.AddPositive("x", "missing");
+  auto resolved = links.Resolve(a, b);
+  EXPECT_FALSE(resolved.ok());
+  EXPECT_EQ(resolved.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ReferenceLinksTest, ResolveLabelsPairs) {
+  Dataset a("a"), b("b");
+  ASSERT_TRUE(a.AddEntity(Entity("x")).ok());
+  ASSERT_TRUE(b.AddEntity(Entity("y")).ok());
+  ReferenceLinkSet links;
+  links.AddPositive("x", "y");
+  links.AddNegative("x", "y");
+  auto resolved = links.Resolve(a, b);
+  ASSERT_TRUE(resolved.ok());
+  ASSERT_EQ(resolved->size(), 2u);
+  EXPECT_TRUE((*resolved)[0].is_match);
+  EXPECT_FALSE((*resolved)[1].is_match);
+}
+
+TEST(ReferenceLinksTest, SplitFoldsBalancedAndDisjoint) {
+  ReferenceLinkSet links;
+  for (int i = 0; i < 100; ++i) {
+    links.AddPositive("a" + std::to_string(i), "b" + std::to_string(i));
+    links.AddNegative("a" + std::to_string(i), "c" + std::to_string(i));
+  }
+  Rng rng(11);
+  auto folds = links.SplitFolds(2, rng);
+  ASSERT_EQ(folds.size(), 2u);
+  EXPECT_EQ(folds[0].positives().size(), 50u);
+  EXPECT_EQ(folds[1].positives().size(), 50u);
+  EXPECT_EQ(folds[0].negatives().size(), 50u);
+  EXPECT_EQ(folds[1].negatives().size(), 50u);
+
+  std::unordered_set<std::string> fold0;
+  for (const auto& link : folds[0].positives()) fold0.insert(link.id_a);
+  for (const auto& link : folds[1].positives()) {
+    EXPECT_FALSE(fold0.count(link.id_a)) << "folds must be disjoint";
+  }
+}
+
+TEST(ReferenceLinksTest, MergeCombines) {
+  ReferenceLinkSet x, y;
+  x.AddPositive("a", "b");
+  y.AddPositive("c", "d");
+  y.AddNegative("e", "f");
+  x.Merge(y);
+  EXPECT_EQ(x.positives().size(), 2u);
+  EXPECT_EQ(x.negatives().size(), 1u);
+}
+
+TEST(PropertyStatsTest, CoverageComputation) {
+  Dataset ds("test");
+  PropertyId p0 = ds.schema().AddProperty("always");
+  PropertyId p1 = ds.schema().AddProperty("half");
+  for (int i = 0; i < 10; ++i) {
+    Entity e("e" + std::to_string(i));
+    e.AddValue(p0, "v");
+    if (i % 2 == 0) {
+      e.AddValue(p1, "w1");
+      e.AddValue(p1, "w2");
+    }
+    ASSERT_TRUE(ds.AddEntity(std::move(e)).ok());
+  }
+  PropertyStats stats = ComputePropertyStats(ds);
+  EXPECT_DOUBLE_EQ(stats.coverage[p0], 1.0);
+  EXPECT_DOUBLE_EQ(stats.coverage[p1], 0.5);
+  EXPECT_DOUBLE_EQ(stats.mean_values[p1], 2.0);
+  EXPECT_DOUBLE_EQ(stats.MeanCoverage(), 0.75);
+}
+
+}  // namespace
+}  // namespace genlink

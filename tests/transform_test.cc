@@ -1,0 +1,126 @@
+// Unit tests for the transformation library (Table 1 of the paper plus
+// extensions).
+
+#include <gtest/gtest.h>
+
+#include "transform/registry.h"
+#include "transform/string_transforms.h"
+#include "transform/structural_transforms.h"
+
+namespace genlink {
+namespace {
+
+ValueSet Apply1(const Transformation& t, const ValueSet& in) {
+  std::vector<ValueSet> inputs{in};
+  return t.Apply(inputs);
+}
+
+TEST(TransformTest, LowerCase) {
+  LowerCaseTransform t;
+  EXPECT_EQ(Apply1(t, {"iPod", "IPOD"}), (ValueSet{"ipod", "ipod"}));
+  EXPECT_TRUE(Apply1(t, {}).empty());
+}
+
+TEST(TransformTest, LowerCaseIdempotent) {
+  LowerCaseTransform t;
+  ValueSet once = Apply1(t, {"MiXeD CaSe 42!"});
+  EXPECT_EQ(Apply1(t, once), once);
+}
+
+TEST(TransformTest, UpperCase) {
+  UpperCaseTransform t;
+  EXPECT_EQ(Apply1(t, {"iPod"}), (ValueSet{"IPOD"}));
+}
+
+TEST(TransformTest, Tokenize) {
+  TokenizeTransform t;
+  EXPECT_EQ(Apply1(t, {"hello world", "foo-bar"}),
+            (ValueSet{"hello", "world", "foo", "bar"}));
+  EXPECT_TRUE(Apply1(t, {"..."}).empty());
+}
+
+TEST(TransformTest, StripUriPrefix) {
+  StripUriPrefixTransform t;
+  EXPECT_EQ(Apply1(t, {"http://dbpedia.org/resource/New_York_City"}),
+            (ValueSet{"New York City"}));
+  EXPECT_EQ(Apply1(t, {"https://example.org/page#Fragment"}),
+            (ValueSet{"Fragment"}));
+  // Non-URIs pass through unchanged.
+  EXPECT_EQ(Apply1(t, {"plain value"}), (ValueSet{"plain value"}));
+}
+
+TEST(TransformTest, Concatenate) {
+  ConcatenateTransform t;
+  std::vector<ValueSet> inputs{{"john"}, {"smith"}};
+  EXPECT_EQ(t.Apply(inputs), (ValueSet{"john smith"}));
+  EXPECT_EQ(t.arity(), 2u);
+
+  // Cross product for multi-valued inputs.
+  std::vector<ValueSet> multi{{"a", "b"}, {"x"}};
+  EXPECT_EQ(t.Apply(multi), (ValueSet{"a x", "b x"}));
+
+  // Missing side falls back to the present side.
+  std::vector<ValueSet> left_only{{"solo"}, {}};
+  EXPECT_EQ(t.Apply(left_only), (ValueSet{"solo"}));
+  std::vector<ValueSet> right_only{{}, {"solo"}};
+  EXPECT_EQ(t.Apply(right_only), (ValueSet{"solo"}));
+}
+
+TEST(TransformTest, Trim) {
+  TrimTransform t;
+  EXPECT_EQ(Apply1(t, {"  padded \t"}), (ValueSet{"padded"}));
+}
+
+TEST(TransformTest, StripPunctuationTransform) {
+  StripPunctuationTransform t;
+  EXPECT_EQ(Apply1(t, {"it's a test."}), (ValueSet{"its a test"}));
+}
+
+TEST(TransformTest, RemoveDashes) {
+  RemoveDashesTransform t;
+  EXPECT_EQ(Apply1(t, {"50-78-2"}), (ValueSet{"50782"}));
+}
+
+TEST(TransformTest, StemLowercasesAndStems) {
+  StemTransform t;
+  EXPECT_EQ(Apply1(t, {"Matching Records"}), (ValueSet{"match record"}));
+}
+
+TEST(TransformTest, SoundexTransform) {
+  SoundexTransform t;
+  EXPECT_EQ(Apply1(t, {"Robert", "Rupert"}), (ValueSet{"R163", "R163"}));
+}
+
+TEST(TransformRegistryTest, Table1TransformationsPresent) {
+  const auto& reg = TransformRegistry::Default();
+  for (const char* name :
+       {"lowerCase", "tokenize", "stripUriPrefix", "concatenate", "stem"}) {
+    EXPECT_NE(reg.Find(name), nullptr) << name;
+  }
+  EXPECT_EQ(reg.Find("unknown"), nullptr);
+  EXPECT_GE(reg.transformations().size(), 10u);
+}
+
+TEST(TransformRegistryTest, UnaryListExcludesConcatenate) {
+  auto unary = TransformRegistry::Default().UnaryTransformations();
+  for (const auto* t : unary) {
+    EXPECT_EQ(t->arity(), 1u) << t->name();
+    EXPECT_NE(t->name(), "concatenate");
+  }
+  EXPECT_GE(unary.size(), 9u);
+}
+
+// Chaining transformations works like the paper's chains
+// (stripUriPrefix -> lowerCase -> tokenize).
+TEST(TransformTest, ChainingNormalizesUris) {
+  const auto& reg = TransformRegistry::Default();
+  ValueSet v{"http://dbpedia.org/resource/New_York_City"};
+  v = Apply1(*reg.Find("stripUriPrefix"), v);
+  v = Apply1(*reg.Find("lowerCase"), v);
+  std::vector<ValueSet> in{v};
+  v = reg.Find("tokenize")->Apply(in);
+  EXPECT_EQ(v, (ValueSet{"new", "york", "city"}));
+}
+
+}  // namespace
+}  // namespace genlink

@@ -1,0 +1,243 @@
+// genlink - command-line interface to the library.
+//
+//   genlink learn  --source a.csv --target b.csv --links links.csv \
+//                  [--out rule.xml] [--population N] [--iterations N]
+//                  [--seed N] [--id-column id]
+//   genlink match  --source a.csv --target b.csv --rule rule.xml \
+//                  [--out links.csv] [--threshold 0.5]
+//   genlink eval   --source a.csv --target b.csv --rule rule.xml \
+//                  --links links.csv
+//
+// Datasets are CSV (first row = property names; use --id-column to name
+// the id column) or N-Triples (*.nt). Reference links are CSV
+// (id_a,id_b[,label]) or owl:sameAs N-Triples. Rules are stored in the
+// Silk-style XML format (rule/xml.h); .rule files with s-expressions are
+// also accepted.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/string_util.h"
+#include "eval/link_metrics.h"
+#include "gp/genlink.h"
+#include "io/csv.h"
+#include "io/link_io.h"
+#include "io/ntriples.h"
+#include "matcher/matcher.h"
+#include "rule/parse.h"
+#include "rule/serialize.h"
+#include "rule/xml.h"
+
+namespace genlink {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  const char* Get(const std::string& key, const char* fallback = nullptr) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second.c_str();
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  genlink learn --source A --target B --links L [--out rule.xml]\n"
+      "                [--population 500] [--iterations 50] [--seed 42]\n"
+      "                [--id-column id]\n"
+      "  genlink match --source A --target B --rule R [--out links.csv]\n"
+      "                [--threshold 0.5] [--id-column id]\n"
+      "  genlink eval  --source A --target B --rule R --links L\n"
+      "                [--id-column id]\n"
+      "datasets: .csv (header row = properties) or .nt (N-Triples)\n"
+      "links:    .csv (id_a,id_b[,label]) or .nt (owl:sameAs)\n");
+  return 2;
+}
+
+Result<Dataset> LoadDataset(const std::string& path, const char* id_column,
+                            std::string name) {
+  auto content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  if (EndsWith(path, ".nt")) {
+    return ReadNTriplesDataset(*content, std::move(name));
+  }
+  CsvDatasetOptions options;
+  if (id_column != nullptr) options.id_column = id_column;
+  return ReadCsvDataset(*content, std::move(name), options);
+}
+
+Result<ReferenceLinkSet> LoadLinks(const std::string& path) {
+  auto content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  if (EndsWith(path, ".nt")) return ReadSameAsLinks(*content);
+  return ReadLinksCsv(*content);
+}
+
+Result<LinkageRule> LoadRule(const std::string& path) {
+  auto content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  if (EndsWith(path, ".xml")) return ParseRuleXml(*content);
+  return ParseRule(*content);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunLearn(const Args& args) {
+  const char* source = args.Get("source");
+  const char* target = args.Get("target");
+  const char* links_path = args.Get("links");
+  if (source == nullptr || target == nullptr || links_path == nullptr) {
+    return Usage();
+  }
+  auto a = LoadDataset(source, args.Get("id-column", "id"), "source");
+  if (!a.ok()) return Fail(a.status());
+  auto b = LoadDataset(target, args.Get("id-column", "id"), "target");
+  if (!b.ok()) return Fail(b.status());
+  auto links = LoadLinks(links_path);
+  if (!links.ok()) return Fail(links.status());
+
+  if (links->negatives().empty()) {
+    std::fprintf(stderr,
+                 "note: no negative links supplied; generating %zu negatives "
+                 "with the permutation scheme\n",
+                 links->positives().size());
+    Rng neg_rng(1);
+    links->GenerateNegativesFromPositives(neg_rng);
+  }
+
+  GenLinkConfig config;
+  int64_t value = 0;
+  if (args.Get("population") && ParseInt64(args.Get("population"), &value)) {
+    config.population_size = static_cast<size_t>(value);
+  }
+  if (args.Get("iterations") && ParseInt64(args.Get("iterations"), &value)) {
+    config.max_iterations = static_cast<size_t>(value);
+  }
+  uint64_t seed = 42;
+  if (args.Get("seed") && ParseInt64(args.Get("seed"), &value)) {
+    seed = static_cast<uint64_t>(value);
+  }
+
+  Rng rng(seed);
+  auto folds = links->SplitFolds(2, rng);
+  GenLink learner(*a, *b, config);
+  auto result = learner.Learn(folds[0], &folds[1], rng);
+  if (!result.ok()) return Fail(result.status());
+
+  const IterationStats& final_stats = result->trajectory.iterations.back();
+  std::fprintf(stderr,
+               "learned in %zu iterations (%.1fs): train F1 %.3f, val F1 %.3f\n",
+               final_stats.iteration, final_stats.seconds, final_stats.train_f1,
+               final_stats.val_f1);
+
+  std::string xml = ToXml(result->best_rule);
+  const char* out = args.Get("out");
+  if (out != nullptr) {
+    Status status = WriteStringToFile(out, xml);
+    if (!status.ok()) return Fail(status);
+    std::fprintf(stderr, "rule written to %s\n", out);
+  } else {
+    std::fputs(xml.c_str(), stdout);
+  }
+  return 0;
+}
+
+int RunMatch(const Args& args) {
+  const char* source = args.Get("source");
+  const char* target = args.Get("target");
+  const char* rule_path = args.Get("rule");
+  if (source == nullptr || target == nullptr || rule_path == nullptr) {
+    return Usage();
+  }
+  auto a = LoadDataset(source, args.Get("id-column", "id"), "source");
+  if (!a.ok()) return Fail(a.status());
+  auto b = LoadDataset(target, args.Get("id-column", "id"), "target");
+  if (!b.ok()) return Fail(b.status());
+  auto rule = LoadRule(rule_path);
+  if (!rule.ok()) return Fail(rule.status());
+
+  MatchOptions options;
+  double threshold = 0.5;
+  if (args.Get("threshold") && ParseDouble(args.Get("threshold"), &threshold)) {
+    options.threshold = threshold;
+  }
+  auto links = GenerateLinks(*rule, *a, *b, options);
+  std::fprintf(stderr, "generated %zu links\n", links.size());
+
+  std::string csv = "id_a,id_b,score\n";
+  for (const auto& link : links) {
+    csv += link.id_a + "," + link.id_b + "," + FormatDouble(link.score, 4) + "\n";
+  }
+  const char* out = args.Get("out");
+  if (out != nullptr) {
+    Status status = WriteStringToFile(out, csv);
+    if (!status.ok()) return Fail(status);
+  } else {
+    std::fputs(csv.c_str(), stdout);
+  }
+  return 0;
+}
+
+int RunEval(const Args& args) {
+  const char* source = args.Get("source");
+  const char* target = args.Get("target");
+  const char* rule_path = args.Get("rule");
+  const char* links_path = args.Get("links");
+  if (source == nullptr || target == nullptr || rule_path == nullptr ||
+      links_path == nullptr) {
+    return Usage();
+  }
+  auto a = LoadDataset(source, args.Get("id-column", "id"), "source");
+  if (!a.ok()) return Fail(a.status());
+  auto b = LoadDataset(target, args.Get("id-column", "id"), "target");
+  if (!b.ok()) return Fail(b.status());
+  auto rule = LoadRule(rule_path);
+  if (!rule.ok()) return Fail(rule.status());
+  auto links = LoadLinks(links_path);
+  if (!links.ok()) return Fail(links.status());
+
+  auto generated = GenerateLinks(*rule, *a, *b);
+  LinkSetMetrics metrics = EvaluateLinkSet(generated, *links);
+  std::printf("generated: %zu  reference: %zu  correct: %zu\n",
+              metrics.generated, metrics.reference, metrics.correct);
+  std::printf("precision: %.4f  recall: %.4f  F1: %.4f\n", metrics.precision,
+              metrics.recall, metrics.f_measure);
+
+  std::printf("\nthreshold sweep:\n");
+  for (const auto& point : PrecisionRecallSweep(generated, *links)) {
+    std::printf("  t=%.2f  precision %.4f  recall %.4f  F1 %.4f\n",
+                point.threshold, point.metrics.precision, point.metrics.recall,
+                point.metrics.f_measure);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) return Usage();
+    std::string key(arg.substr(2));
+    if (i + 1 >= argc) return Usage();
+    args.options[key] = argv[++i];
+  }
+  if (args.command == "learn") return RunLearn(args);
+  if (args.command == "match") return RunMatch(args);
+  if (args.command == "eval") return RunEval(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace genlink
+
+int main(int argc, char** argv) { return genlink::Main(argc, argv); }
