@@ -1,0 +1,47 @@
+// main() for the Google Benchmark micro benches. Identical to
+// BENCHMARK_MAIN() except that, unless the caller already passed
+// --benchmark_out, results are also written to BENCH_<name>.json in
+// the current directory (Benchmark's own JSON format), matching the
+// machine-readable records the table benches emit via the harness.
+//
+// <name> comes from the GENLINK_BENCH_NAME compile definition set per
+// target in bench/CMakeLists.txt.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#ifndef GENLINK_BENCH_NAME
+#define GENLINK_BENCH_NAME "micro"
+#endif
+
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    // Exactly --benchmark_out[=...]; must not match --benchmark_out_format.
+    if (std::strcmp(argv[i], "--benchmark_out") == 0 ||
+        std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      has_out = true;
+    }
+  }
+
+  std::string out_flag =
+      "--benchmark_out=BENCH_" GENLINK_BENCH_NAME ".json";
+  std::string format_flag = "--benchmark_out_format=json";
+  std::vector<char*> args(argv, argv + argc);
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

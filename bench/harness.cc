@@ -1,5 +1,6 @@
 #include "harness.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,6 +11,7 @@
 #include "datasets/nyt.h"
 #include "datasets/restaurant.h"
 #include "datasets/sider_drugbank.h"
+#include "io/csv.h"
 
 namespace genlink {
 namespace bench {
@@ -122,6 +124,106 @@ std::vector<size_t> StandardCheckpoints(size_t max_iterations) {
     if (i <= max_iterations) checkpoints.push_back(i);
   }
   return checkpoints;
+}
+
+namespace {
+
+// JSON helpers: minimal, but NaN/Inf-safe (JSON has no literals for
+// them; they become null) and string-escaping for names.
+
+void AppendJsonNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  out += buffer;
+}
+
+void AppendJsonString(std::string& out, const std::string& value) {
+  out += '"';
+  for (char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out += c;
+  }
+  out += '"';
+}
+
+void AppendJsonMoments(std::string& out, const char* key,
+                       const Moments& moments) {
+  out += '"';
+  out += key;
+  out += "\": {\"mean\": ";
+  AppendJsonNumber(out, moments.mean);
+  out += ", \"stddev\": ";
+  AppendJsonNumber(out, moments.stddev);
+  out += '}';
+}
+
+}  // namespace
+
+BenchRecord MakeBenchRecord(std::string dataset, std::string system,
+                            const BenchScale& scale,
+                            const CrossValidationResult& result) {
+  BenchRecord record;
+  record.dataset = std::move(dataset);
+  record.system = std::move(system);
+  record.data_scale = scale.data_scale;
+  record.population = scale.population;
+  record.iterations = scale.iterations;
+  record.runs = scale.runs;
+  if (!result.iterations.empty()) {
+    const AggregatedIteration& last = result.iterations.back();
+    record.iterations = last.iteration;  // actual, may be < scale.iterations
+    record.train_f1 = last.train_f1;
+    record.val_f1 = last.val_f1;
+    record.seconds = last.seconds;
+  }
+  return record;
+}
+
+bool WriteBenchJson(const std::string& name, const BenchScale& scale,
+                    const std::vector<BenchRecord>& records) {
+  std::string json = "{\n  \"bench\": ";
+  AppendJsonString(json, name);
+  json += ",\n  \"scale\": ";
+  AppendJsonString(json, scale.name);
+  json += ",\n  \"records\": [";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& record = records[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += "    {\"dataset\": ";
+    AppendJsonString(json, record.dataset);
+    json += ", \"system\": ";
+    AppendJsonString(json, record.system);
+    json += ",\n     \"config\": {\"data_scale\": ";
+    AppendJsonNumber(json, record.data_scale);
+    char buffer[128];
+    std::snprintf(buffer, sizeof(buffer),
+                  ", \"population\": %zu, \"iterations\": %zu, \"runs\": %zu}",
+                  record.population, record.iterations, record.runs);
+    json += buffer;
+    json += ",\n     ";
+    AppendJsonMoments(json, "train_f1", record.train_f1);
+    json += ", ";
+    AppendJsonMoments(json, "val_f1", record.val_f1);
+    json += ", ";
+    AppendJsonMoments(json, "seconds", record.seconds);
+    json += '}';
+  }
+  json += "\n  ]\n}\n";
+
+  const std::string path = "BENCH_" + name + ".json";
+  Status status = WriteStringToFile(path, json);
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: cannot write %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    return false;
+  }
+  std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
+  return true;
 }
 
 std::vector<MatchingTask> AllTasks(const BenchScale& scale) {

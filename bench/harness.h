@@ -81,6 +81,37 @@ std::vector<size_t> StandardCheckpoints(size_t max_iterations);
 /// linkedmdb, dbpedia-drugbank.
 std::vector<MatchingTask> AllTasks(const BenchScale& scale);
 
+// ------------------------------------------------------------------
+// Machine-readable records. Every table bench writes a
+// BENCH_<name>.json file next to the tables it prints so later PRs
+// have a baseline to compare against (and CI can archive them).
+
+/// One measured configuration: a (dataset, system) pair with its
+/// config knobs and final quality/latency numbers.
+struct BenchRecord {
+  std::string dataset;   // e.g. "restaurant"
+  std::string system;    // e.g. "genlink", "carvalho", "genlink/boolean"
+  double data_scale = 1.0;
+  size_t population = 0;
+  size_t iterations = 0;
+  size_t runs = 0;
+  Moments train_f1;
+  Moments val_f1;
+  Moments seconds;       // cumulative wall time at the final iteration
+};
+
+/// Builds a record from the final aggregated iteration of `result`
+/// (zeros when the result is empty).
+BenchRecord MakeBenchRecord(std::string dataset, std::string system,
+                            const BenchScale& scale,
+                            const CrossValidationResult& result);
+
+/// Serializes `records` (with the scale echoed for reproducibility) and
+/// writes BENCH_<name>.json into the current working directory.
+/// Returns false and warns on stderr if the file cannot be written.
+bool WriteBenchJson(const std::string& name, const BenchScale& scale,
+                    const std::vector<BenchRecord>& records);
+
 }  // namespace bench
 }  // namespace genlink
 

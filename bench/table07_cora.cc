@@ -54,5 +54,11 @@ int main() {
               genlink_result.example_rule_sexpr.c_str());
   std::printf("\nexample learned rule without transformations (cf. Figure 8):\n%s\n",
               restricted.example_rule_sexpr.c_str());
+
+  WriteBenchJson(
+      "table07_cora", scale,
+      {MakeBenchRecord("cora", "genlink", scale, genlink_result),
+       MakeBenchRecord("cora", "genlink/no-transform", scale, restricted),
+       MakeBenchRecord("cora", "carvalho", scale, carvalho)});
   return 0;
 }

@@ -37,5 +37,9 @@ int main() {
                        carvalho, {scale.iterations}, {});
 
   std::printf("\nexample learned rule:\n%s\n", result.example_rule_sexpr.c_str());
+
+  WriteBenchJson("table08_restaurant", scale,
+                 {MakeBenchRecord("restaurant", "genlink", scale, result),
+                  MakeBenchRecord("restaurant", "carvalho", scale, carvalho)});
   return 0;
 }

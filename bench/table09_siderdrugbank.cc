@@ -34,5 +34,8 @@ int main() {
   PrintReferenceLine("RiMOM", 0.504);
 
   std::printf("\nexample learned rule:\n%s\n", result.example_rule_sexpr.c_str());
+
+  WriteBenchJson("table09_siderdrugbank", scale,
+                 {MakeBenchRecord("sider-drugbank", "genlink", scale, result)});
   return 0;
 }

@@ -36,5 +36,8 @@ int main() {
   PrintReferenceLine("Zhishi.links", 0.92);
 
   std::printf("\nexample learned rule:\n%s\n", result.example_rule_sexpr.c_str());
+
+  WriteBenchJson("table10_nyt", scale,
+                 {MakeBenchRecord("nyt", "genlink", scale, result)});
   return 0;
 }

@@ -36,5 +36,8 @@ int main() {
       "\npaper: the learned rules compare title and release date, as the\n"
       "human-written rule does. example learned rule:\n%s\n",
       result.example_rule_sexpr.c_str());
+
+  WriteBenchJson("table11_linkedmdb", scale,
+                 {MakeBenchRecord("linkedmdb", "genlink", scale, result)});
   return 0;
 }

@@ -55,5 +55,9 @@ int main() {
         comparisons, transforms);
   }
   std::printf("\nexample learned rule:\n%s\n", result.example_rule_sexpr.c_str());
+
+  WriteBenchJson(
+      "table12_dbpediadrugbank", scale,
+      {MakeBenchRecord("dbpedia-drugbank", "genlink", scale, result)});
   return 0;
 }

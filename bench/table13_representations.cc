@@ -39,6 +39,7 @@ int main() {
   std::printf("%-18s %9s %9s %9s %9s   [paper: bool/lin/nonlin/full]\n",
               "dataset", "Boolean", "Linear", "Nonlin.", "Full");
 
+  std::vector<BenchRecord> records;
   std::vector<MatchingTask> tasks = AllTasks(scale);
   for (size_t t = 0; t < tasks.size(); ++t) {
     const MatchingTask& task = tasks[t];
@@ -46,6 +47,7 @@ int main() {
     RepresentationMode modes[4] = {
         RepresentationMode::kBoolean, RepresentationMode::kLinear,
         RepresentationMode::kNonlinear, RepresentationMode::kFull};
+    const char* mode_names[4] = {"boolean", "linear", "nonlinear", "full"};
     for (int m = 0; m < 4; ++m) {
       GenLinkConfig config = MakeGenLinkConfig(scale);
       config.mode = modes[m];
@@ -54,11 +56,14 @@ int main() {
           RunGenLinkCv(task, config, scale.runs, 13000 + 10 * t + m);
       const AggregatedIteration* row = result.FindIteration(report_iter);
       measured[m] = row != nullptr ? row->val_f1.mean : 0.0;
+      records.push_back(MakeBenchRecord(
+          task.name, std::string("genlink/") + mode_names[m], scale, result));
     }
     std::printf("%-18s %9.3f %9.3f %9.3f %9.3f   [%.3f/%.3f/%.3f/%.3f]\n",
                 task.name.c_str(), measured[0], measured[1], measured[2],
                 measured[3], kPaper[t].boolean_f1, kPaper[t].linear_f1,
                 kPaper[t].nonlinear_f1, kPaper[t].full_f1);
   }
+  WriteBenchJson("table13_representations", scale, records);
   return 0;
 }

@@ -38,6 +38,7 @@ int main() {
   std::printf("%-18s | @%zu: %8s %8s | @%zu: %8s %8s   [paper @10, @25]\n",
               "dataset", iter10, "subtree", "ours", iter25, "subtree", "ours");
 
+  std::vector<BenchRecord> records;
   std::vector<MatchingTask> tasks = AllTasks(scale);
   for (size_t t = 0; t < tasks.size(); ++t) {
     const MatchingTask& task = tasks[t];
@@ -52,6 +53,11 @@ int main() {
       const AggregatedIteration* row25 = result.FindIteration(iter25);
       cells[subtree][0] = row10 != nullptr ? row10->val_f1.mean : 0.0;
       cells[subtree][1] = row25 != nullptr ? row25->val_f1.mean : 0.0;
+      records.push_back(MakeBenchRecord(
+          task.name,
+          subtree == 1 ? "genlink/subtree-crossover"
+                       : "genlink/specialized-crossover",
+          scale, result));
     }
     std::printf(
         "%-18s |      %8.3f %8.3f |      %8.3f %8.3f   "
@@ -60,5 +66,6 @@ int main() {
         kPaper[t].subtree_10, kPaper[t].ours_10, kPaper[t].subtree_25,
         kPaper[t].ours_25);
   }
+  WriteBenchJson("table15_crossover", scale, records);
   return 0;
 }

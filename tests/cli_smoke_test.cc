@@ -1,0 +1,103 @@
+// End-to-end smoke test for tools/genlink_cli: exports a synthetic
+// Restaurant task to CSV, shells out to the real binary to learn a
+// rule, and asserts the process exits 0 and the written rule parses.
+//
+// The path to the CLI binary is passed as argv[1] by CTest (see
+// tests/CMakeLists.txt), so this suite provides its own main.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datasets/restaurant.h"
+#include "io/csv.h"
+#include "io/link_io.h"
+#include "rule/linkage_rule.h"
+#include "rule/xml.h"
+
+namespace genlink {
+namespace {
+
+std::string g_cli_path;
+
+// Serializes a dataset the way genlink_cli expects it back: a header
+// row of "id" + property names, one row per entity. Multi-valued cells
+// are joined with '|' (the CLI's loader keeps them as one value, which
+// is fine for a smoke run).
+std::string DatasetToCsv(const Dataset& dataset) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header{"id"};
+  const Schema& schema = dataset.schema();
+  for (const std::string& name : schema.property_names()) {
+    header.push_back(name);
+  }
+  rows.push_back(std::move(header));
+  for (const Entity& entity : dataset.entities()) {
+    std::vector<std::string> row{entity.id()};
+    for (PropertyId p = 0; p < schema.NumProperties(); ++p) {
+      const ValueSet& values = entity.Values(p);
+      std::string cell;
+      for (size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) cell += '|';
+        cell += values[i];
+      }
+      row.push_back(std::move(cell));
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteCsv(rows);
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "genlink_smoke_" + name;
+}
+
+TEST(CliSmokeTest, LearnsParseableRuleOnRestaurant) {
+  ASSERT_FALSE(g_cli_path.empty())
+      << "pass the genlink_cli path as argv[1] (CTest does this)";
+
+  // A shrunken Restaurant dedup task keeps the learn step in seconds.
+  RestaurantConfig config;
+  config.scale = 0.3;
+  MatchingTask task = GenerateRestaurant(config);
+  ASSERT_GT(task.Source().size(), 0u);
+  ASSERT_GT(task.links.positives().size(), 0u);
+
+  const std::string data_path = TempPath("restaurant.csv");
+  const std::string links_path = TempPath("links.csv");
+  const std::string rule_path = TempPath("rule.xml");
+  ASSERT_TRUE(WriteStringToFile(data_path, DatasetToCsv(task.Source())).ok());
+  ASSERT_TRUE(WriteStringToFile(links_path, WriteLinksCsv(task.links)).ok());
+
+  // Restaurant is a deduplication task: source is matched against
+  // itself, so the same file serves as both sides.
+  const std::string command = g_cli_path + " learn --source " + data_path +
+                              " --target " + data_path + " --links " +
+                              links_path + " --out " + rule_path +
+                              " --population 50 --iterations 3 --seed 7";
+  const int exit_code = std::system(command.c_str());
+  ASSERT_EQ(exit_code, 0) << "command failed: " << command;
+
+  auto xml = ReadFileToString(rule_path);
+  ASSERT_TRUE(xml.ok()) << "CLI did not write " << rule_path;
+  auto rule = ParseRuleXml(*xml);
+  ASSERT_TRUE(rule.ok()) << "rule does not parse: "
+                         << rule.status().ToString();
+  EXPECT_NE(rule->root(), nullptr);
+
+  std::remove(data_path.c_str());
+  std::remove(links_path.c_str());
+  std::remove(rule_path.c_str());
+}
+
+}  // namespace
+}  // namespace genlink
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc > 1) genlink::g_cli_path = argv[1];
+  return RUN_ALL_TESTS();
+}
