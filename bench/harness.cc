@@ -211,6 +211,16 @@ bool WriteBenchJson(const std::string& name, const BenchScale& scale,
     AppendJsonMoments(json, "val_f1", record.val_f1);
     json += ", ";
     AppendJsonMoments(json, "seconds", record.seconds);
+    if (!record.extra.empty()) {
+      json += ",\n     \"extra\": {";
+      for (size_t e = 0; e < record.extra.size(); ++e) {
+        if (e > 0) json += ", ";
+        AppendJsonString(json, record.extra[e].first);
+        json += ": ";
+        AppendJsonNumber(json, record.extra[e].second);
+      }
+      json += '}';
+    }
     json += '}';
   }
   json += "\n  ]\n}\n";

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baseline/carvalho_gp.h"
@@ -98,6 +99,9 @@ struct BenchRecord {
   Moments train_f1;
   Moments val_f1;
   Moments seconds;       // cumulative wall time at the final iteration
+  /// Bench-specific numeric fields, serialized under "extra" (omitted
+  /// when empty). E.g. scaling_threads records threads and speedups.
+  std::vector<std::pair<std::string, double>> extra;
 };
 
 /// Builds a record from the final aggregated iteration of `result`

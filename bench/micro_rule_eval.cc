@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "datasets/cora.h"
+#include "eval/engine.h"
 #include "eval/fitness.h"
 #include "rule/builder.h"
 
@@ -98,6 +99,28 @@ void BM_FitnessEvaluation(benchmark::State& state) {
                           static_cast<int64_t>(pairs->size()));
 }
 BENCHMARK(BM_FitnessEvaluation);
+
+// Same evaluation through the engine with a warm distance cache: no
+// string distance is computed, only thresholding and aggregation.
+// The fitness memo is disabled so every iteration does the full
+// per-pair pass (otherwise the bench would measure a hash lookup).
+void BM_EngineFitnessEvaluationWarm(benchmark::State& state) {
+  const MatchingTask& task = CoraTask();
+  auto pairs = task.links.Resolve(task.Source(), task.Target());
+  EngineConfig config;
+  config.num_threads = 1;
+  config.cache_fitness = false;
+  EvaluationEngine engine(*pairs, task.Source().schema(),
+                          task.Target().schema(), {}, config);
+  LinkageRule rule = MediumRule();
+  engine.Evaluate(rule);  // warm the distance rows
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Evaluate(rule));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pairs->size()));
+}
+BENCHMARK(BM_EngineFitnessEvaluationWarm);
 
 }  // namespace
 }  // namespace genlink

@@ -1,0 +1,192 @@
+// Thread-scaling of the evaluation engine (eval/engine.h): one
+// Restaurant learning run per thread count, identical seed, measuring
+// wall time and asserting that the learned rule and F1 do not depend on
+// the thread count (the engine's determinism invariant).
+//
+// Emits BENCH_scaling_threads.json with one record per thread count;
+// `extra` carries the thread count, the measured speedup vs the
+// single-thread run, and whether the learned rule matched the 1-thread
+// rule bit for bit. Exit status is non-zero when determinism is
+// violated, so CI's bench-smoke step doubles as a regression gate.
+//
+// Interpreting the speedup requires knowing the hardware: the engine
+// parallelizes over individuals and distance rows with no serial
+// reduction, so on an N-core machine the speedup approaches
+// min(threads, N). `extra.hardware_concurrency` records what the
+// machine offered; on a single-core container all speedups are ~1.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "datasets/restaurant.h"
+#include "harness.h"
+#include "rule/rule_hash.h"
+#include "rule/serialize.h"
+
+using namespace genlink;
+using namespace genlink::bench;
+
+namespace {
+
+struct RunMeasurement {
+  size_t threads = 0;
+  bool cached = true;
+  bool ok = false;
+  double seconds = 0.0;
+  double train_f1 = 0.0;
+  double val_f1 = 0.0;
+  uint64_t rule_hash = 0;
+  std::string rule_sexpr;
+};
+
+RunMeasurement RunOnce(const MatchingTask& task, const BenchScale& scale,
+                       size_t threads, bool cached) {
+  GenLinkConfig config = MakeGenLinkConfig(scale);
+  config.num_threads = threads;
+  config.cache_fitness = cached;
+  config.cache_distances = cached;
+  // Disable early stopping: Restaurant reaches full training F1 within
+  // a couple of generations, which would leave nothing to measure. A
+  // scaling bench needs fixed work per configuration.
+  config.stop_f_measure = 1.1;
+
+  // Same seed for every thread count: fold split and evolution draw
+  // from the same stream, so any divergence comes from evaluation.
+  Rng rng(/*seed=*/8003);
+  auto folds = task.links.SplitFolds(2, rng);
+  GenLink learner(task.Source(), task.Target(), config);
+
+  auto start = std::chrono::steady_clock::now();
+  auto result = learner.Learn(folds[0], &folds[1], rng);
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+
+  RunMeasurement m;
+  m.threads = threads;
+  m.cached = cached;
+  m.seconds = elapsed;
+  if (!result.ok()) {
+    std::fprintf(stderr, "learn failed at %zu threads: %s\n", threads,
+                 result.status().ToString().c_str());
+    return m;
+  }
+  m.ok = true;
+  const IterationStats& last = result->trajectory.iterations.back();
+  m.train_f1 = last.train_f1;
+  m.val_f1 = last.val_f1;
+  m.rule_hash = CanonicalRuleHash(result->best_rule);
+  m.rule_sexpr = ToSexpr(result->best_rule);
+  std::printf(
+      "%-8s threads=%zu  %6.2fs  train F1 %.3f  val F1 %.3f  "
+      "fitness-hit %4.1f%%  distance-row-hit %4.1f%%\n",
+      cached ? "cached" : "nocache", threads, elapsed, m.train_f1, m.val_f1,
+      100.0 * result->eval_stats.FitnessHitRate(),
+      100.0 * result->eval_stats.DistanceRowHitRate());
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  BenchScale scale = GetBenchScale();
+
+  RestaurantConfig data;
+  // Restaurant is already small (864 records); only shrink for smoke.
+  data.scale = scale.name == "smoke" ? 0.3 : 1.0;
+  MatchingTask task = GenerateRestaurant(data);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf("restaurant: %zu records, %zu/%zu reference links, "
+              "%u hardware threads\n",
+              task.a.size(), task.links.positives().size(),
+              task.links.negatives().size(), hardware);
+
+  // Warm-up run so first-touch costs (page faults, allocator growth) do
+  // not bias the 1-thread measurement.
+  RunOnce(task, scale, 1, /*cached=*/true);
+
+  // Two families: the engine with its caches (the production path) and
+  // with caching disabled (every string distance recomputed — the
+  // paper's implied cost model, and the workload whose thread-scaling
+  // is purest since it is compute-bound).
+  std::vector<RunMeasurement> runs;
+  for (bool cached : {true, false}) {
+    for (size_t threads : {1, 2, 4, 8}) {
+      runs.push_back(RunOnce(task, scale, threads, cached));
+    }
+  }
+
+  auto family_t1_seconds = [&](bool cached) {
+    for (const RunMeasurement& m : runs) {
+      if (m.cached == cached && m.threads == 1) return m.seconds;
+    }
+    return 0.0;
+  };
+
+  bool deterministic = true;
+  std::vector<BenchRecord> records;
+  for (const RunMeasurement& m : runs) {
+    // Determinism must hold across thread counts AND cache settings:
+    // the caches are exact, so every run learns the same rule. A failed
+    // run fails the gate too — all-zero measurements must not pass it
+    // vacuously.
+    bool identical = m.ok && runs.front().ok &&
+                     m.rule_hash == runs.front().rule_hash &&
+                     m.train_f1 == runs.front().train_f1 &&
+                     m.val_f1 == runs.front().val_f1;
+    deterministic = deterministic && identical;
+    if (!identical && m.ok && runs.front().ok) {
+      std::fprintf(stderr,
+                   "divergent rule at %s threads=%zu:\n  t1:  %s\n  now: %s\n",
+                   m.cached ? "cached" : "nocache", m.threads,
+                   runs.front().rule_sexpr.c_str(), m.rule_sexpr.c_str());
+    }
+    double t1 = family_t1_seconds(m.cached);
+    BenchRecord record;
+    record.dataset = "restaurant";
+    record.system = std::string("genlink/") + (m.cached ? "" : "nocache/") +
+                    "threads=" + std::to_string(m.threads);
+    record.data_scale = data.scale;
+    record.population = scale.population;
+    record.iterations = scale.iterations;
+    record.runs = 1;
+    record.train_f1 = {m.train_f1, 0.0};
+    record.val_f1 = {m.val_f1, 0.0};
+    record.seconds = {m.seconds, 0.0};
+    record.extra = {
+        {"threads", static_cast<double>(m.threads)},
+        {"cached", m.cached ? 1.0 : 0.0},
+        {"speedup_vs_t1", m.seconds > 0.0 ? t1 / m.seconds : 0.0},
+        {"rule_identical_to_t1", identical ? 1.0 : 0.0},
+        {"hardware_concurrency", static_cast<double>(hardware)},
+    };
+    records.push_back(std::move(record));
+  }
+
+  for (bool cached : {true, false}) {
+    std::printf("\n%s speedup vs its 1-thread run:",
+                cached ? "cached" : "nocache");
+    double t1 = family_t1_seconds(cached);
+    for (const RunMeasurement& m : runs) {
+      if (m.cached != cached) continue;
+      std::printf("  t%zu: %.2fx", m.threads,
+                  m.seconds > 0.0 ? t1 / m.seconds : 0.0);
+    }
+  }
+  double cache_win = family_t1_seconds(true) > 0.0
+                         ? family_t1_seconds(false) / family_t1_seconds(true)
+                         : 0.0;
+  std::printf("\ncache speedup at 1 thread: %.2fx\n", cache_win);
+
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "ERROR: a run failed or the learned rule/F1 differs across "
+                 "thread counts\n");
+  } else {
+    std::printf("learned rule identical across all thread counts\n");
+  }
+
+  WriteBenchJson("scaling_threads", scale, records);
+  return deterministic ? 0 : 1;
+}

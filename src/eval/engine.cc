@@ -1,0 +1,245 @@
+#include "eval/engine.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "distance/distance_measure.h"
+#include "eval/confusion_matrix.h"
+
+namespace genlink {
+namespace {
+
+// Mirrors SimilarityOperator::Evaluate with the raw distance of each
+// comparison read from its cached row. The aggregation arithmetic is
+// literally shared (AggregateOperandScores, rule/operators.h) and
+// thresholding is the same ThresholdedScore call, so the result is
+// bit-identical to the uncached path.
+//
+// `rows` holds one distance row per comparison of the rule, in the
+// pre-order RuleHashInfo::comparisons uses; this walk visits the
+// comparisons in the same pre-order, so `next_row` pairs each
+// comparison with its row by position — no per-pair map lookup in the
+// hot loop. The caller resets `next_row` to 0 for every pair.
+double EvalNode(const SimilarityOperator& node, size_t pair_index,
+                std::span<const std::vector<double>* const> rows,
+                size_t& next_row) {
+  if (node.kind() == OperatorKind::kComparison) {
+    const auto& cmp = static_cast<const ComparisonOperator&>(node);
+    assert(next_row < rows.size());
+    const std::vector<double>& row = *rows[next_row++];
+    return ThresholdedScore(row[pair_index], cmp.threshold());
+  }
+  const auto& agg = static_cast<const AggregationOperator&>(node);
+  return AggregateOperandScores(
+      *agg.function(), agg.operands(), [&](const SimilarityOperator& op) {
+        return EvalNode(op, pair_index, rows, next_row);
+      });
+}
+
+}  // namespace
+
+const FitnessResult* FitnessCache::Find(uint64_t hash) const {
+  auto it = entries_.find(hash);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void FitnessCache::Insert(uint64_t hash, const FitnessResult& result) {
+  if (entries_.size() >= max_entries_) entries_.clear();
+  entries_[hash] = result;
+}
+
+EvaluationEngine::EvaluationEngine(std::span<const LabeledPair> pairs,
+                                   const Schema& schema_a,
+                                   const Schema& schema_b,
+                                   FitnessConfig fitness, EngineConfig config)
+    : pairs_(pairs),
+      schema_a_(&schema_a),
+      schema_b_(&schema_b),
+      fitness_config_(fitness),
+      config_(config),
+      serial_(pairs, schema_a, schema_b, fitness),
+      pool_(config.num_threads),
+      fitness_cache_(config.max_fitness_entries) {}
+
+void EvaluationEngine::FillDistanceRow(const ComparisonOperator& op,
+                                       std::vector<double>& row) const {
+  row.resize(pairs_.size());
+  for (size_t p = 0; p < pairs_.size(); ++p) {
+    const LabeledPair& pair = pairs_[p];
+    ValueSet va = op.source()->Evaluate(*pair.a, *schema_a_);
+    ValueSet vb = op.target()->Evaluate(*pair.b, *schema_b_);
+    // Empty sets are stored as an infinite distance: ThresholdedScore
+    // maps it to 0.0, exactly the serial path's empty-set short-circuit.
+    row[p] = (va.empty() || vb.empty()) ? kInfiniteDistance
+                                        : op.measure()->Distance(va, vb);
+  }
+}
+
+ConfusionMatrix EvaluationEngine::EvaluateWithRows(
+    const LinkageRule& rule,
+    std::span<const std::vector<double>* const> rows) const {
+  ConfusionMatrix cm;
+  for (size_t p = 0; p < pairs_.size(); ++p) {
+    size_t next_row = 0;
+    bool predicted =
+        !rule.empty() &&
+        EvalNode(*rule.root(), p, rows, next_row) >= kMatchThreshold;
+    if (pairs_[p].is_match) {
+      predicted ? ++cm.tp : ++cm.fn;
+    } else {
+      predicted ? ++cm.fp : ++cm.tn;
+    }
+  }
+  return cm;
+}
+
+void EvaluationEngine::EvaluateBatch(std::span<const LinkageRule* const> rules,
+                                     std::span<FitnessResult> results) {
+  assert(rules.size() == results.size());
+
+  // Phase 1 (serial): hash every rule, resolve fitness-memo hits, and
+  // dedup identical rules within the batch (one representative is
+  // evaluated; its result is copied to the duplicates afterwards).
+  // Hashing is skipped entirely when no cache consumes it — the
+  // nocache configuration is a pure-recompute baseline.
+  const bool need_hash = config_.cache_fitness || config_.cache_distances;
+  std::vector<Pending> pending;
+  std::unordered_map<uint64_t, size_t> pending_by_hash;  // canonical -> idx
+  std::vector<std::pair<size_t, size_t>> duplicates;  // (batch idx, pending idx)
+  for (size_t i = 0; i < rules.size(); ++i) {
+    ++stats_.rules_evaluated;
+    if (!need_hash) {
+      ++stats_.fitness_misses;
+      pending.push_back({i, {}});
+      continue;
+    }
+    RuleHashInfo info = hasher_.Analyze(*rules[i]);
+    if (config_.cache_fitness) {
+      if (const FitnessResult* hit = fitness_cache_.Find(info.canonical)) {
+        results[i] = *hit;
+        ++stats_.fitness_hits;
+        continue;
+      }
+      auto [it, inserted] =
+          pending_by_hash.try_emplace(info.canonical, pending.size());
+      if (!inserted) {
+        duplicates.push_back({i, it->second});
+        ++stats_.fitness_hits;
+        continue;
+      }
+    }
+    ++stats_.fitness_misses;
+    pending.push_back({i, std::move(info)});
+  }
+  stats_.subtree_probes = hasher_.subtree_probes();
+  stats_.subtree_hits = hasher_.subtree_hits();
+  if (pending.empty()) return;
+
+  if (!config_.cache_distances) {
+    // Reference path: per-rule evaluation recomputes every distance.
+    pool_.ParallelFor(pending.size(), [&](size_t k) {
+      results[pending[k].index] = serial_.Evaluate(*rules[pending[k].index]);
+    });
+  } else {
+    // Phase 2 (serial): collect the batch's distinct comparison
+    // signatures and decide which rows are missing. Repeated sites
+    // within the batch are hits no matter what (the row exists by eval
+    // time and they did not trigger its computation); first occurrences
+    // of a present row are only hits if the budget clear below does not
+    // evict it — their accounting waits for that decision.
+    std::vector<uint64_t> needed_sigs;
+    std::vector<const ComparisonOperator*> needed_reps;
+    std::vector<bool> row_present;
+    std::unordered_set<uint64_t> seen_in_batch;
+    size_t rows_missing = 0;
+    uint64_t duplicate_site_hits = 0;
+    for (const Pending& p : pending) {
+      for (const ComparisonSite& site : p.info.comparisons) {
+        if (!seen_in_batch.insert(site.signature).second) {
+          // Repeated site within the batch: served by whichever row the
+          // first occurrence provides.
+          ++duplicate_site_hits;
+          continue;
+        }
+        needed_sigs.push_back(site.signature);
+        needed_reps.push_back(site.op);
+        bool present =
+            distance_rows_.find(site.signature) != distance_rows_.end();
+        row_present.push_back(present);
+        if (!present) ++rows_missing;
+      }
+    }
+    stats_.distance_row_hits += duplicate_site_hits;
+
+    // Soft byte budget: when the cache would outgrow it, drop the old
+    // rows and recompute only what this batch needs. (A batch larger
+    // than the budget still computes all of its rows.)
+    const size_t row_bytes = pairs_.size() * sizeof(double) + 64;
+    std::vector<uint64_t> new_sigs;
+    std::vector<const ComparisonOperator*> new_reps;
+    if ((distance_rows_.size() + rows_missing) * row_bytes >
+        config_.max_distance_bytes) {
+      distance_rows_.clear();
+      new_sigs = needed_sigs;
+      new_reps = needed_reps;
+    } else {
+      for (size_t k = 0; k < needed_sigs.size(); ++k) {
+        if (row_present[k]) {
+          ++stats_.distance_row_hits;
+        } else {
+          new_sigs.push_back(needed_sigs[k]);
+          new_reps.push_back(needed_reps[k]);
+        }
+      }
+    }
+
+    // Phase 3 (parallel): fill the missing rows. Rows are allocated
+    // serially first so the map is never mutated concurrently; each row
+    // is written by exactly one task.
+    std::vector<std::vector<double>*> new_rows(new_sigs.size());
+    for (size_t k = 0; k < new_sigs.size(); ++k) {
+      new_rows[k] = &distance_rows_[new_sigs[k]];
+    }
+    pool_.ParallelFor(new_sigs.size(), [&](size_t k) {
+      FillDistanceRow(*new_reps[k], *new_rows[k]);
+    });
+    stats_.distance_rows_computed += new_sigs.size();
+
+    // Phase 4 (parallel): score the pending rules from the rows. The
+    // row map is read-only here; each rule is scored by one task with a
+    // serial in-order pass over the pairs (deterministic reduction).
+    // Rows are resolved once per rule, in the comparisons' pre-order,
+    // so the per-pair walk consumes them by position.
+    pool_.ParallelFor(pending.size(), [&](size_t k) {
+      const Pending& p = pending[k];
+      const LinkageRule& rule = *rules[p.index];
+      std::vector<const std::vector<double>*> rule_rows;
+      rule_rows.reserve(p.info.comparisons.size());
+      for (const ComparisonSite& site : p.info.comparisons) {
+        rule_rows.push_back(&distance_rows_.find(site.signature)->second);
+      }
+      results[p.index] = ScoreConfusion(EvaluateWithRows(rule, rule_rows),
+                                        rule.OperatorCount(), fitness_config_);
+    });
+  }
+
+  // Phase 5 (serial): copy results to batch-internal duplicates and
+  // memoize the new results.
+  for (const auto& [batch_index, pending_index] : duplicates) {
+    results[batch_index] = results[pending[pending_index].index];
+  }
+  if (config_.cache_fitness) {
+    for (const Pending& p : pending) {
+      fitness_cache_.Insert(p.info.canonical, results[p.index]);
+    }
+  }
+}
+
+FitnessResult EvaluationEngine::Evaluate(const LinkageRule& rule) {
+  const LinkageRule* ptr = &rule;
+  FitnessResult result;
+  EvaluateBatch({&ptr, 1}, {&result, 1});
+  return result;
+}
+
+}  // namespace genlink

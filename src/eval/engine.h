@@ -1,0 +1,174 @@
+// The evaluation engine: parallel, memoized fitness evaluation.
+//
+// The GP loop spends essentially all of its time scoring candidate rules
+// against the labelled training pairs (Section 5.2 of the paper; the
+// paper defers efficient rule execution to the Silk substrate [19]).
+// This engine makes that hot path fast without changing a single bit of
+// the results:
+//
+//   1. Fitness memo — FitnessResults are cached behind the canonical
+//      structural hash of the rule (rule/rule_hash.h), so a rule bred a
+//      second time in a later generation is never re-evaluated.
+//   2. Distance cache — for every *comparison signature* (distance
+//      measure x source value subtree x target value subtree, threshold
+//      and weight excluded) the engine precomputes the raw distance of
+//      every training pair once. Offspring share comparison subtrees
+//      with their parents, so across generations almost all comparisons
+//      hit this cache; evaluating a rule then reduces to thresholding
+//      and aggregating cached doubles — no string distances at all.
+//   3. Thread pool — distance rows and cache-missing rules are
+//      evaluated in parallel on common/thread_pool.
+//
+// Determinism invariants (relied on by tests/determinism_test.cc and
+// tests/engine_test.cc):
+//   * Results are bit-identical to the serial FitnessEvaluator path:
+//     a raw distance is the same double whether recomputed or cached
+//     (empty value sets are stored as kInfiniteDistance, which
+//     ThresholdedScore maps to the same 0.0 score the serial
+//     short-circuit produces), and aggregation visits operands in tree
+//     order either way.
+//   * Results are independent of the thread count: each distance row
+//     and each rule is filled by exactly one task, caches are only
+//     written in the serial phases, and no reduction crosses a task
+//     boundary.
+
+#ifndef GENLINK_EVAL_ENGINE_H_
+#define GENLINK_EVAL_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "eval/fitness.h"
+#include "rule/rule_hash.h"
+
+namespace genlink {
+
+/// Engine knobs. The defaults are right for learning runs; the cache
+/// toggles exist for A/B testing and for the engine's own tests.
+struct EngineConfig {
+  /// Worker threads (0 = hardware concurrency).
+  size_t num_threads = 0;
+  /// Memoize whole-rule FitnessResults by canonical hash.
+  bool cache_fitness = true;
+  /// Precompute per-pair raw distances by comparison signature.
+  bool cache_distances = true;
+  /// Fitness memo entry bound; the memo is cleared when exceeded.
+  size_t max_fitness_entries = 1 << 18;
+  /// Approximate byte budget for distance rows; rows are cleared between
+  /// batches when the budget would be exceeded.
+  size_t max_distance_bytes = 128u << 20;
+};
+
+/// Cumulative counters over the engine's lifetime. Updated only in the
+/// serial phases, so reads between batches need no synchronization.
+struct EngineStats {
+  /// Individuals that went through the engine (hits + misses).
+  uint64_t rules_evaluated = 0;
+  /// Rules served without evaluation: memo hits from earlier batches,
+  /// plus batch-internal duplicates of a rule evaluated in this batch.
+  uint64_t fitness_hits = 0;
+  uint64_t fitness_misses = 0;
+  /// Comparison sites served by a row the site did not itself trigger
+  /// computing — cached from an earlier batch, or shared with another
+  /// site of the same batch (one computed row serving N sites).
+  uint64_t distance_row_hits = 0;
+  /// Distance rows computed (one row = all training pairs for one
+  /// comparison signature).
+  uint64_t distance_rows_computed = 0;
+  /// Subtree hash-consing telemetry (structure reuse across the run).
+  uint64_t subtree_probes = 0;
+  uint64_t subtree_hits = 0;
+
+  double FitnessHitRate() const {
+    return rules_evaluated == 0
+               ? 0.0
+               : static_cast<double>(fitness_hits) /
+                     static_cast<double>(rules_evaluated);
+  }
+  double DistanceRowHitRate() const {
+    uint64_t probes = distance_row_hits + distance_rows_computed;
+    return probes == 0 ? 0.0
+                       : static_cast<double>(distance_row_hits) /
+                             static_cast<double>(probes);
+  }
+};
+
+/// Memoizes fitness results by canonical rule hash across generations.
+/// Rules with identical structure are only evaluated once.
+class FitnessCache {
+ public:
+  /// `max_entries` bounds memory; the cache is cleared when exceeded.
+  explicit FitnessCache(size_t max_entries = 1 << 18)
+      : max_entries_(max_entries) {}
+
+  const FitnessResult* Find(uint64_t hash) const;
+  void Insert(uint64_t hash, const FitnessResult& result);
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, FitnessResult> entries_;
+  size_t max_entries_;
+};
+
+/// Evaluates rules against one fixed set of labelled training pairs,
+/// with memoization and parallelism. Bound to its pair set: use one
+/// engine per training split. Not thread-safe externally (the learner
+/// calls it from one thread; the engine parallelizes internally).
+class EvaluationEngine {
+ public:
+  /// `pairs` must outlive the engine.
+  EvaluationEngine(std::span<const LabeledPair> pairs, const Schema& schema_a,
+                   const Schema& schema_b, FitnessConfig fitness = {},
+                   EngineConfig config = {});
+
+  /// Evaluates `rules[i]` into `results[i]` for every i. Both spans must
+  /// have the same size; rule pointers must be non-null and alive for
+  /// the duration of the call.
+  void EvaluateBatch(std::span<const LinkageRule* const> rules,
+                     std::span<FitnessResult> results);
+
+  /// Single-rule convenience wrapper over EvaluateBatch.
+  FitnessResult Evaluate(const LinkageRule& rule);
+
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  /// One rule awaiting evaluation (a fitness-memo miss).
+  struct Pending {
+    size_t index = 0;  // into the batch
+    RuleHashInfo info;
+  };
+
+  /// Fills `row` (sized to pairs_) with the raw distance of every pair
+  /// under the comparison's measure and value subtrees.
+  void FillDistanceRow(const ComparisonOperator& op,
+                       std::vector<double>& row) const;
+
+  /// Evaluates one rule using cached distance rows only (no string
+  /// distance is computed). `rows` holds the rule's comparison rows in
+  /// the pre-order of RuleHashInfo::comparisons.
+  ConfusionMatrix EvaluateWithRows(
+      const LinkageRule& rule,
+      std::span<const std::vector<double>* const> rows) const;
+
+  std::span<const LabeledPair> pairs_;
+  const Schema* schema_a_;
+  const Schema* schema_b_;
+  FitnessConfig fitness_config_;
+  EngineConfig config_;
+  FitnessEvaluator serial_;
+  ThreadPool pool_;
+  RuleHasher hasher_;
+  FitnessCache fitness_cache_;
+  /// comparison signature -> raw distance per training pair.
+  std::unordered_map<uint64_t, std::vector<double>> distance_rows_;
+  EngineStats stats_;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_EVAL_ENGINE_H_

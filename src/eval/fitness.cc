@@ -2,14 +2,21 @@
 
 namespace genlink {
 
-FitnessResult FitnessEvaluator::Evaluate(const LinkageRule& rule) const {
+FitnessResult ScoreConfusion(const ConfusionMatrix& cm, size_t operator_count,
+                             const FitnessConfig& config) {
   FitnessResult result;
-  result.confusion = EvaluateRuleOnPairs(rule, pairs_, *schema_a_, *schema_b_);
-  result.mcc = MatthewsCorrelation(result.confusion);
-  result.f_measure = FMeasure(result.confusion);
-  result.fitness = result.mcc - config_.parsimony_weight *
-                                    static_cast<double>(rule.OperatorCount());
+  result.confusion = cm;
+  result.mcc = MatthewsCorrelation(cm);
+  result.f_measure = FMeasure(cm);
+  result.fitness = result.mcc - config.parsimony_weight *
+                                    static_cast<double>(operator_count);
   return result;
+}
+
+FitnessResult FitnessEvaluator::Evaluate(const LinkageRule& rule) const {
+  return ScoreConfusion(
+      EvaluateRuleOnPairs(rule, pairs_, *schema_a_, *schema_b_),
+      rule.OperatorCount(), config_);
 }
 
 }  // namespace genlink

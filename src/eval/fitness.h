@@ -42,7 +42,18 @@ struct FitnessResult {
   ConfusionMatrix confusion;
 };
 
-/// Evaluates rules against a fixed set of labelled training pairs.
+/// Derives the full FitnessResult from a confusion matrix and the rule's
+/// operator count. The single implementation of the fitness formula —
+/// shared by FitnessEvaluator and the evaluation engine (eval/engine.h)
+/// so the two paths cannot drift.
+FitnessResult ScoreConfusion(const ConfusionMatrix& cm, size_t operator_count,
+                             const FitnessConfig& config);
+
+/// Evaluates rules against a fixed set of labelled training pairs, one
+/// rule at a time with no caching or parallelism. This is the *reference
+/// path*: eval/engine.h routes population evaluation through its caches
+/// and thread pool but must stay bit-identical to this evaluator
+/// (asserted by tests/engine_test.cc).
 class FitnessEvaluator {
  public:
   /// `pairs` must outlive the evaluator.

@@ -37,8 +37,12 @@ Result<LearnResult> GenLink::Learn(const ReferenceLinkSet& train,
     val_pairs = std::move(resolved).value();
   }
 
-  FitnessEvaluator evaluator(*train_pairs, a_->schema(), b_->schema(),
-                             config_.fitness);
+  EngineConfig engine_config;
+  engine_config.num_threads = config_.num_threads;
+  engine_config.cache_fitness = config_.cache_fitness;
+  engine_config.cache_distances = config_.cache_distances;
+  EvaluationEngine engine(*train_pairs, a_->schema(), b_->schema(),
+                          config_.fitness, engine_config);
 
   LearnResult result;
 
@@ -56,15 +60,12 @@ Result<LearnResult> GenLink::Learn(const ReferenceLinkSet& train,
   auto crossover_set =
       MakeCrossoverSet(config_.mode, config_.subtree_crossover_only);
 
-  ThreadPool pool(config_.num_threads);
-  FitnessCache cache;
-
   // --- Initial population.
   Population population;
   for (size_t i = 0; i < config_.population_size; ++i) {
     population.Add(Individual{generator.RandomRule(rng), {}, false});
   }
-  EvaluatePopulation(population, evaluator, &pool, &cache);
+  EvaluatePopulation(population, engine);
 
   {
     double f1_sum = 0.0;
@@ -175,11 +176,12 @@ Result<LearnResult> GenLink::Learn(const ReferenceLinkSet& train,
     }
 
     population = std::move(next);
-    EvaluatePopulation(population, evaluator, &pool, &cache);
+    EvaluatePopulation(population, engine);
     last = record(iteration);
   }
 
   const Individual& best = population[population.BestIndex()];
+  result.eval_stats = engine.stats();
   result.best_rule = best.rule.Clone();
   result.trajectory.best_rule_sexpr = ToPrettySexpr(result.best_rule);
   result.trajectory.final_val_f1 =

@@ -61,6 +61,12 @@ struct GenLinkConfig {
 
   /// Worker threads for fitness evaluation (0 = hardware concurrency).
   size_t num_threads = 0;
+  /// Memoize whole-rule fitness results across generations (see
+  /// eval/engine.h). Off only for A/B measurements.
+  bool cache_fitness = true;
+  /// Precompute per-pair raw distances per comparison signature (see
+  /// eval/engine.h). Off only for A/B measurements.
+  bool cache_distances = true;
 };
 
 /// Output of one learning run.
@@ -72,6 +78,8 @@ struct LearnResult {
   double initial_population_mean_f1 = 0.0;
   /// Compatible pairs found by the seeding step (empty when unseeded).
   std::vector<CompatiblePair> compatible_pairs;
+  /// Final counters of the evaluation engine (cache hit rates etc.).
+  EngineStats eval_stats;
 };
 
 /// Per-iteration observer (iteration stats plus read access to the

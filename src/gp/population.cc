@@ -35,51 +35,19 @@ double Population::MeanOperatorCount() const {
   return sum / static_cast<double>(individuals_.size());
 }
 
-const FitnessResult* FitnessCache::Find(uint64_t hash) const {
-  auto it = entries_.find(hash);
-  return it == entries_.end() ? nullptr : &it->second;
-}
-
-void FitnessCache::Insert(uint64_t hash, const FitnessResult& result) {
-  if (entries_.size() >= max_entries_) entries_.clear();
-  entries_[hash] = result;
-}
-
-void EvaluatePopulation(Population& population, const FitnessEvaluator& evaluator,
-                        ThreadPool* pool, FitnessCache* cache) {
-  // Resolve cache hits serially, collect misses.
-  std::vector<size_t> misses;
-  std::vector<uint64_t> miss_hashes;
+void EvaluatePopulation(Population& population, EvaluationEngine& engine) {
+  std::vector<size_t> indices;
+  std::vector<const LinkageRule*> rules;
   for (size_t i = 0; i < population.size(); ++i) {
-    Individual& ind = population[i];
-    if (ind.evaluated) continue;
-    uint64_t hash = ind.rule.StructuralHash();
-    if (cache != nullptr) {
-      if (const FitnessResult* hit = cache->Find(hash)) {
-        ind.fitness = *hit;
-        ind.evaluated = true;
-        continue;
-      }
-    }
-    misses.push_back(i);
-    miss_hashes.push_back(hash);
+    if (population[i].evaluated) continue;
+    indices.push_back(i);
+    rules.push_back(&population[i].rule);
   }
-
-  auto evaluate_one = [&](size_t k) {
-    Individual& ind = population[misses[k]];
-    ind.fitness = evaluator.Evaluate(ind.rule);
-    ind.evaluated = true;
-  };
-  if (pool != nullptr) {
-    pool->ParallelFor(misses.size(), evaluate_one);
-  } else {
-    for (size_t k = 0; k < misses.size(); ++k) evaluate_one(k);
-  }
-
-  if (cache != nullptr) {
-    for (size_t k = 0; k < misses.size(); ++k) {
-      cache->Insert(miss_hashes[k], population[misses[k]].fitness);
-    }
+  std::vector<FitnessResult> results(rules.size());
+  engine.EvaluateBatch(rules, results);
+  for (size_t k = 0; k < indices.size(); ++k) {
+    population[indices[k]].fitness = results[k];
+    population[indices[k]].evaluated = true;
   }
 }
 

@@ -1,14 +1,13 @@
-// Population of candidate linkage rules with cached fitness, plus the
-// parallel evaluation helper with structural-hash memoization.
+// Population of candidate linkage rules with cached fitness. Evaluation
+// is routed through the evaluation engine (eval/engine.h), which owns
+// the thread pool, the fitness memo and the distance cache.
 
 #ifndef GENLINK_GP_POPULATION_H_
 #define GENLINK_GP_POPULATION_H_
 
-#include <unordered_map>
 #include <vector>
 
-#include "common/thread_pool.h"
-#include "eval/fitness.h"
+#include "eval/engine.h"
 #include "rule/linkage_rule.h"
 
 namespace genlink {
@@ -53,29 +52,9 @@ class Population {
   std::vector<Individual> individuals_;
 };
 
-/// Memoizes fitness results by structural rule hash across generations.
-/// Rules with identical structure are only evaluated once.
-class FitnessCache {
- public:
-  /// `max_entries` bounds memory; the cache is cleared when exceeded.
-  explicit FitnessCache(size_t max_entries = 1 << 18)
-      : max_entries_(max_entries) {}
-
-  const FitnessResult* Find(uint64_t hash) const;
-  void Insert(uint64_t hash, const FitnessResult& result);
-
-  size_t size() const { return entries_.size(); }
-
- private:
-  std::unordered_map<uint64_t, FitnessResult> entries_;
-  size_t max_entries_;
-};
-
-/// Evaluates all unevaluated individuals with `evaluator`, using `pool`
-/// for parallelism (may be null) and `cache` for memoization (may be
-/// null).
-void EvaluatePopulation(Population& population, const FitnessEvaluator& evaluator,
-                        ThreadPool* pool, FitnessCache* cache);
+/// Evaluates all unevaluated individuals through `engine` (parallel,
+/// memoized; see eval/engine.h for the determinism invariants).
+void EvaluatePopulation(Population& population, EvaluationEngine& engine);
 
 }  // namespace genlink
 

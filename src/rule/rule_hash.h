@@ -1,0 +1,102 @@
+// Canonical structural hashing of linkage rules (the "RuleHash"
+// substrate of the evaluation engine, eval/engine.h).
+//
+// Three related products, all pure functions of the rule's structure
+// plus the identity of its shared function objects (distance measures,
+// transformations, aggregation functions — mixed in by instance so two
+// same-named functions with different parameters never alias).
+// Deterministic within a process, which is all the engine's caches
+// need; not stable across process runs:
+//
+//   * CanonicalRuleHash — a 64-bit hash of the whole tree. Unlike
+//     LinkageRule::StructuralHash (a per-node accumulation kept for
+//     duplicate suppression), the canonical hash is domain-separated per
+//     operator kind and length-prefixed per child list, so subtree
+//     boundaries cannot alias. It keys the engine's fitness memo.
+//
+//   * ComparisonSignature — a hash of one comparison subtree that
+//     deliberately EXCLUDES the threshold and the weight: it identifies
+//     the raw-distance computation (distance measure x source value
+//     subtree x target value subtree). Two comparisons with the same
+//     signature compute the same raw distance for every entity pair,
+//     even when their thresholds differ, because the threshold is only
+//     applied afterwards (ThresholdedScore). This keys the engine's
+//     per-training-pair distance cache.
+//
+//   * RuleHasher — a hash-consing interner. Analyzing a rule interns
+//     every subtree hash it encounters; crossover/mutation offspring
+//     share most subtrees with their parents, so the intern table's hit
+//     rate measures how much structure a generation reuses (and the
+//     engine reuses exactly the comparison subtrees via their
+//     signatures).
+
+#ifndef GENLINK_RULE_RULE_HASH_H_
+#define GENLINK_RULE_RULE_HASH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "rule/linkage_rule.h"
+
+namespace genlink {
+
+/// One comparison operator inside a rule, with its threshold-free
+/// signature. Sites are collected in pre-order, so the list is
+/// deterministic for a given structure.
+struct ComparisonSite {
+  const ComparisonOperator* op = nullptr;
+  uint64_t signature = 0;
+};
+
+/// Everything the evaluation engine needs to know about one rule.
+struct RuleHashInfo {
+  /// Canonical whole-tree hash (thresholds and weights included).
+  uint64_t canonical = 0;
+  /// All comparison sites of the tree, in pre-order.
+  std::vector<ComparisonSite> comparisons;
+};
+
+/// Canonical hash of the whole rule (0 for the empty rule).
+uint64_t CanonicalRuleHash(const LinkageRule& rule);
+
+/// Threshold- and weight-free signature of one comparison subtree.
+uint64_t ComparisonSignature(const ComparisonOperator& op);
+
+/// Computes the canonical hash and collects all comparison sites.
+RuleHashInfo AnalyzeRule(const LinkageRule& rule);
+
+/// Hash-consing interner over subtree hashes. Not thread-safe; the
+/// engine only calls it from its serial phases.
+class RuleHasher {
+ public:
+  /// `max_entries` bounds the intern table; it is cleared when exceeded
+  /// (the probe/hit counters keep accumulating).
+  explicit RuleHasher(size_t max_entries = 1 << 18)
+      : max_entries_(max_entries) {}
+
+  /// AnalyzeRule plus interning of every similarity subtree hash.
+  RuleHashInfo Analyze(const LinkageRule& rule);
+
+  /// Number of distinct subtrees seen so far.
+  size_t distinct_subtrees() const { return interned_.size(); }
+  /// Subtrees probed / found already interned (structure reuse).
+  uint64_t subtree_probes() const { return probes_; }
+  uint64_t subtree_hits() const { return hits_; }
+
+  void Clear();
+
+  /// Records one subtree hash (called by Analyze's tree walk; exposed
+  /// for that walk and for tests).
+  void Intern(uint64_t subtree_hash);
+
+ private:
+  std::unordered_set<uint64_t> interned_;
+  size_t max_entries_;
+  uint64_t probes_ = 0;
+  uint64_t hits_ = 0;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_RULE_RULE_HASH_H_

@@ -1,0 +1,109 @@
+// Soundness of token blocking on the Restaurant data set: the candidate
+// sets produced by TokenBlockingIndex must be a superset of the true
+// matches found by exhaustive cross-product execution, i.e. blocking may
+// only ever *add* work, never lose a link (blocking recall = 1.0).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "datasets/restaurant.h"
+#include "matcher/matcher.h"
+#include "rule/builder.h"
+
+namespace genlink {
+namespace {
+
+class BlockingSoundnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override { task_ = GenerateRestaurant(RestaurantConfig{}); }
+
+  // A realistic learned-style rule over the properties the paper's
+  // Restaurant runs converge to (name + address + phone).
+  LinkageRule MakeRule() {
+    auto rule = RuleBuilder()
+                    .Aggregate("wmean")
+                    .Compare("levenshtein", 3.0, Prop("name").Lower(),
+                             Prop("name").Lower())
+                    .Compare("jaccard", 0.6, Prop("address").Lower().Tokenize(),
+                             Prop("address").Lower().Tokenize())
+                    .Compare("levenshtein", 2.0, Prop("phone"), Prop("phone"))
+                    .End()
+                    .Build();
+    EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+    return rule.ok() ? std::move(*rule) : LinkageRule();
+  }
+
+  static std::set<std::pair<std::string, std::string>> ToPairs(
+      const std::vector<GeneratedLink>& links) {
+    std::set<std::pair<std::string, std::string>> pairs;
+    for (const auto& link : links) pairs.insert({link.id_a, link.id_b});
+    return pairs;
+  }
+
+  MatchingTask task_;
+};
+
+TEST_F(BlockingSoundnessTest, CandidatesSupersetOfCrossProductMatches) {
+  LinkageRule rule = MakeRule();
+  MatchOptions exhaustive;
+  exhaustive.use_blocking = false;
+  MatchOptions blocked;
+  blocked.use_blocking = true;
+
+  auto full = ToPairs(GenerateLinks(rule, task_.Source(), task_.Target(),
+                                    exhaustive));
+  auto with_blocking =
+      ToPairs(GenerateLinks(rule, task_.Source(), task_.Target(), blocked));
+
+  // Every link the exhaustive cross product finds must survive blocking.
+  ASSERT_FALSE(full.empty());
+  for (const auto& link : full) {
+    EXPECT_TRUE(with_blocking.count(link))
+        << "blocking dropped " << link.first << " - " << link.second;
+  }
+  // And blocking cannot invent links either: the sets are equal.
+  EXPECT_EQ(full, with_blocking);
+}
+
+TEST_F(BlockingSoundnessTest, CandidateSetsContainReferenceMatches) {
+  // Index the target over the rule's target-side properties, exactly as
+  // the matcher does, and probe with every positive reference link.
+  LinkageRule rule = MakeRule();
+  TokenBlockingIndex index(task_.Target(), TargetProperties(rule));
+  for (const ReferenceLink& link : task_.links.positives()) {
+    const Entity* a = task_.Source().FindEntity(link.id_a);
+    ASSERT_NE(a, nullptr);
+    bool found = false;
+    for (size_t j : index.Candidates(*a, task_.Source().schema())) {
+      if (task_.Target().entity(j).id() == link.id_b) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "blocking lost reference match " << link.id_a
+                       << " - " << link.id_b;
+  }
+}
+
+TEST_F(BlockingSoundnessTest, BlockingRecallIsOneOnReferenceLinks) {
+  LinkageRule rule = MakeRule();
+  TokenBlockingIndex index(task_.Target(), TargetProperties(rule));
+  EXPECT_DOUBLE_EQ(BlockingRecall(index, task_.Source(), task_.Target(),
+                                  task_.links),
+                   1.0);
+}
+
+// An all-properties index (what `match` uses before a rule is known to
+// read specific properties) is at least as complete.
+TEST_F(BlockingSoundnessTest, AllPropertyIndexRecallIsOne) {
+  TokenBlockingIndex index(task_.Target());
+  EXPECT_DOUBLE_EQ(BlockingRecall(index, task_.Source(), task_.Target(),
+                                  task_.links),
+                   1.0);
+}
+
+}  // namespace
+}  // namespace genlink

@@ -65,12 +65,24 @@ TEST_F(ThreadInvarianceTest, PopulationEvaluationIndependentOfThreadCount) {
 
   Population p1 = build_population();
   Population p4 = build_population();
-  ThreadPool pool1(1), pool4(4);
-  EvaluatePopulation(p1, evaluator, &pool1, nullptr);
-  EvaluatePopulation(p4, evaluator, &pool4, nullptr);
+  EngineConfig config1, config4;
+  config1.num_threads = 1;
+  config4.num_threads = 4;
+  EvaluationEngine engine1(*pairs, task_.Source().schema(),
+                           task_.Target().schema(), {}, config1);
+  EvaluationEngine engine4(*pairs, task_.Source().schema(),
+                           task_.Target().schema(), {}, config4);
+  EvaluatePopulation(p1, engine1);
+  EvaluatePopulation(p4, engine4);
   ASSERT_EQ(p1.size(), p4.size());
   for (size_t i = 0; i < p1.size(); ++i) {
     EXPECT_DOUBLE_EQ(p1[i].fitness.fitness, p4[i].fitness.fitness) << i;
+  }
+  // And both match the serial reference evaluator bit for bit.
+  for (size_t i = 0; i < p1.size(); ++i) {
+    FitnessResult serial = evaluator.Evaluate(p1[i].rule);
+    EXPECT_EQ(p1[i].fitness.fitness, serial.fitness) << i;
+    EXPECT_EQ(p1[i].fitness.mcc, serial.mcc) << i;
   }
 }
 

@@ -206,23 +206,6 @@ TEST(PopulationTest, BestIndexByFitness) {
   EXPECT_EQ(population.BestByFMeasureIndex(), 0u);
 }
 
-TEST(PopulationTest, FitnessCacheRoundTrip) {
-  FitnessCache cache;
-  EXPECT_EQ(cache.Find(123), nullptr);
-  FitnessResult result;
-  result.fitness = 0.5;
-  cache.Insert(123, result);
-  const FitnessResult* hit = cache.Find(123);
-  ASSERT_NE(hit, nullptr);
-  EXPECT_DOUBLE_EQ(hit->fitness, 0.5);
-}
-
-TEST(PopulationTest, FitnessCacheEvictsWhenFull) {
-  FitnessCache cache(/*max_entries=*/4);
-  for (uint64_t i = 0; i < 5; ++i) cache.Insert(i, {});
-  EXPECT_LE(cache.size(), 4u);
-}
-
 TEST(SelectionTest, TournamentPrefersFitter) {
   Population population;
   for (int i = 0; i < 50; ++i) {

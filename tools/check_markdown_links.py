@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links resolve to real files.
+
+Usage: check_markdown_links.py FILE_OR_DIR [FILE_OR_DIR ...]
+
+For every markdown file given (directories are scanned recursively for
+*.md), every inline link or image `[text](target)` is checked:
+
+  * http(s)/mailto targets are skipped (no network access in CI);
+  * pure-anchor targets (`#section`) are checked against the headings
+    of the same file;
+  * relative targets must exist on disk, resolved against the file's
+    directory; an optional `#anchor` is checked against the target's
+    headings when the target is itself markdown.
+
+Exits 0 when every link resolves, 1 otherwise (listing the failures).
+Uses only the standard library.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+INLINE_CODE_RE = re.compile(r"`[^`\n]*`")
+
+
+def github_anchor(heading):
+    """GitHub's heading -> anchor slug (approximation: good enough for
+    ASCII docs)."""
+    anchor = heading.strip().lower()
+    # Drop inline code markers and punctuation, keep word chars,
+    # spaces and hyphens.
+    anchor = re.sub(r"[`*_]", "", anchor)
+    anchor = re.sub(r"[^\w\- ]", "", anchor)
+    return anchor.replace(" ", "-")
+
+
+def anchors_of(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return set()
+    text = CODE_FENCE_RE.sub("", text)
+    return {github_anchor(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def collect_markdown_files(args):
+    files = []
+    for arg in args:
+        if os.path.isdir(arg):
+            for root, _dirs, names in os.walk(arg):
+                files.extend(
+                    os.path.join(root, n) for n in names if n.endswith(".md"))
+        elif arg.endswith(".md"):
+            files.append(arg)
+        else:
+            print(f"warning: skipping non-markdown argument {arg}",
+                  file=sys.stderr)
+    return sorted(set(files))
+
+
+def check_file(path):
+    failures = []
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    text = CODE_FENCE_RE.sub("", text)
+    text = INLINE_CODE_RE.sub("", text)
+    base = os.path.dirname(os.path.abspath(path))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if github_anchor(target[1:]) not in anchors_of(path):
+                failures.append(f"{path}: missing anchor {target}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = os.path.normpath(os.path.join(base, file_part))
+        if not os.path.exists(resolved):
+            failures.append(f"{path}: broken link {target}")
+            continue
+        if anchor and resolved.endswith(".md"):
+            if github_anchor(anchor) not in anchors_of(resolved):
+                failures.append(f"{path}: missing anchor {target}")
+    return failures
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files = collect_markdown_files(argv[1:])
+    if not files:
+        print("error: no markdown files found", file=sys.stderr)
+        return 2
+    failures = []
+    for path in files:
+        failures.extend(check_file(path))
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: "
+          f"{'OK' if not failures else f'{len(failures)} broken links'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

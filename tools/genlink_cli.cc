@@ -49,9 +49,9 @@ int Usage() {
       "usage:\n"
       "  genlink learn --source A --target B --links L [--out rule.xml]\n"
       "                [--population 500] [--iterations 50] [--seed 42]\n"
-      "                [--id-column id]\n"
+      "                [--threads 0] [--id-column id]\n"
       "  genlink match --source A --target B --rule R [--out links.csv]\n"
-      "                [--threshold 0.5] [--id-column id]\n"
+      "                [--threshold 0.5] [--threads 0] [--id-column id]\n"
       "  genlink eval  --source A --target B --rule R --links L\n"
       "                [--id-column id]\n"
       "datasets: .csv (header row = properties) or .nt (N-Triples)\n"
@@ -121,6 +121,10 @@ int RunLearn(const Args& args) {
   if (args.Get("iterations") && ParseInt64(args.Get("iterations"), &value)) {
     config.max_iterations = static_cast<size_t>(value);
   }
+  if (args.Get("threads") && ParseInt64(args.Get("threads"), &value) &&
+      value >= 0) {
+    config.num_threads = static_cast<size_t>(value);
+  }
   uint64_t seed = 42;
   if (args.Get("seed") && ParseInt64(args.Get("seed"), &value)) {
     seed = static_cast<uint64_t>(value);
@@ -168,6 +172,11 @@ int RunMatch(const Args& args) {
   double threshold = 0.5;
   if (args.Get("threshold") && ParseDouble(args.Get("threshold"), &threshold)) {
     options.threshold = threshold;
+  }
+  int64_t threads = 0;
+  if (args.Get("threads") && ParseInt64(args.Get("threads"), &threads) &&
+      threads >= 0) {
+    options.num_threads = static_cast<size_t>(threads);
   }
   auto links = GenerateLinks(*rule, *a, *b, options);
   std::fprintf(stderr, "generated %zu links\n", links.size());
