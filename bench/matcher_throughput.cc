@@ -1,0 +1,178 @@
+// Full-dataset matching throughput on Restaurant (the CLI `match` /
+// `learn --match` scenario): the per-pair operator-tree path vs the
+// value-store compiled path (eval/value_store.h), with token blocking
+// and over the exhaustive cross product, at one worker thread.
+//
+// Doubles as a CI gate: the two paths must produce bit-identical link
+// sets (ids, scores and order); any divergence exits non-zero.
+//
+// Emits BENCH_matcher_throughput.json; `extra.pairs_per_second` is the
+// regression metric tools/compare_bench_json.py tracks, and
+// `extra.speedup_vs_operator_tree` the machine-independent ratio the
+// tentpole is judged by (>= 5x at 1 thread on the blocking config).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datasets/restaurant.h"
+#include "harness.h"
+#include "matcher/blocking.h"
+#include "matcher/matcher.h"
+#include "rule/builder.h"
+
+using namespace genlink;
+using namespace genlink::bench;
+
+namespace {
+
+struct PathMeasurement {
+  std::string system;
+  bool use_blocking = true;
+  bool use_value_store = true;
+  double seconds = 0.0;
+  size_t pairs = 0;
+  std::vector<GeneratedLink> links;
+};
+
+// A representative learned rule: transform chains on both comparisons
+// (tokenize feeds a set measure, lowercase feeds an edit distance), so
+// the operator-tree path pays per-pair transformation costs the way a
+// real learned rule does.
+LinkageRule MatchRule() {
+  auto rule = RuleBuilder()
+                  .Aggregate("min")
+                  .Compare("jaccard", 0.8, Prop("name").Lower().Tokenize(),
+                           Prop("name").Lower().Tokenize())
+                  .Compare("levenshtein", 3.0, Prop("address").Lower(),
+                           Prop("address").Lower())
+                  .End()
+                  .Build();
+  if (!rule.ok()) {
+    std::fprintf(stderr, "rule construction failed: %s\n",
+                 rule.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(rule).value();
+}
+
+bool SameLinks(const std::vector<GeneratedLink>& x,
+               const std::vector<GeneratedLink>& y) {
+  if (x.size() != y.size()) return false;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i].id_a != y[i].id_a || x[i].id_b != y[i].id_b ||
+        x[i].score != y[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  BenchScale scale = GetBenchScale();
+  RestaurantConfig data;
+  data.scale = scale.name == "smoke" ? 0.3 : 1.0;
+  MatchingTask task = GenerateRestaurant(data);
+  LinkageRule rule = MatchRule();
+
+  // Candidate-pair counts per family, for the throughput metric: the
+  // blocked paths evaluate the blocking candidates, the exhaustive
+  // paths the full (deduplicated) self cross product.
+  TokenBlockingIndex index(task.a, TargetProperties(rule));
+  size_t blocked_pairs = 0;
+  for (size_t i = 0; i < task.a.size(); ++i) {
+    blocked_pairs += index.Candidates(task.a.entity(i), task.a.schema()).size();
+  }
+  const size_t cross_pairs = task.a.size() * task.a.size();
+  std::printf("restaurant: %zu records, %zu blocked / %zu cross candidate "
+              "pairs\n",
+              task.a.size(), blocked_pairs, cross_pairs);
+
+  const size_t reps = scale.name == "smoke" ? 1 : 3;
+  std::vector<PathMeasurement> runs = {
+      {"matcher/operator-tree/blocking", true, false},
+      {"matcher/value-store/blocking", true, true},
+      {"matcher/operator-tree/cross", false, false},
+      {"matcher/value-store/cross", false, true},
+  };
+  for (PathMeasurement& run : runs) {
+    MatchOptions options;
+    options.use_blocking = run.use_blocking;
+    options.use_value_store = run.use_value_store;
+    options.num_threads = 1;
+    run.pairs = run.use_blocking ? blocked_pairs : cross_pairs;
+    double best = 0.0;
+    for (size_t r = 0; r < reps; ++r) {
+      auto start = std::chrono::steady_clock::now();
+      auto links = GenerateLinks(rule, task.a, task.a, options);
+      double elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      if (r == 0 || elapsed < best) best = elapsed;
+      run.links = std::move(links);
+    }
+    run.seconds = best;
+    std::printf("%-34s %8.3fs  %10.0f pairs/s  %zu links\n",
+                run.system.c_str(), run.seconds,
+                run.seconds > 0.0 ? run.pairs / run.seconds : 0.0,
+                run.links.size());
+  }
+
+  // Bit-identity gate: value-store links == operator-tree links, per
+  // blocking family.
+  bool identical = SameLinks(runs[0].links, runs[1].links) &&
+                   SameLinks(runs[2].links, runs[3].links) &&
+                   !runs[1].links.empty();
+  if (!identical) {
+    std::fprintf(stderr,
+                 "ERROR: value-store links differ from operator-tree links "
+                 "(or no links were generated)\n");
+  }
+
+  auto operator_tree_seconds = [&](bool use_blocking) {
+    for (const PathMeasurement& run : runs) {
+      if (run.use_blocking == use_blocking && !run.use_value_store) {
+        return run.seconds;
+      }
+    }
+    return 0.0;
+  };
+
+  std::vector<BenchRecord> records;
+  for (const PathMeasurement& run : runs) {
+    BenchRecord record;
+    record.dataset = "restaurant";
+    record.system = run.system;
+    record.data_scale = data.scale;
+    record.runs = reps;
+    record.seconds = {run.seconds, 0.0};
+    const double baseline = operator_tree_seconds(run.use_blocking);
+    record.extra = {
+        {"threads", 1.0},
+        {"pairs", static_cast<double>(run.pairs)},
+        {"links", static_cast<double>(run.links.size())},
+        {"pairs_per_second",
+         run.seconds > 0.0 ? static_cast<double>(run.pairs) / run.seconds : 0.0},
+        {"speedup_vs_operator_tree",
+         run.seconds > 0.0 ? baseline / run.seconds : 0.0},
+        {"links_identical", identical ? 1.0 : 0.0},
+    };
+    records.push_back(std::move(record));
+  }
+  WriteBenchJson("matcher_throughput", scale, records);
+
+  for (bool blocking : {true, false}) {
+    for (const PathMeasurement& run : runs) {
+      if (run.use_blocking == blocking && run.use_value_store &&
+          run.seconds > 0.0) {
+        std::printf("value-store speedup (%s): %.2fx\n",
+                    blocking ? "blocking" : "cross",
+                    operator_tree_seconds(blocking) / run.seconds);
+      }
+    }
+  }
+  return identical ? 0 : 1;
+}

@@ -1,11 +1,25 @@
 // Microbenchmarks for the distance-measure library (not a paper table;
 // characterizes the substrate that dominates GP fitness evaluation).
+//
+// The string kernels come in old/new pairs across length buckets
+// (8/32/64/256 chars): *Ref runs the reference implementation
+// (two-row DP Levenshtein, heap-flag Jaro, hash-set token Jaccard) and
+// the unsuffixed bench runs the production kernel (Myers bit-parallel,
+// mask/stack-flag Jaro, sorted token-id merge). items_per_second is set
+// on all of them so BENCH_micro_distances.json exposes the ratio to
+// tools/compare_bench_json.py.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
 
 #include "common/random.h"
 #include "datasets/noise.h"
 #include "distance/registry.h"
+#include "distance/string_distances.h"
+#include "distance/token_distances.h"
+#include "eval/value_store.h"
 
 namespace genlink {
 namespace {
@@ -19,35 +33,111 @@ ValueSet MakeValues(size_t count, size_t length, uint64_t seed) {
   return values;
 }
 
-void BM_Levenshtein(benchmark::State& state) {
-  const DistanceMeasure* m = DistanceRegistry::Default().Find("levenshtein");
+void SetPairRate(benchmark::State& state) {
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+// ------------------------------------------------- Levenshtein old/new
+
+void BM_LevenshteinRef(benchmark::State& state) {
   ValueSet a = MakeValues(1, static_cast<size_t>(state.range(0)), 1);
   ValueSet b = MakeValues(1, static_cast<size_t>(state.range(0)), 2);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(m->Distance(a, b));
+    benchmark::DoNotOptimize(LevenshteinEditDistanceReference(a[0], b[0]));
   }
+  SetPairRate(state);
 }
-BENCHMARK(BM_Levenshtein)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_LevenshteinRef)->Arg(8)->Arg(32)->Arg(64)->Arg(256);
 
-void BM_Jaro(benchmark::State& state) {
-  const DistanceMeasure* m = DistanceRegistry::Default().Find("jaro");
+void BM_Levenshtein(benchmark::State& state) {
+  ValueSet a = MakeValues(1, static_cast<size_t>(state.range(0)), 1);
+  ValueSet b = MakeValues(1, static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LevenshteinEditDistance(a[0], b[0]));
+  }
+  SetPairRate(state);
+}
+BENCHMARK(BM_Levenshtein)->Arg(8)->Arg(32)->Arg(64)->Arg(256);
+
+// The banded kernel at the measure's default threshold range.
+void BM_LevenshteinBounded(benchmark::State& state) {
+  ValueSet a = MakeValues(1, static_cast<size_t>(state.range(0)), 1);
+  ValueSet b = MakeValues(1, static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BoundedLevenshteinEditDistance(a[0], b[0], 5));
+  }
+  SetPairRate(state);
+}
+BENCHMARK(BM_LevenshteinBounded)->Arg(8)->Arg(32)->Arg(64)->Arg(256);
+
+// ------------------------------------------------------- Jaro old/new
+
+void BM_JaroRef(benchmark::State& state) {
   ValueSet a = MakeValues(1, static_cast<size_t>(state.range(0)), 3);
   ValueSet b = MakeValues(1, static_cast<size_t>(state.range(0)), 4);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(m->Distance(a, b));
+    benchmark::DoNotOptimize(JaroSimilarityReference(a[0], b[0]));
   }
+  SetPairRate(state);
 }
-BENCHMARK(BM_Jaro)->Arg(8)->Arg(32);
+BENCHMARK(BM_JaroRef)->Arg(8)->Arg(32)->Arg(64)->Arg(256);
 
-void BM_JaccardTokens(benchmark::State& state) {
+void BM_Jaro(benchmark::State& state) {
+  ValueSet a = MakeValues(1, static_cast<size_t>(state.range(0)), 3);
+  ValueSet b = MakeValues(1, static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaroSimilarity(a[0], b[0]));
+  }
+  SetPairRate(state);
+}
+BENCHMARK(BM_Jaro)->Arg(8)->Arg(32)->Arg(64)->Arg(256);
+
+// ----------------------------------------------- token Jaccard old/new
+
+// Old: hash-set construction + probing per call over owning strings.
+void BM_JaccardTokensRef(benchmark::State& state) {
   const DistanceMeasure* m = DistanceRegistry::Default().Find("jaccard");
   ValueSet a = MakeValues(static_cast<size_t>(state.range(0)), 6, 5);
   ValueSet b = MakeValues(static_cast<size_t>(state.range(0)), 6, 6);
   for (auto _ : state) {
     benchmark::DoNotOptimize(m->Distance(a, b));
   }
+  SetPairRate(state);
 }
-BENCHMARK(BM_JaccardTokens)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_JaccardTokensRef)->Arg(4)->Arg(16)->Arg(64);
+
+// New: merge over pre-interned sorted token-id spans (what the value
+// store hands the engine and the matcher).
+void BM_JaccardTokenIds(benchmark::State& state) {
+  const DistanceMeasure* m = DistanceRegistry::Default().Find("jaccard");
+  ValueSet a = MakeValues(static_cast<size_t>(state.range(0)), 6, 5);
+  ValueSet b = MakeValues(static_cast<size_t>(state.range(0)), 6, 6);
+  StringPool pool;
+  auto intern_sorted = [&pool](const ValueSet& values,
+                               std::vector<uint32_t>& ids,
+                               std::vector<uint32_t>& counts) {
+    std::vector<uint32_t> raw;
+    for (const auto& v : values) raw.push_back(pool.Intern(v));
+    std::sort(raw.begin(), raw.end());
+    for (size_t i = 0; i < raw.size();) {
+      size_t j = i + 1;
+      while (j < raw.size() && raw[j] == raw[i]) ++j;
+      ids.push_back(raw[i]);
+      counts.push_back(static_cast<uint32_t>(j - i));
+      i = j;
+    }
+  };
+  std::vector<uint32_t> ids_a, counts_a, ids_b, counts_b;
+  intern_sorted(a, ids_a, counts_a);
+  intern_sorted(b, ids_b, counts_b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->TokenIdDistance(ids_a, counts_a, ids_b, counts_b));
+  }
+  SetPairRate(state);
+}
+BENCHMARK(BM_JaccardTokenIds)->Arg(4)->Arg(16)->Arg(64);
+
+// ------------------------------------------------------- other measures
 
 void BM_Geographic(benchmark::State& state) {
   const DistanceMeasure* m = DistanceRegistry::Default().Find("geographic");
@@ -56,6 +146,7 @@ void BM_Geographic(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(m->Distance(a, b));
   }
+  SetPairRate(state);
 }
 BENCHMARK(BM_Geographic);
 
@@ -66,6 +157,7 @@ void BM_Date(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(m->Distance(a, b));
   }
+  SetPairRate(state);
 }
 BENCHMARK(BM_Date);
 
@@ -77,6 +169,7 @@ void BM_SetLift(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(m->Distance(a, b));
   }
+  SetPairRate(state);
 }
 BENCHMARK(BM_SetLift)->Arg(1)->Arg(4)->Arg(8);
 

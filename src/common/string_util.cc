@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cstdlib>
 #include <cstdio>
 
@@ -81,26 +82,44 @@ std::string ReplaceAll(std::string_view text, std::string_view from,
   return out;
 }
 
+// Both parsers run on the distance hot path (numeric and date measures
+// parse operands per value), so they work on the view directly via
+// std::from_chars — no NUL-terminated copy, no errno. A leading '+' is
+// accepted for strtod/strtoll compatibility; a second sign after it is
+// not ("+-5" must fail, as it did under strtod). Unlike strtod,
+// hexadecimal floats ("0x10") are rejected — the evaluation datasets
+// are decimal, and accepting per-parser bases invites silent surprises.
+
+namespace {
+// Strips one optional leading '+' (which from_chars does not accept but
+// strtod/strtoll did). A sign left after stripping ("+-5", "++5") is
+// rejected here; from_chars itself rejects "--5" and "-+5".
+bool StripLeadingPlus(std::string_view& text) {
+  if (text.empty()) return false;
+  if (text.front() != '+') return true;
+  text.remove_prefix(1);
+  return !text.empty() && text.front() != '+' && text.front() != '-';
+}
+}  // namespace
+
 bool ParseDouble(std::string_view text, double* out) {
   std::string_view trimmed = TrimView(text);
-  if (trimmed.empty()) return false;
-  std::string buf(trimmed);
-  errno = 0;
-  char* end = nullptr;
-  double value = std::strtod(buf.c_str(), &end);
-  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  if (!StripLeadingPlus(trimmed)) return false;
+  double value = 0.0;
+  auto [ptr, ec] =
+      std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), value);
+  if (ec != std::errc() || ptr != trimmed.data() + trimmed.size()) return false;
   *out = value;
   return true;
 }
 
 bool ParseInt64(std::string_view text, int64_t* out) {
   std::string_view trimmed = TrimView(text);
-  if (trimmed.empty()) return false;
-  std::string buf(trimmed);
-  errno = 0;
-  char* end = nullptr;
-  long long value = std::strtoll(buf.c_str(), &end, 10);
-  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  if (!StripLeadingPlus(trimmed)) return false;
+  int64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), value);
+  if (ec != std::errc() || ptr != trimmed.data() + trimmed.size()) return false;
   *out = value;
   return true;
 }

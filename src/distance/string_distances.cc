@@ -1,18 +1,58 @@
 #include "distance/string_distances.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
 namespace genlink {
+namespace {
 
-int LevenshteinEditDistance(std::string_view a, std::string_view b) {
-  if (a.size() > b.size()) std::swap(a, b);
+// Myers' bit-parallel Levenshtein (single 64-bit word): O(|text|) word
+// operations once the pattern's character-position masks are built.
+// Computes the exact global edit distance, so it is interchangeable
+// with the dynamic program. Requires 1 <= |pattern| <= 64.
+int MyersLevenshtein64(std::string_view pattern, std::string_view text) {
+  // Clear only the character entries this call reads or writes (O(m+n))
+  // instead of memset-ing the whole 2 KiB table, which would dominate
+  // the runtime for short strings.
+  uint64_t peq[256];
+  for (const char c : text) peq[static_cast<unsigned char>(c)] = 0;
+  for (const char c : pattern) peq[static_cast<unsigned char>(c)] = 0;
+  const size_t m = pattern.size();
+  for (size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(pattern[i])] |= uint64_t{1} << i;
+  }
+  const unsigned high = static_cast<unsigned>(m - 1);
+  uint64_t pv = ~uint64_t{0};
+  uint64_t mv = 0;
+  int score = static_cast<int>(m);
+  for (const char tc : text) {
+    const uint64_t eq = peq[static_cast<unsigned char>(tc)];
+    const uint64_t xv = eq | mv;
+    const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    uint64_t ph = mv | ~(xh | pv);
+    uint64_t mh = pv & xh;
+    score += static_cast<int>((ph >> high) & 1);
+    score -= static_cast<int>((mh >> high) & 1);
+    ph = (ph << 1) | 1;
+    mh <<= 1;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+  }
+  return score;
+}
+
+// Two-row dynamic program over reusable scratch (only reached when both
+// strings exceed 64 characters). `a` must be the shorter string.
+int LevenshteinDp(std::string_view a, std::string_view b) {
   const size_t m = a.size();
   const size_t n = b.size();
-  if (m == 0) return static_cast<int>(n);
-
-  // Two-row dynamic program; a is the shorter string so the rows are small.
-  std::vector<int> prev(m + 1), cur(m + 1);
+  thread_local std::vector<int> prev_scratch, cur_scratch;
+  prev_scratch.resize(m + 1);
+  cur_scratch.resize(m + 1);
+  int* prev = prev_scratch.data();
+  int* cur = cur_scratch.data();
   for (size_t i = 0; i <= m; ++i) prev[i] = static_cast<int>(i);
   for (size_t j = 1; j <= n; ++j) {
     cur[0] = static_cast<int>(j);
@@ -26,23 +66,23 @@ int LevenshteinEditDistance(std::string_view a, std::string_view b) {
   return prev[m];
 }
 
-double JaroSimilarity(std::string_view a, std::string_view b) {
-  if (a.empty() && b.empty()) return 1.0;
-  if (a.empty() || b.empty()) return 0.0;
-  if (a == b) return 1.0;
-
+// Shared Jaro match/transposition count. Flag storage is provided by the
+// caller (bit masks, stack bytes or heap, depending on lengths); the
+// scan order is identical in every variant, so they cannot diverge.
+template <typename GetA, typename SetA, typename GetB, typename SetB>
+double JaroFromFlags(std::string_view a, std::string_view b, GetA get_a,
+                     SetA set_a, GetB get_b, SetB set_b) {
   const size_t max_dist = std::max(a.size(), b.size()) / 2;
   const size_t window = max_dist == 0 ? 0 : max_dist - 1;
 
-  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
   size_t matches = 0;
   for (size_t i = 0; i < a.size(); ++i) {
     size_t lo = i > window ? i - window : 0;
     size_t hi = std::min(b.size(), i + window + 1);
     for (size_t j = lo; j < hi; ++j) {
-      if (!b_matched[j] && a[i] == b[j]) {
-        a_matched[i] = true;
-        b_matched[j] = true;
+      if (!get_b(j) && a[i] == b[j]) {
+        set_a(i);
+        set_b(j);
         ++matches;
         break;
       }
@@ -50,12 +90,11 @@ double JaroSimilarity(std::string_view a, std::string_view b) {
   }
   if (matches == 0) return 0.0;
 
-  // Count transpositions among matched characters.
   size_t transpositions = 0;
   size_t j = 0;
   for (size_t i = 0; i < a.size(); ++i) {
-    if (!a_matched[i]) continue;
-    while (!b_matched[j]) ++j;
+    if (!get_a(i)) continue;
+    while (!get_b(j)) ++j;
     if (a[i] != b[j]) ++transpositions;
     ++j;
   }
@@ -63,8 +102,109 @@ double JaroSimilarity(std::string_view a, std::string_view b) {
   return (m / a.size() + m / b.size() + (m - transpositions / 2.0) / m) / 3.0;
 }
 
+}  // namespace
+
+int LevenshteinEditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return static_cast<int>(b.size());
+  if (a.size() <= 64) return MyersLevenshtein64(a, b);
+  return LevenshteinDp(a, b);
+}
+
+int BoundedLevenshteinEditDistance(std::string_view a, std::string_view b,
+                                   int bound) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const int m = static_cast<int>(a.size());
+  const int n = static_cast<int>(b.size());
+  if (bound < 0) bound = 0;
+  // The length difference is a lower bound on the distance.
+  if (n - m > bound) return bound + 1;
+  if (bound >= n) return LevenshteinEditDistance(a, b);
+  if (m == 0) return n;  // n <= bound here
+
+  // Banded dynamic program: only cells with |i - j| <= bound can lie on
+  // a path of cost <= bound; everything outside the band is the
+  // sentinel bound+1 (values are capped there, so the sentinel also
+  // prevents overflow).
+  const int inf = bound + 1;
+  constexpr int kStackCap = 256;
+  int stack_a[kStackCap + 1];
+  int stack_b[kStackCap + 1];
+  std::vector<int> heap;
+  int* prev = stack_a;
+  int* cur = stack_b;
+  if (m + 1 > kStackCap + 1) {
+    heap.resize(2 * (m + 1));
+    prev = heap.data();
+    cur = heap.data() + (m + 1);
+  }
+  for (int i = 0; i <= m; ++i) prev[i] = i <= bound ? i : inf;
+  for (int j = 1; j <= n; ++j) {
+    const int lo = std::max(1, j - bound);
+    const int hi = std::min(m, j + bound);
+    cur[lo - 1] = (lo == 1 && j <= bound) ? j : inf;
+    int col_min = cur[lo - 1];
+    const char cb = b[j - 1];
+    for (int i = lo; i <= hi; ++i) {
+      int best = prev[i - 1] + (a[i - 1] == cb ? 0 : 1);
+      best = std::min(best, prev[i] + 1);
+      best = std::min(best, cur[i - 1] + 1);
+      cur[i] = std::min(best, inf);
+      col_min = std::min(col_min, cur[i]);
+    }
+    if (hi < m) cur[hi + 1] = inf;  // next column's band edge reads it
+    if (col_min > bound) return inf;
+    std::swap(prev, cur);
+  }
+  return std::min(prev[m], inf);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  if (a.size() <= 64 && b.size() <= 64) {
+    uint64_t am = 0, bm = 0;
+    return JaroFromFlags(
+        a, b, [&](size_t i) { return (am >> i) & 1; },
+        [&](size_t i) { am |= uint64_t{1} << i; },
+        [&](size_t j) { return (bm >> j) & 1; },
+        [&](size_t j) { bm |= uint64_t{1} << j; });
+  }
+
+  constexpr size_t kStackCap = 512;
+  unsigned char stack_flags[2 * kStackCap];
+  std::vector<unsigned char> heap_flags;
+  unsigned char* af = stack_flags;
+  unsigned char* bf = stack_flags + kStackCap;
+  if (a.size() > kStackCap || b.size() > kStackCap) {
+    heap_flags.assign(a.size() + b.size(), 0);
+    af = heap_flags.data();
+    bf = heap_flags.data() + a.size();
+  } else {
+    std::fill(af, af + a.size(), 0);
+    std::fill(bf, bf + b.size(), 0);
+  }
+  return JaroFromFlags(
+      a, b, [&](size_t i) { return af[i] != 0; }, [&](size_t i) { af[i] = 1; },
+      [&](size_t j) { return bf[j] != 0; }, [&](size_t j) { bf[j] = 1; });
+}
+
 double LevenshteinDistance::ValueDistance(std::string_view a, std::string_view b) const {
   return static_cast<double>(LevenshteinEditDistance(a, b));
+}
+
+double LevenshteinDistance::BoundedValueDistance(std::string_view a,
+                                                std::string_view b,
+                                                double bound) const {
+  // Distances are integers: d <= bound iff d <= floor(bound), so the
+  // banded kernel computes every distance the threshold can reach
+  // exactly and maps the rest to floor(bound)+1 > bound.
+  const size_t longer = std::max(a.size(), b.size());
+  if (!(bound < static_cast<double>(longer))) return ValueDistance(a, b);
+  return static_cast<double>(BoundedLevenshteinEditDistance(
+      a, b, static_cast<int>(std::floor(bound))));
 }
 
 double JaroDistance::ValueDistance(std::string_view a, std::string_view b) const {
@@ -79,6 +219,41 @@ double JaroWinklerDistance::ValueDistance(std::string_view a,
   while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
   double sim = jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
   return 1.0 - sim;
+}
+
+// ------------------------------------------------------------- reference
+
+int LevenshteinEditDistanceReference(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t m = a.size();
+  const size_t n = b.size();
+  if (m == 0) return static_cast<int>(n);
+
+  std::vector<int> prev(m + 1), cur(m + 1);
+  for (size_t i = 0; i <= m; ++i) prev[i] = static_cast<int>(i);
+  for (size_t j = 1; j <= n; ++j) {
+    cur[0] = static_cast<int>(j);
+    const char cb = b[j - 1];
+    for (size_t i = 1; i <= m; ++i) {
+      int subst = prev[i - 1] + (a[i - 1] == cb ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double JaroSimilarityReference(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
+  return JaroFromFlags(
+      a, b, [&](size_t i) { return static_cast<bool>(a_matched[i]); },
+      [&](size_t i) { a_matched[i] = true; },
+      [&](size_t j) { return static_cast<bool>(b_matched[j]); },
+      [&](size_t j) { b_matched[j] = true; });
 }
 
 }  // namespace genlink

@@ -1,5 +1,25 @@
 // Character-based string distances: Levenshtein (Table 2), Jaro,
 // Jaro-Winkler, and exact equality.
+//
+// The kernels behind these measures are the hot path of both fitness
+// evaluation (cold distance rows) and full-dataset matching, so they
+// are written allocation-free:
+//
+//   * Levenshtein runs Myers' bit-parallel algorithm (O(n) words) when
+//     the shorter string fits in one 64-bit word — which covers nearly
+//     every property value in the evaluation datasets — and a
+//     scratch-buffer dynamic program beyond that.
+//   * When a caller only needs distances up to a known threshold (the
+//     matcher's compiled comparisons), BoundedValueDistance runs a
+//     banded dynamic program with early exit that returns some value
+//     > bound instead of the exact distance beyond it; ThresholdedScore
+//     maps both to the same similarity, keeping results bit-identical.
+//   * Jaro tracks matched characters in two 64-bit masks (stack bytes
+//     for longer strings) instead of std::vector<bool>.
+//
+// The pre-optimization implementations are kept as *Reference functions:
+// tests/distance_kernels_test.cc asserts kernel equivalence on random
+// pairs and bench/micro_distances.cc benchmarks old vs new side by side.
 
 #ifndef GENLINK_DISTANCE_STRING_DISTANCES_H_
 #define GENLINK_DISTANCE_STRING_DISTANCES_H_
@@ -14,6 +34,8 @@ class LevenshteinDistance : public DistanceMeasure {
  public:
   std::string_view name() const override { return "levenshtein"; }
   double ValueDistance(std::string_view a, std::string_view b) const override;
+  double BoundedValueDistance(std::string_view a, std::string_view b,
+                              double bound) const override;
   double MaxThreshold() const override { return 5.0; }
 };
 
@@ -45,10 +67,28 @@ class EqualityDistance : public DistanceMeasure {
 };
 
 /// Raw Levenshtein edit distance between two strings (shared helper).
+/// Myers bit-parallel when min(|a|,|b|) <= 64, dynamic program beyond.
 int LevenshteinEditDistance(std::string_view a, std::string_view b);
+
+/// Levenshtein with a cutoff: returns the exact distance when it is
+/// <= `bound`, and some value > `bound` (not necessarily the distance)
+/// otherwise. `bound` < 0 behaves like bound 0.
+int BoundedLevenshteinEditDistance(std::string_view a, std::string_view b,
+                                   int bound);
 
 /// Jaro similarity in [0,1].
 double JaroSimilarity(std::string_view a, std::string_view b);
+
+// ---------------------------------------------------------------------------
+// Reference kernels: the straightforward implementations the optimized
+// kernels must agree with bit for bit. Used by tests and the paired
+// micro benches; not on any hot path.
+
+/// Two-row dynamic-program Levenshtein.
+int LevenshteinEditDistanceReference(std::string_view a, std::string_view b);
+
+/// Jaro with heap-allocated match flags.
+double JaroSimilarityReference(std::string_view a, std::string_view b);
 
 }  // namespace genlink
 

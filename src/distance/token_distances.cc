@@ -45,6 +45,76 @@ double DiceDistance::Distance(const ValueSet& a, const ValueSet& b) const {
                    static_cast<double>(sa.size() + sb.size());
 }
 
+size_t SortedIdIntersectionSize(std::span<const uint32_t> a,
+                                std::span<const uint32_t> b) {
+  size_t i = 0, j = 0, n = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+// The token-id paths reproduce the ValueSet paths bit for bit: the
+// intersection/union cardinalities are the same integers (distinct
+// interned ids = distinct strings), and cosine's dot product and norms
+// are sums of integer products, which are exact in double no matter the
+// summation order — so hash-map iteration order in the reference and
+// merge order here cannot diverge.
+
+double JaccardDistance::TokenIdDistance(std::span<const uint32_t> ids_a,
+                                        std::span<const uint32_t> /*counts_a*/,
+                                        std::span<const uint32_t> ids_b,
+                                        std::span<const uint32_t> /*counts_b*/) const {
+  size_t inter = SortedIdIntersectionSize(ids_a, ids_b);
+  size_t uni = ids_a.size() + ids_b.size() - inter;
+  return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double DiceDistance::TokenIdDistance(std::span<const uint32_t> ids_a,
+                                     std::span<const uint32_t> /*counts_a*/,
+                                     std::span<const uint32_t> ids_b,
+                                     std::span<const uint32_t> /*counts_b*/) const {
+  size_t inter = SortedIdIntersectionSize(ids_a, ids_b);
+  return 1.0 - 2.0 * static_cast<double>(inter) /
+                   static_cast<double>(ids_a.size() + ids_b.size());
+}
+
+double CosineDistance::TokenIdDistance(std::span<const uint32_t> ids_a,
+                                       std::span<const uint32_t> counts_a,
+                                       std::span<const uint32_t> ids_b,
+                                       std::span<const uint32_t> counts_b) const {
+  double dot = 0.0;
+  size_t i = 0, j = 0;
+  while (i < ids_a.size() && j < ids_b.size()) {
+    if (ids_a[i] < ids_b[j]) {
+      ++i;
+    } else if (ids_b[j] < ids_a[i]) {
+      ++j;
+    } else {
+      dot += static_cast<double>(counts_a[i]) * counts_b[j];
+      ++i;
+      ++j;
+    }
+  }
+  double norm_a = 0.0, norm_b = 0.0;
+  for (size_t k = 0; k < counts_a.size(); ++k) {
+    norm_a += static_cast<double>(counts_a[k]) * counts_a[k];
+  }
+  for (size_t k = 0; k < counts_b.size(); ++k) {
+    norm_b += static_cast<double>(counts_b[k]) * counts_b[k];
+  }
+  double sim = dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+  return 1.0 - sim;
+}
+
 double CosineDistance::Distance(const ValueSet& a, const ValueSet& b) const {
   if (a.empty() || b.empty()) return kInfiniteDistance;
   std::unordered_map<std::string_view, int> ca, cb;

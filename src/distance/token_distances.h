@@ -17,6 +17,11 @@ class JaccardDistance : public DistanceMeasure {
   double Distance(const ValueSet& a, const ValueSet& b) const override;
   double MaxThreshold() const override { return 1.0; }
   bool IsSetMeasure() const override { return true; }
+  bool SupportsTokenIds() const override { return true; }
+  double TokenIdDistance(std::span<const uint32_t> ids_a,
+                         std::span<const uint32_t> counts_a,
+                         std::span<const uint32_t> ids_b,
+                         std::span<const uint32_t> counts_b) const override;
 };
 
 /// Dice distance: 1 - 2|A ∩ B| / (|A| + |B|) over distinct values.
@@ -26,6 +31,11 @@ class DiceDistance : public DistanceMeasure {
   double Distance(const ValueSet& a, const ValueSet& b) const override;
   double MaxThreshold() const override { return 1.0; }
   bool IsSetMeasure() const override { return true; }
+  bool SupportsTokenIds() const override { return true; }
+  double TokenIdDistance(std::span<const uint32_t> ids_a,
+                         std::span<const uint32_t> counts_a,
+                         std::span<const uint32_t> ids_b,
+                         std::span<const uint32_t> counts_b) const override;
 };
 
 /// Cosine distance: 1 - cosine similarity of token count vectors.
@@ -35,7 +45,17 @@ class CosineDistance : public DistanceMeasure {
   double Distance(const ValueSet& a, const ValueSet& b) const override;
   double MaxThreshold() const override { return 1.0; }
   bool IsSetMeasure() const override { return true; }
+  bool SupportsTokenIds() const override { return true; }
+  double TokenIdDistance(std::span<const uint32_t> ids_a,
+                         std::span<const uint32_t> counts_a,
+                         std::span<const uint32_t> ids_b,
+                         std::span<const uint32_t> counts_b) const override;
 };
+
+/// Number of common ids of two strictly increasing id spans (merge walk;
+/// shared by the TokenIdDistance implementations).
+size_t SortedIdIntersectionSize(std::span<const uint32_t> a,
+                                std::span<const uint32_t> b);
 
 }  // namespace genlink
 

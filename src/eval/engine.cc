@@ -59,19 +59,58 @@ EvaluationEngine::EvaluationEngine(std::span<const LabeledPair> pairs,
       config_(config),
       serial_(pairs, schema_a, schema_b, fitness),
       pool_(config.num_threads),
-      fitness_cache_(config.max_fitness_entries) {}
+      fitness_cache_(config.max_fitness_entries) {
+  // The value store only serves the distance-row phase; without the
+  // distance cache the engine is a pure-recompute baseline.
+  if (config_.use_value_store && config_.cache_distances) {
+    // Map each training pair to dense per-side entity indexes: pairs
+    // share entities heavily (every entity appears in several labelled
+    // pairs), and plans are evaluated per *entity*, not per pair.
+    std::vector<const Entity*> source_entities, target_entities;
+    std::unordered_map<const Entity*, uint32_t> source_index, target_index;
+    pair_source_index_.reserve(pairs_.size());
+    pair_target_index_.reserve(pairs_.size());
+    for (const LabeledPair& pair : pairs_) {
+      auto [sit, s_new] = source_index.try_emplace(
+          pair.a, static_cast<uint32_t>(source_entities.size()));
+      if (s_new) source_entities.push_back(pair.a);
+      pair_source_index_.push_back(sit->second);
+      auto [tit, t_new] = target_index.try_emplace(
+          pair.b, static_cast<uint32_t>(target_entities.size()));
+      if (t_new) target_entities.push_back(pair.b);
+      pair_target_index_.push_back(tit->second);
+    }
+    store_ = std::make_unique<ValueStore>(source_entities, schema_a,
+                                          target_entities, schema_b);
+  }
+}
 
 void EvaluationEngine::FillDistanceRow(const ComparisonOperator& op,
                                        std::vector<double>& row) const {
   row.resize(pairs_.size());
+  ValueSet scratch_a, scratch_b;
   for (size_t p = 0; p < pairs_.size(); ++p) {
     const LabeledPair& pair = pairs_[p];
-    ValueSet va = op.source()->Evaluate(*pair.a, *schema_a_);
-    ValueSet vb = op.target()->Evaluate(*pair.b, *schema_b_);
+    const ValueSet& va = op.source()->EvaluateRef(*pair.a, *schema_a_, scratch_a);
+    const ValueSet& vb = op.target()->EvaluateRef(*pair.b, *schema_b_, scratch_b);
     // Empty sets are stored as an infinite distance: ThresholdedScore
     // maps it to 0.0, exactly the serial path's empty-set short-circuit.
     row[p] = (va.empty() || vb.empty()) ? kInfiniteDistance
                                         : op.measure()->Distance(va, vb);
+  }
+}
+
+void EvaluationEngine::FillDistanceRowFromStore(const ComparisonOperator& op,
+                                                PlanId source_plan,
+                                                PlanId target_plan,
+                                                std::vector<double>& row) const {
+  row.resize(pairs_.size());
+  const DistanceMeasure& measure = *op.measure();
+  for (size_t p = 0; p < pairs_.size(); ++p) {
+    // No bound: rows are shared across thresholds (the comparison
+    // signature excludes them), so the raw distance must be exact.
+    row[p] = store_->PairDistance(measure, source_plan, pair_source_index_[p],
+                                  target_plan, pair_target_index_[p]);
   }
 }
 
@@ -193,6 +232,31 @@ void EvaluationEngine::EvaluateBatch(std::span<const LinkageRule* const> rules,
       }
     }
 
+    // Phase 2b (serial registration, parallel evaluation): compile the
+    // value subtrees of the missing rows into per-entity transform
+    // plans. Most offspring share subtrees, so plans mostly hit; fresh
+    // plans run their subtree once per entity on the pool and intern
+    // serially (deterministic ids).
+    std::vector<PlanId> source_plans(new_sigs.size());
+    std::vector<PlanId> target_plans(new_sigs.size());
+    if (store_ != nullptr && !new_sigs.empty()) {
+      if (store_->ApproxBytes() > config_.max_store_bytes) store_->Clear();
+      std::vector<const ValueOperator*> source_ops, target_ops;
+      source_ops.reserve(new_reps.size());
+      target_ops.reserve(new_reps.size());
+      for (const ComparisonOperator* rep : new_reps) {
+        source_ops.push_back(rep->source());
+        target_ops.push_back(rep->target());
+      }
+      store_->CompileBatch(ValueStore::Side::kSource, source_ops, source_plans,
+                           &pool_);
+      store_->CompileBatch(ValueStore::Side::kTarget, target_ops, target_plans,
+                           &pool_);
+      stats_.value_plans_compiled = store_->stats().plans_compiled;
+      stats_.value_plan_hits = store_->stats().plan_hits;
+      stats_.values_interned = store_->stats().values_stored;
+    }
+
     // Phase 3 (parallel): fill the missing rows. Rows are allocated
     // serially first so the map is never mutated concurrently; each row
     // is written by exactly one task.
@@ -201,7 +265,12 @@ void EvaluationEngine::EvaluateBatch(std::span<const LinkageRule* const> rules,
       new_rows[k] = &distance_rows_[new_sigs[k]];
     }
     pool_.ParallelFor(new_sigs.size(), [&](size_t k) {
-      FillDistanceRow(*new_reps[k], *new_rows[k]);
+      if (store_ != nullptr) {
+        FillDistanceRowFromStore(*new_reps[k], source_plans[k],
+                                 target_plans[k], *new_rows[k]);
+      } else {
+        FillDistanceRow(*new_reps[k], *new_rows[k]);
+      }
     });
     stats_.distance_rows_computed += new_sigs.size();
 

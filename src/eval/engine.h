@@ -16,8 +16,13 @@
 //      with their parents, so across generations almost all comparisons
 //      hit this cache; evaluating a rule then reduces to thresholding
 //      and aggregating cached doubles — no string distances at all.
-//   3. Thread pool — distance rows and cache-missing rules are
-//      evaluated in parallel on common/thread_pool.
+//   3. Value store — when a distance row *is* cold, its value subtrees
+//      are compiled into per-entity transform plans (eval/value_store.h)
+//      first: transformations run once per distinct entity instead of
+//      once per pair, and the row is then computed over interned
+//      values (pooled string views / sorted token ids), allocation-free.
+//   4. Thread pool — plan evaluation, distance rows and cache-missing
+//      rules are evaluated in parallel on common/thread_pool.
 //
 // Determinism invariants (relied on by tests/determinism_test.cc and
 // tests/engine_test.cc):
@@ -42,6 +47,7 @@
 
 #include "common/thread_pool.h"
 #include "eval/fitness.h"
+#include "eval/value_store.h"
 #include "rule/rule_hash.h"
 
 namespace genlink {
@@ -55,11 +61,19 @@ struct EngineConfig {
   bool cache_fitness = true;
   /// Precompute per-pair raw distances by comparison signature.
   bool cache_distances = true;
+  /// Compile value subtrees into per-entity transform plans and compute
+  /// cold distance rows from interned values (eval/value_store.h).
+  /// Results are bit-identical either way; off only for A/B
+  /// measurements. Only effective together with cache_distances.
+  bool use_value_store = true;
   /// Fitness memo entry bound; the memo is cleared when exceeded.
   size_t max_fitness_entries = 1 << 18;
   /// Approximate byte budget for distance rows; rows are cleared between
   /// batches when the budget would be exceeded.
   size_t max_distance_bytes = 128u << 20;
+  /// Approximate byte budget for the value store (string pool + plans);
+  /// the store is cleared between batches when exceeded.
+  size_t max_store_bytes = 256u << 20;
 };
 
 /// Cumulative counters over the engine's lifetime. Updated only in the
@@ -81,6 +95,12 @@ struct EngineStats {
   /// Subtree hash-consing telemetry (structure reuse across the run).
   uint64_t subtree_probes = 0;
   uint64_t subtree_hits = 0;
+  /// Value-store telemetry: transform plans materialized (each runs its
+  /// subtree once per entity) vs compile requests served by an existing
+  /// plan, and total strings interned.
+  uint64_t value_plans_compiled = 0;
+  uint64_t value_plan_hits = 0;
+  uint64_t values_interned = 0;
 
   double FitnessHitRate() const {
     return rules_evaluated == 0
@@ -148,6 +168,12 @@ class EvaluationEngine {
   void FillDistanceRow(const ComparisonOperator& op,
                        std::vector<double>& row) const;
 
+  /// Same contract, reading interned per-entity values from the value
+  /// store instead of evaluating the subtrees per pair.
+  void FillDistanceRowFromStore(const ComparisonOperator& op,
+                                PlanId source_plan, PlanId target_plan,
+                                std::vector<double>& row) const;
+
   /// Evaluates one rule using cached distance rows only (no string
   /// distance is computed). `rows` holds the rule's comparison rows in
   /// the pre-order of RuleHashInfo::comparisons.
@@ -166,6 +192,11 @@ class EvaluationEngine {
   FitnessCache fitness_cache_;
   /// comparison signature -> raw distance per training pair.
   std::unordered_map<uint64_t, std::vector<double>> distance_rows_;
+  /// Per-entity transform plans + interned values (null when disabled).
+  std::unique_ptr<ValueStore> store_;
+  /// Training-pair index -> store entity index, per side.
+  std::vector<uint32_t> pair_source_index_;
+  std::vector<uint32_t> pair_target_index_;
   EngineStats stats_;
 };
 

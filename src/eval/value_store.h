@@ -1,0 +1,225 @@
+// The value store: compiled per-entity transform plans behind the
+// evaluation engine's distance rows and the full-dataset matcher.
+//
+// A *transform plan* is one value subtree of a linkage rule (a chain of
+// transformations over property operators), canonicalized by its
+// structural hash (rule/rule_hash.h, ValueOperatorHash) and evaluated
+// ONCE per entity of its side instead of once per entity *pair*:
+// O(|A| + |B|) transform work where the operator-tree path pays
+// O(|A| x |B|). The resulting value sets are interned into a shared
+// string pool, so the distance phase reads
+//
+//   * spans of pooled string_views (per-value measures: Levenshtein,
+//     Jaro, numeric, ...), and
+//   * sorted-unique token-id spans with multiplicities (set measures:
+//     Jaccard, Dice, Cosine — id equality is string equality because
+//     both sides intern into the same pool),
+//
+// with no transformation, tokenization, string allocation or string
+// hashing per pair.
+//
+// Determinism: plans are registered and interned in the serial phases
+// of the callers (plan registration order x entity order fixes every
+// id), raw transform evaluation may run on a thread pool but each plan
+// is produced by exactly one task, and every distance computed from the
+// store is bit-identical to the ValueSet path (asserted by
+// tests/engine_test.cc and tests/matcher_test.cc; see
+// distance/distance_measure.h for the per-measure contract).
+
+#ifndef GENLINK_EVAL_VALUE_STORE_H_
+#define GENLINK_EVAL_VALUE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "model/dataset.h"
+#include "rule/linkage_rule.h"
+
+namespace genlink {
+
+/// Dense id of one interned string in the pool.
+using ValueId = uint32_t;
+/// Dense id of one compiled transform plan (scoped to a store side).
+using PlanId = uint32_t;
+
+/// Cumulative counters (survive Clear()).
+struct ValueStoreStats {
+  /// Distinct plans materialized (per side, summed).
+  uint64_t plans_compiled = 0;
+  /// Compile requests served by an already-materialized plan.
+  uint64_t plan_hits = 0;
+  /// Total value slots stored across all plans.
+  uint64_t values_stored = 0;
+};
+
+/// Append-only string interner over chunked storage: views stay valid
+/// until Clear(). Not thread-safe; callers intern in serial phases.
+class StringPool {
+ public:
+  /// Returns the id of `value`, interning a copy on first sight.
+  ValueId Intern(std::string_view value);
+
+  std::string_view View(ValueId id) const { return views_[id]; }
+  size_t size() const { return views_.size(); }
+  size_t ApproxBytes() const { return bytes_; }
+
+  void Clear();
+
+ private:
+  static constexpr size_t kBlockSize = 64 * 1024;
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  size_t block_used_ = 0;
+  size_t block_capacity_ = 0;
+  size_t bytes_ = 0;
+  std::vector<std::string_view> views_;               // id -> pooled view
+  std::unordered_map<std::string_view, ValueId> ids_; // keys view into blocks_
+};
+
+/// Interned per-entity values of two entity sides (the paper's A and B)
+/// under compiled transform plans, sharing one string pool.
+class ValueStore {
+ public:
+  enum class Side { kSource, kTarget };
+
+  /// The entity pointers are copied; the entities and schemas must
+  /// outlive the store.
+  ValueStore(std::span<const Entity* const> source_entities,
+             const Schema& source_schema,
+             std::span<const Entity* const> target_entities,
+             const Schema& target_schema);
+
+  /// Binds the sides to whole datasets: store entity index == dataset
+  /// entity index. When `source` and `target` are the same dataset
+  /// (deduplication), both sides share one plan store, so each value
+  /// subtree is evaluated and interned once, not once per side.
+  ValueStore(const Dataset& source, const Dataset& target);
+
+  /// Compiles `op` on `side`: returns the existing plan when an
+  /// equal-hash subtree was compiled before, otherwise evaluates the
+  /// subtree for every entity of the side and interns the results.
+  /// Serial.
+  PlanId Compile(Side side, const ValueOperator& op);
+
+  /// Batch Compile: registers all ops (deduplicating within the batch
+  /// and against existing plans), evaluates the raw value sets of the
+  /// missing plans — in parallel over plans when `pool` is non-null —
+  /// then interns serially in registration order, so ids are
+  /// independent of the thread count. `plans` must have ops.size()
+  /// entries.
+  void CompileBatch(Side side, std::span<const ValueOperator* const> ops,
+                    std::span<PlanId> plans, ThreadPool* pool = nullptr);
+
+  /// Interned values of one entity under a plan, in evaluation order.
+  std::span<const ValueId> Values(Side side, PlanId plan,
+                                  size_t entity_index) const;
+  /// Strictly increasing distinct ids of the same values, with
+  /// multiplicities (the token-set representation).
+  std::span<const ValueId> SortedIds(Side side, PlanId plan,
+                                     size_t entity_index) const;
+  std::span<const uint32_t> SortedCounts(Side side, PlanId plan,
+                                         size_t entity_index) const;
+
+  std::string_view View(ValueId id) const { return pool_.View(id); }
+
+  /// Raw distance of one entity pair under a compiled comparison —
+  /// exactly what DistanceMeasure::Distance returns on the entities'
+  /// evaluated ValueSets, or kInfiniteDistance when either side is
+  /// empty. `bound` as in DistanceMeasure::DistanceViews: pass a
+  /// threshold when only the thresholded score is needed.
+  double PairDistance(const DistanceMeasure& measure, PlanId source_plan,
+                      size_t source_entity, PlanId target_plan,
+                      size_t target_entity,
+                      double bound = kInfiniteDistance) const;
+
+  size_t num_entities(Side side) const {
+    return side_of(side).entities.size();
+  }
+  const ValueStoreStats& stats() const { return stats_; }
+
+  /// Pool bytes + plan array bytes (the eviction trigger of the
+  /// engine's store budget).
+  size_t ApproxBytes() const;
+
+  /// Drops all plans and the pool. Previously returned PlanIds and
+  /// views are invalidated; stats keep accumulating.
+  void Clear();
+
+ private:
+  /// One compiled plan: flat per-entity slices (offsets have
+  /// entities+1 entries).
+  struct Plan {
+    std::vector<uint32_t> offsets;
+    std::vector<ValueId> values;
+    std::vector<uint32_t> sorted_offsets;
+    std::vector<ValueId> sorted_ids;
+    std::vector<uint32_t> sorted_counts;
+  };
+
+  struct SideStore {
+    std::vector<const Entity*> entities;
+    const Schema* schema = nullptr;
+    std::vector<Plan> plans;
+    std::unordered_map<uint64_t, PlanId> plan_by_hash;
+  };
+
+  SideStore& side_of(Side side) {
+    return (side == Side::kSource || shared_sides_) ? source_ : target_;
+  }
+  const SideStore& side_of(Side side) const {
+    return (side == Side::kSource || shared_sides_) ? source_ : target_;
+  }
+
+  /// Interns one plan's raw per-entity value sets into flat storage.
+  void InternPlan(Plan& plan, std::span<const ValueSet> raw_values);
+
+  StringPool pool_;
+  SideStore source_;
+  SideStore target_;
+  /// Both sides resolve to source_ (same-dataset deduplication).
+  bool shared_sides_ = false;
+  ValueStoreStats stats_;
+};
+
+/// A linkage rule bound to a value store: every comparison's value
+/// subtrees compiled to plans, scoring a pair of store entity indexes
+/// without evaluating a single value operator. Scores are bit-identical
+/// to LinkageRule::Evaluate on the same entities (comparisons run with
+/// their threshold as the distance bound, which cannot change any
+/// ThresholdedScore). Used by the matcher's full-dataset path.
+class CompiledRule {
+ public:
+  /// Compiles `rule`'s value subtrees into `store` (serial; `pool`
+  /// parallelizes raw plan evaluation). Both must outlive this object.
+  CompiledRule(const LinkageRule& rule, ValueStore& store,
+               ThreadPool* pool = nullptr);
+
+  bool empty() const { return root_ == nullptr; }
+
+  /// Similarity in [0,1] of (source_entity, target_entity); 0 for the
+  /// empty rule. Thread-safe (read-only over the store).
+  double Score(size_t source_entity, size_t target_entity) const;
+
+ private:
+  struct Site {
+    const ComparisonOperator* op = nullptr;
+    PlanId source_plan = 0;
+    PlanId target_plan = 0;
+  };
+
+  double EvalNode(const SimilarityOperator& node, size_t source_entity,
+                  size_t target_entity, size_t& next_site) const;
+
+  const SimilarityOperator* root_ = nullptr;
+  const ValueStore* store_ = nullptr;
+  std::vector<Site> sites_;  // pre-order of the rule's comparisons
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_EVAL_VALUE_STORE_H_

@@ -41,6 +41,7 @@ Result<LearnResult> GenLink::Learn(const ReferenceLinkSet& train,
   engine_config.num_threads = config_.num_threads;
   engine_config.cache_fitness = config_.cache_fitness;
   engine_config.cache_distances = config_.cache_distances;
+  engine_config.use_value_store = config_.use_value_store;
   EvaluationEngine engine(*train_pairs, a_->schema(), b_->schema(),
                           config_.fitness, engine_config);
 

@@ -66,7 +66,21 @@ TokenBlockingIndex::TokenBlockingIndex(const Dataset& dataset,
 
 std::vector<size_t> TokenBlockingIndex::Candidates(const Entity& entity,
                                                    const Schema& schema) const {
-  std::unordered_set<size_t> candidates;
+  // Deduplicate posting-list hits with an epoch-stamped scratch array
+  // instead of a hash set: candidate sets run to hundreds of entries
+  // per query (one per shared token), and this path sits inside the
+  // matcher's per-source-entity loop. The scratch is thread-local so
+  // concurrent matcher tasks never share it; the epoch bump makes
+  // clearing O(1).
+  thread_local std::vector<uint32_t> stamp;
+  thread_local uint32_t epoch = 0;
+  if (stamp.size() < dataset_->size()) stamp.resize(dataset_->size(), 0);
+  if (++epoch == 0) {  // wrapped: all stamps are stale but may collide
+    std::fill(stamp.begin(), stamp.end(), 0);
+    epoch = 1;
+  }
+
+  std::vector<size_t> out;
   // Probe with the tokens of every property of the query entity; the
   // source schema generally differs from the indexed one, so all
   // properties are used.
@@ -75,11 +89,15 @@ std::vector<size_t> TokenBlockingIndex::Candidates(const Entity& entity,
       for (auto& token : TokenizeAlnum(ToLowerAscii(value))) {
         auto it = index_.find(token);
         if (it == index_.end()) continue;
-        candidates.insert(it->second.begin(), it->second.end());
+        for (size_t j : it->second) {
+          if (stamp[j] != epoch) {
+            stamp[j] = epoch;
+            out.push_back(j);
+          }
+        }
       }
     }
   }
-  std::vector<size_t> out(candidates.begin(), candidates.end());
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <mutex>
 
+#include "eval/value_store.h"
+
 namespace genlink {
 
 std::vector<GeneratedLink> GenerateLinks(const LinkageRule& rule,
@@ -17,13 +19,27 @@ std::vector<GeneratedLink> GenerateLinks(const LinkageRule& rule,
   }
 
   ThreadPool pool(options.num_threads);
+
+  // Fast path: evaluate every value subtree once per entity up front
+  // (store entity index == dataset entity index), then score candidate
+  // pairs over interned values only. Falls back to the operator tree
+  // when disabled; the generated links are bit-identical.
+  std::unique_ptr<ValueStore> store;
+  std::unique_ptr<CompiledRule> compiled;
+  if (options.use_value_store && !rule.empty()) {
+    store = std::make_unique<ValueStore>(a, b);
+    compiled = std::make_unique<CompiledRule>(rule, *store, &pool);
+  }
+
   pool.ParallelFor(a.size(), [&](size_t i) {
     const Entity& ea = a.entity(i);
     std::vector<GeneratedLink> local;
     auto consider = [&](size_t j) {
       const Entity& eb = b.entity(j);
       if (&a == &b && ea.id() >= eb.id()) return;  // dedup: each pair once
-      double score = rule.Evaluate(ea, eb, a.schema(), b.schema());
+      double score = compiled != nullptr
+                         ? compiled->Score(i, j)
+                         : rule.Evaluate(ea, eb, a.schema(), b.schema());
       if (score >= options.threshold) {
         local.push_back({ea.id(), eb.id(), score});
       }

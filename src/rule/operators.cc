@@ -12,6 +12,15 @@ ValueSet PropertyOperator::Evaluate(const Entity& e, const Schema& schema) const
   return e.Values(*id);
 }
 
+const ValueSet& PropertyOperator::EvaluateRef(const Entity& e,
+                                              const Schema& schema,
+                                              ValueSet& /*scratch*/) const {
+  static const ValueSet kEmpty;
+  auto id = schema.FindProperty(property_);
+  if (!id) return kEmpty;
+  return e.Values(*id);
+}
+
 std::unique_ptr<ValueOperator> PropertyOperator::Clone() const {
   return std::make_unique<PropertyOperator>(property_);
 }
@@ -23,6 +32,13 @@ uint64_t PropertyOperator::StructuralHash() const {
 // --------------------------------------------------------------- Transform
 
 ValueSet TransformOperator::Evaluate(const Entity& e, const Schema& schema) const {
+  // Unary transformations (all but `concatenate`) read their input by
+  // reference — a plain property input costs no string copies.
+  if (inputs_.size() == 1) {
+    ValueSet scratch;
+    const ValueSet& input = inputs_[0]->EvaluateRef(e, schema, scratch);
+    return function_->Apply({&input, 1});
+  }
   std::vector<ValueSet> inputs;
   inputs.reserve(inputs_.size());
   for (const auto& op : inputs_) inputs.push_back(op->Evaluate(e, schema));
@@ -62,8 +78,9 @@ ComparisonOperator::ComparisonOperator(std::unique_ptr<ValueOperator> source,
 double ComparisonOperator::Evaluate(const Entity& a, const Entity& b,
                                     const Schema& schema_a,
                                     const Schema& schema_b) const {
-  ValueSet va = source_->Evaluate(a, schema_a);
-  ValueSet vb = target_->Evaluate(b, schema_b);
+  ValueSet scratch_a, scratch_b;
+  const ValueSet& va = source_->EvaluateRef(a, schema_a, scratch_a);
+  const ValueSet& vb = target_->EvaluateRef(b, schema_b, scratch_b);
   if (va.empty() || vb.empty()) return 0.0;
   double d = measure_->Distance(va, vb);
   return ThresholdedScore(d, threshold_);

@@ -45,6 +45,17 @@ class ValueOperator {
   /// by `schema`.
   virtual ValueSet Evaluate(const Entity& e, const Schema& schema) const = 0;
 
+  /// Allocation-avoiding variant: returns a reference to the entity's
+  /// stored values when the operator is a plain property read, and
+  /// otherwise evaluates into `scratch` and returns that. The returned
+  /// reference is valid while both `e` and `scratch` live and `scratch`
+  /// is not reused.
+  virtual const ValueSet& EvaluateRef(const Entity& e, const Schema& schema,
+                                      ValueSet& scratch) const {
+    scratch = Evaluate(e, schema);
+    return scratch;
+  }
+
   /// Deep copy.
   virtual std::unique_ptr<ValueOperator> Clone() const = 0;
 
@@ -67,6 +78,8 @@ class PropertyOperator : public ValueOperator {
   void set_property(std::string property) { property_ = std::move(property); }
 
   ValueSet Evaluate(const Entity& e, const Schema& schema) const override;
+  const ValueSet& EvaluateRef(const Entity& e, const Schema& schema,
+                              ValueSet& scratch) const override;
   std::unique_ptr<ValueOperator> Clone() const override;
   size_t CountOperators() const override { return 1; }
   uint64_t StructuralHash() const override;

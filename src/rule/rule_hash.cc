@@ -95,6 +95,8 @@ uint64_t HashSimilarityOp(const SimilarityOperator& op,
 
 }  // namespace
 
+uint64_t ValueOperatorHash(const ValueOperator& op) { return HashValueOp(op); }
+
 uint64_t ComparisonSignature(const ComparisonOperator& op) {
   uint64_t h = HashFunctionIdentity(kTagSignature, op.measure());
   h = HashCombine(h, HashValueOp(*op.source()));

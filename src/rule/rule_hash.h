@@ -63,6 +63,12 @@ uint64_t CanonicalRuleHash(const LinkageRule& rule);
 /// Threshold- and weight-free signature of one comparison subtree.
 uint64_t ComparisonSignature(const ComparisonOperator& op);
 
+/// Canonical hash of one value subtree — the transform-plan key of the
+/// value store (eval/value_store.h): two value operators with equal
+/// hashes compute the same value set for every entity, because the hash
+/// covers property names and transformation identity (by instance).
+uint64_t ValueOperatorHash(const ValueOperator& op);
+
 /// Computes the canonical hash and collects all comparison sites.
 RuleHashInfo AnalyzeRule(const LinkageRule& rule);
 

@@ -2,24 +2,51 @@
 
 #include <cctype>
 
-#include "common/string_util.h"
-
 namespace genlink {
+namespace {
 
-std::vector<std::string> TokenizeAlnum(std::string_view text) {
+inline bool IsAlnum(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+inline bool IsSpace(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+// Splits `text` into maximal runs of characters satisfying `keep`. A
+// counting pre-pass sizes the vector exactly (tokenization runs once
+// per entity value in blocking and the `tokenize` transformation, so
+// reallocation churn matters); tokens are built straight from the input
+// view, with no intermediate substring.
+template <typename Pred>
+std::vector<std::string> SplitRuns(std::string_view text, Pred keep) {
+  size_t count = 0;
+  bool in_token = false;
+  for (char c : text) {
+    const bool k = keep(c);
+    count += (k && !in_token) ? 1 : 0;
+    in_token = k;
+  }
   std::vector<std::string> tokens;
+  tokens.reserve(count);
   size_t i = 0;
   while (i < text.size()) {
-    while (i < text.size() && !std::isalnum(static_cast<unsigned char>(text[i]))) ++i;
+    while (i < text.size() && !keep(text[i])) ++i;
     size_t start = i;
-    while (i < text.size() && std::isalnum(static_cast<unsigned char>(text[i]))) ++i;
-    if (i > start) tokens.emplace_back(text.substr(start, i - start));
+    while (i < text.size() && keep(text[i])) ++i;
+    if (i > start) tokens.emplace_back(text.data() + start, i - start);
   }
   return tokens;
 }
 
+}  // namespace
+
+std::vector<std::string> TokenizeAlnum(std::string_view text) {
+  return SplitRuns(text, IsAlnum);
+}
+
 std::vector<std::string> TokenizeWhitespace(std::string_view text) {
-  return SplitWhitespace(text);
+  return SplitRuns(text, [](char c) { return !IsSpace(c); });
 }
 
 }  // namespace genlink

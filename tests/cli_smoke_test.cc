@@ -93,6 +93,45 @@ TEST(CliSmokeTest, LearnsParseableRuleOnRestaurant) {
   std::remove(rule_path.c_str());
 }
 
+TEST(CliSmokeTest, LearnWithMatchWritesFullDatasetLinks) {
+  ASSERT_FALSE(g_cli_path.empty())
+      << "pass the genlink_cli path as argv[1] (CTest does this)";
+
+  RestaurantConfig config;
+  config.scale = 0.3;
+  MatchingTask task = GenerateRestaurant(config);
+
+  const std::string data_path = TempPath("match_restaurant.csv");
+  const std::string links_path = TempPath("match_links.csv");
+  const std::string rule_path = TempPath("match_rule.xml");
+  const std::string out_path = TempPath("match_out.nt");
+  ASSERT_TRUE(WriteStringToFile(data_path, DatasetToCsv(task.Source())).ok());
+  ASSERT_TRUE(WriteStringToFile(links_path, WriteLinksCsv(task.links)).ok());
+
+  // learn --match: learn, then link the FULL datasets with the learned
+  // rule through the value-store matcher and write owl:sameAs triples.
+  const std::string command = g_cli_path + " learn --source " + data_path +
+                              " --target " + data_path + " --links " +
+                              links_path + " --out " + rule_path +
+                              " --population 50 --iterations 3 --seed 7" +
+                              " --match " + out_path;
+  const int exit_code = std::system(command.c_str());
+  ASSERT_EQ(exit_code, 0) << "command failed: " << command;
+
+  auto triples = ReadFileToString(out_path);
+  ASSERT_TRUE(triples.ok()) << "CLI did not write " << out_path;
+  // The written links parse back as owl:sameAs N-Triples and are
+  // non-empty (Restaurant at this scale always links some duplicates).
+  auto parsed = ReadSameAsLinks(*triples);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_GT(parsed->positives().size(), 0u);
+
+  std::remove(data_path.c_str());
+  std::remove(links_path.c_str());
+  std::remove(rule_path.c_str());
+  std::remove(out_path.c_str());
+}
+
 }  // namespace
 }  // namespace genlink
 

@@ -1,0 +1,165 @@
+// Equivalence of the optimized distance kernels with their reference
+// implementations (distance/string_distances.h): Myers bit-parallel /
+// banded Levenshtein, allocation-free Jaro, and the token-id set
+// distances must return values identical to the straightforward code on
+// arbitrary byte strings — including UTF-8 multi-byte sequences, empty
+// strings, and strings past the 64-char bit-parallel limit.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "distance/string_distances.h"
+#include "distance/token_distances.h"
+#include "eval/value_store.h"
+
+namespace genlink {
+namespace {
+
+// Byte soup spanning ASCII letters/digits/punctuation, whitespace and
+// UTF-8 fragments (both well-formed sequences and lone continuation
+// bytes — the kernels operate on raw bytes and must not care).
+std::string RandomBytes(size_t length, Rng& rng) {
+  static const std::vector<std::string> kAtoms = {
+      "a", "b", "c", "e", "z", "A", "Z", "0", "9", " ", "\t", ".", "-",
+      "'", "(", ")", "/", "_", ",", "\xC3\xA9" /* é */, "\xC3\xBC" /* ü */,
+      "\xE2\x82\xAC" /* € */, "\xF0\x9F\x98\x80" /* 😀 */, "\x80", "\xFF"};
+  std::string out;
+  out.reserve(length + 4);
+  while (out.size() < length) out += rng.Choice(kAtoms);
+  return out;
+}
+
+// Length buckets exercising every kernel path: empty, short (Myers +
+// Jaro bit masks), straddling 64, and long (DP / byte-flag fallbacks).
+size_t RandomLength(Rng& rng) {
+  switch (rng.PickIndex(8)) {
+    case 0: return 0;
+    case 1: return rng.PickIndex(4);
+    case 2: return 1 + rng.PickIndex(16);
+    case 3: return 48 + rng.PickIndex(20);   // straddles 64
+    case 4: return 63 + rng.PickIndex(4);    // exactly around the limit
+    case 5: return 65 + rng.PickIndex(40);
+    case 6: return 128 + rng.PickIndex(128); // both sides > 64
+    default: return 1 + rng.PickIndex(40);
+  }
+}
+
+TEST(DistanceKernelsTest, LevenshteinMatchesReferenceOn10kRandomPairs) {
+  Rng rng(20260730);
+  for (int trial = 0; trial < 10000; ++trial) {
+    std::string a = RandomBytes(RandomLength(rng), rng);
+    std::string b = RandomBytes(RandomLength(rng), rng);
+    ASSERT_EQ(LevenshteinEditDistance(a, b),
+              LevenshteinEditDistanceReference(a, b))
+        << "a='" << a << "' b='" << b << "'";
+  }
+}
+
+TEST(DistanceKernelsTest, BoundedLevenshteinExactUpToBound) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10000; ++trial) {
+    std::string a = RandomBytes(RandomLength(rng), rng);
+    std::string b = RandomBytes(RandomLength(rng), rng);
+    const int exact = LevenshteinEditDistanceReference(a, b);
+    const int bound = static_cast<int>(rng.PickIndex(12));
+    const int bounded = BoundedLevenshteinEditDistance(a, b, bound);
+    if (exact <= bound) {
+      ASSERT_EQ(bounded, exact) << "a='" << a << "' b='" << b << "'";
+    } else {
+      ASSERT_GT(bounded, bound) << "a='" << a << "' b='" << b << "'";
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, JaroMatchesReferenceOn10kRandomPairs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10000; ++trial) {
+    std::string a = RandomBytes(RandomLength(rng), rng);
+    std::string b = RandomBytes(RandomLength(rng), rng);
+    // Bit-for-bit: both paths run the identical match/transposition
+    // scan, only the flag storage differs.
+    ASSERT_EQ(JaroSimilarity(a, b), JaroSimilarityReference(a, b))
+        << "a='" << a << "' b='" << b << "'";
+  }
+}
+
+TEST(DistanceKernelsTest, KnownValuesStillHold) {
+  EXPECT_EQ(LevenshteinEditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinEditDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinEditDistance("abc", ""), 3);
+  EXPECT_EQ(LevenshteinEditDistance("abc", "abc"), 0);
+  EXPECT_EQ(BoundedLevenshteinEditDistance("kitten", "sitting", 2), 3);
+  EXPECT_EQ(BoundedLevenshteinEditDistance("kitten", "sitting", 3), 3);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+}
+
+// The >64-char DP fallback boundary: identical strings of length 65,
+// and a single edit at each end.
+TEST(DistanceKernelsTest, SixtyFiveCharBoundary) {
+  std::string long_a(65, 'x');
+  std::string long_b = long_a;
+  EXPECT_EQ(LevenshteinEditDistance(long_a, long_b), 0);
+  long_b[0] = 'y';
+  EXPECT_EQ(LevenshteinEditDistance(long_a, long_b), 1);
+  long_b.back() = 'z';
+  EXPECT_EQ(LevenshteinEditDistance(long_a, long_b), 2);
+  EXPECT_EQ(LevenshteinEditDistanceReference(long_a, long_b), 2);
+}
+
+// ---------------------------------------------------- token-id kernels
+
+// Interns two random multisets of tokens into a pool and checks the
+// TokenIdDistance of each set measure against the ValueSet reference.
+TEST(DistanceKernelsTest, TokenIdDistancesMatchValueSetPaths) {
+  JaccardDistance jaccard;
+  DiceDistance dice;
+  CosineDistance cosine;
+  Rng rng(3);
+  static const std::vector<std::string> kTokens = {
+      "los", "angeles", "new", "york", "cafe", "caf\xC3\xA9", "grill",
+      "restaurant", "12", "345", "st", "ave", "", "x"};
+  for (int trial = 0; trial < 2000; ++trial) {
+    ValueSet a, b;
+    const size_t na = 1 + rng.PickIndex(8);
+    const size_t nb = 1 + rng.PickIndex(8);
+    for (size_t i = 0; i < na; ++i) a.push_back(rng.Choice(kTokens));
+    for (size_t i = 0; i < nb; ++i) b.push_back(rng.Choice(kTokens));
+
+    StringPool pool;
+    auto tokenize = [&pool](const ValueSet& values,
+                            std::vector<uint32_t>& ids_out,
+                            std::vector<uint32_t>& counts_out) {
+      std::vector<uint32_t> ids;
+      for (const auto& v : values) ids.push_back(pool.Intern(v));
+      std::sort(ids.begin(), ids.end());
+      for (size_t i = 0; i < ids.size();) {
+        size_t j = i + 1;
+        while (j < ids.size() && ids[j] == ids[i]) ++j;
+        ids_out.push_back(ids[i]);
+        counts_out.push_back(static_cast<uint32_t>(j - i));
+        i = j;
+      }
+    };
+    std::vector<uint32_t> ids_a, counts_a, ids_b, counts_b;
+    tokenize(a, ids_a, counts_a);
+    tokenize(b, ids_b, counts_b);
+
+    for (const DistanceMeasure* m :
+         {static_cast<const DistanceMeasure*>(&jaccard),
+          static_cast<const DistanceMeasure*>(&dice),
+          static_cast<const DistanceMeasure*>(&cosine)}) {
+      ASSERT_EQ(m->TokenIdDistance(ids_a, counts_a, ids_b, counts_b),
+                m->Distance(a, b))
+          << m->name() << " trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace genlink

@@ -9,6 +9,7 @@
 #include "eval/engine.h"
 #include "gp/genlink.h"
 #include "gp/rule_generator.h"
+#include "rule/builder.h"
 #include "rule/rule_hash.h"
 #include "rule/serialize.h"
 
@@ -158,6 +159,62 @@ TEST_F(EngineTest, DistanceCacheDoesNotChangeResults) {
   }
 }
 
+TEST_F(EngineTest, ValueStoreDoesNotChangeResults) {
+  EngineConfig with, without;
+  with.use_value_store = true;
+  without.use_value_store = false;
+  EvaluationEngine store_engine(pairs_, task_.Source().schema(),
+                                task_.Target().schema(), {}, with);
+  EvaluationEngine plain_engine(pairs_, task_.Source().schema(),
+                                task_.Target().schema(), {}, without);
+  FitnessEvaluator serial(pairs_, task_.Source().schema(),
+                          task_.Target().schema());
+  for (const LinkageRule& rule : RandomRules(80, 21)) {
+    FitnessResult via_store = store_engine.Evaluate(rule);
+    FitnessResult via_rows = plain_engine.Evaluate(rule);
+    FitnessResult reference = serial.Evaluate(rule);
+    // Bit-identical across all three paths: interned distances, per-pair
+    // distances from the operator tree, and the serial evaluator.
+    EXPECT_EQ(via_store.fitness, reference.fitness);
+    EXPECT_EQ(via_rows.fitness, reference.fitness);
+    EXPECT_EQ(via_store.mcc, reference.mcc);
+    EXPECT_EQ(via_store.f_measure, reference.f_measure);
+    EXPECT_EQ(via_store.confusion.tp, reference.confusion.tp);
+    EXPECT_EQ(via_store.confusion.tn, reference.confusion.tn);
+    EXPECT_EQ(via_store.confusion.fp, reference.confusion.fp);
+    EXPECT_EQ(via_store.confusion.fn, reference.confusion.fn);
+  }
+  // The store actually ran: plans were compiled and values interned.
+  EXPECT_GT(store_engine.stats().value_plans_compiled, 0u);
+  EXPECT_GT(store_engine.stats().values_interned, 0u);
+  EXPECT_EQ(plain_engine.stats().value_plans_compiled, 0u);
+}
+
+TEST_F(EngineTest, ValueStorePlansSharedAcrossComparisons) {
+  EvaluationEngine engine(pairs_, task_.Source().schema(),
+                          task_.Target().schema());
+  // Two rules with different measures (distinct comparison signatures,
+  // so both rows are cold) over the SAME value subtrees: the second
+  // rule's plans must all hit the store.
+  auto lev = RuleBuilder()
+                 .Compare("levenshtein", 2.0, Prop("title").Lower(),
+                          Prop("title").Lower())
+                 .Build();
+  auto jaro = RuleBuilder()
+                  .Compare("jaro", 0.3, Prop("title").Lower(),
+                           Prop("title").Lower())
+                  .Build();
+  ASSERT_TRUE(lev.ok());
+  ASSERT_TRUE(jaro.ok());
+  engine.Evaluate(*lev);
+  const uint64_t plans_after_first = engine.stats().value_plans_compiled;
+  const uint64_t hits_after_first = engine.stats().value_plan_hits;
+  EXPECT_GT(plans_after_first, 0u);
+  engine.Evaluate(*jaro);
+  EXPECT_EQ(engine.stats().value_plans_compiled, plans_after_first);
+  EXPECT_GT(engine.stats().value_plan_hits, hits_after_first);
+}
+
 TEST_F(EngineTest, FitnessMemoHitsOnRepeatedRules) {
   EvaluationEngine engine(pairs_, task_.Source().schema(),
                           task_.Target().schema());
@@ -212,12 +269,13 @@ class EngineLearnTest : public ::testing::Test {
     task_ = GenerateRestaurant(config);
   }
 
-  LearnResult Learn(size_t threads) {
+  LearnResult Learn(size_t threads, bool use_value_store = true) {
     GenLinkConfig config;
     config.population_size = 50;
     config.max_iterations = 5;
     config.stop_f_measure = 1.1;  // never stop early: exercise all 5
     config.num_threads = threads;
+    config.use_value_store = use_value_store;
     GenLink learner(task_.Source(), task_.Target(), config);
     Rng rng(2024);
     auto result = learner.Learn(task_.links, nullptr, rng);
@@ -248,6 +306,24 @@ TEST_F(EngineLearnTest, SameSeedSameTrajectoryAt148Threads) {
     EXPECT_EQ(r1.trajectory.iterations[i].train_mcc,
               r8.trajectory.iterations[i].train_mcc) << i;
   }
+}
+
+TEST_F(EngineLearnTest, SameTrajectoryWithValueStoreOnAndOff) {
+  LearnResult with_store = Learn(1, /*use_value_store=*/true);
+  LearnResult without_store = Learn(1, /*use_value_store=*/false);
+
+  EXPECT_EQ(ToSexpr(with_store.best_rule), ToSexpr(without_store.best_rule));
+  ASSERT_EQ(with_store.trajectory.iterations.size(),
+            without_store.trajectory.iterations.size());
+  for (size_t i = 0; i < with_store.trajectory.iterations.size(); ++i) {
+    EXPECT_EQ(with_store.trajectory.iterations[i].train_f1,
+              without_store.trajectory.iterations[i].train_f1) << i;
+    EXPECT_EQ(with_store.trajectory.iterations[i].train_mcc,
+              without_store.trajectory.iterations[i].train_mcc) << i;
+  }
+  EXPECT_GT(with_store.eval_stats.value_plans_compiled, 0u);
+  EXPECT_GT(with_store.eval_stats.value_plan_hits, 0u);
+  EXPECT_EQ(without_store.eval_stats.value_plans_compiled, 0u);
 }
 
 TEST_F(EngineLearnTest, CacheHitRatePositiveAfterGenerationTwo) {

@@ -96,6 +96,42 @@ TEST_F(MatcherTest, SourcePropertyExtraction) {
   EXPECT_EQ(TargetProperties(rule), (std::vector<std::string>{"label"}));
 }
 
+// The value-store matcher path must generate links bit-identical to the
+// per-pair operator-tree path: same pairs, same doubles, same order.
+TEST(MatcherIntegrationTest, ValueStorePathBitIdenticalOnRestaurant) {
+  RestaurantConfig config;
+  config.scale = 0.4;
+  MatchingTask task = GenerateRestaurant(config);
+  auto rule = RuleBuilder()
+                  .Aggregate("min")
+                  .Compare("jaccard", 0.8, Prop("name").Lower().Tokenize(),
+                           Prop("name").Lower().Tokenize())
+                  .Compare("levenshtein", 3.0, Prop("address").Lower(),
+                           Prop("address").Lower())
+                  .End()
+                  .Build();
+  ASSERT_TRUE(rule.ok());
+
+  for (bool use_blocking : {true, false}) {
+    MatchOptions with_store, without_store;
+    with_store.use_blocking = without_store.use_blocking = use_blocking;
+    with_store.use_value_store = true;
+    without_store.use_value_store = false;
+    // Restaurant is a dedup task: source matched against itself
+    // (exercises the self-match dedup in the compiled path too).
+    auto fast = GenerateLinks(*rule, task.a, task.a, with_store);
+    auto reference = GenerateLinks(*rule, task.a, task.a, without_store);
+    ASSERT_EQ(fast.size(), reference.size()) << "blocking=" << use_blocking;
+    EXPECT_GT(fast.size(), 0u);
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].id_a, reference[i].id_a);
+      EXPECT_EQ(fast[i].id_b, reference[i].id_b);
+      // Bit-identical scores, not just nearly equal.
+      EXPECT_EQ(fast[i].score, reference[i].score) << i;
+    }
+  }
+}
+
 TEST(MatcherIntegrationTest, BlockingRecallOnGeneratedMovies) {
   // On the LinkedMDB generator, blocked execution with a title+date rule
   // must recover nearly all reference links.

@@ -50,12 +50,16 @@ int Usage() {
       "  genlink learn --source A --target B --links L [--out rule.xml]\n"
       "                [--population 500] [--iterations 50] [--seed 42]\n"
       "                [--threads 0] [--id-column id]\n"
+      "                [--match links_out.nt] [--match-threshold 0.5]\n"
       "  genlink match --source A --target B --rule R [--out links.csv]\n"
       "                [--threshold 0.5] [--threads 0] [--id-column id]\n"
       "  genlink eval  --source A --target B --rule R --links L\n"
       "                [--id-column id]\n"
       "datasets: .csv (header row = properties) or .nt (N-Triples)\n"
-      "links:    .csv (id_a,id_b[,label]) or .nt (owl:sameAs)\n");
+      "links:    .csv (id_a,id_b[,label]) or .nt (owl:sameAs)\n"
+      "learn --match: after learning, link the FULL datasets with the\n"
+      "learned rule (value-store matcher) and write them to the given\n"
+      "path (.nt = owl:sameAs triples, anything else = CSV with scores)\n");
   return 2;
 }
 
@@ -88,6 +92,26 @@ Result<LinkageRule> LoadRule(const std::string& path) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// The two generated-link serializations (shared by `match` and
+// `learn --match`): CSV with scores, and score-less owl:sameAs
+// N-Triples.
+std::string LinksToCsv(const std::vector<GeneratedLink>& links) {
+  std::string csv = "id_a,id_b,score\n";
+  for (const auto& link : links) {
+    csv += link.id_a + "," + link.id_b + "," + FormatDouble(link.score, 4) + "\n";
+  }
+  return csv;
+}
+
+std::string LinksToSameAsNt(const std::vector<GeneratedLink>& links) {
+  std::string nt;
+  for (const auto& link : links) {
+    nt += "<" + link.id_a + "> <http://www.w3.org/2002/07/owl#sameAs> <" +
+          link.id_b + "> .\n";
+  }
+  return nt;
 }
 
 int RunLearn(const Args& args) {
@@ -151,6 +175,28 @@ int RunLearn(const Args& args) {
   } else {
     std::fputs(xml.c_str(), stdout);
   }
+
+  // learn --match: end-to-end linking. The learned rule is executed over
+  // the FULL datasets (not just the labelled pairs) through the
+  // value-store matcher path and the links are written out.
+  const char* match_out = args.Get("match");
+  if (match_out != nullptr) {
+    MatchOptions match_options;
+    match_options.num_threads = config.num_threads;
+    double match_threshold = 0.5;
+    if (args.Get("match-threshold") &&
+        ParseDouble(args.Get("match-threshold"), &match_threshold)) {
+      match_options.threshold = match_threshold;
+    }
+    auto generated = GenerateLinks(result->best_rule, *a, *b, match_options);
+    std::string serialized = EndsWith(match_out, ".nt")
+                                 ? LinksToSameAsNt(generated)
+                                 : LinksToCsv(generated);
+    Status status = WriteStringToFile(match_out, serialized);
+    if (!status.ok()) return Fail(status);
+    std::fprintf(stderr, "matched full datasets: %zu links written to %s\n",
+                 generated.size(), match_out);
+  }
   return 0;
 }
 
@@ -181,10 +227,7 @@ int RunMatch(const Args& args) {
   auto links = GenerateLinks(*rule, *a, *b, options);
   std::fprintf(stderr, "generated %zu links\n", links.size());
 
-  std::string csv = "id_a,id_b,score\n";
-  for (const auto& link : links) {
-    csv += link.id_a + "," + link.id_b + "," + FormatDouble(link.score, 4) + "\n";
-  }
+  std::string csv = LinksToCsv(links);
   const char* out = args.Get("out");
   if (out != nullptr) {
     Status status = WriteStringToFile(out, csv);
