@@ -76,4 +76,27 @@ void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn
   done_cv.wait(lock, [&] { return remaining.load() == 0; });
 }
 
+void ThreadPool::ParallelForEach(size_t count,
+                                 const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_.size() <= 1 || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> remaining(count);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  for (size_t i = 0; i < count; ++i) {
+    Submit([&, i] {
+      fn(i);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
 }  // namespace genlink

@@ -37,6 +37,13 @@ class ThreadPool {
   /// pool has a single worker or `count` is small.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
+  /// Like ParallelFor, but submits one task per index with no
+  /// small-count inline shortcut: the right shape when `count` is small
+  /// and each task is heavy and unequal (e.g. one island's breeding
+  /// step), where chunking would serialize the work. Runs inline only
+  /// with a single worker or a single index.
+  void ParallelForEach(size_t count, const std::function<void(size_t)>& fn);
+
  private:
   void Submit(std::function<void()> task);
   void WorkerLoop();

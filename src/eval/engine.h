@@ -156,6 +156,13 @@ class EvaluationEngine {
 
   const EngineStats& stats() const { return stats_; }
 
+  /// The engine's worker pool, shared with the search layer: the island
+  /// model (gp/islands.h) breeds its populations on the same threads
+  /// that evaluate fitness, so one pool serves the whole learning loop.
+  /// Breeding and evaluation never overlap (the learner alternates
+  /// them), so the sharing needs no extra synchronization.
+  ThreadPool& pool() { return pool_; }
+
  private:
   /// One rule awaiting evaluation (a fitness-memo miss).
   struct Pending {

@@ -1,195 +1,20 @@
 #include "gp/genlink.h"
 
-#include <algorithm>
-#include <chrono>
-#include <unordered_set>
-
-#include "eval/metrics.h"
-#include "gp/selection.h"
-#include "rule/serialize.h"
+#include "gp/islands.h"
 
 namespace genlink {
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-}  // namespace
 
 GenLink::GenLink(const Dataset& a, const Dataset& b, GenLinkConfig config)
     : a_(&a), b_(&b), config_(std::move(config)) {}
 
+// The evolution loop lives in gp/islands.cc: LearnIslands runs
+// config_.num_islands populations (1 = the paper's single-population
+// Algorithm 1, bit-identical to the legacy loop kept as
+// LearnSinglePopulation).
 Result<LearnResult> GenLink::Learn(const ReferenceLinkSet& train,
                                    const ReferenceLinkSet* validation, Rng& rng,
                                    const IterationCallback& callback) const {
-  auto start = Clock::now();
-
-  auto train_pairs = train.Resolve(*a_, *b_);
-  if (!train_pairs.ok()) return train_pairs.status();
-
-  std::vector<LabeledPair> val_pairs;
-  if (validation != nullptr) {
-    auto resolved = validation->Resolve(*a_, *b_);
-    if (!resolved.ok()) return resolved.status();
-    val_pairs = std::move(resolved).value();
-  }
-
-  EngineConfig engine_config;
-  engine_config.num_threads = config_.num_threads;
-  engine_config.cache_fitness = config_.cache_fitness;
-  engine_config.cache_distances = config_.cache_distances;
-  engine_config.use_value_store = config_.use_value_store;
-  EvaluationEngine engine(*train_pairs, a_->schema(), b_->schema(),
-                          config_.fitness, engine_config);
-
-  LearnResult result;
-
-  // --- Seeding (Section 5.1 / Algorithm 2).
-  if (config_.seeded_population) {
-    result.compatible_pairs =
-        FindCompatibleProperties(*a_, *b_, train, config_.seeding, rng);
-  }
-  RuleGeneratorConfig gen_config = config_.generator;
-  gen_config.mode = config_.mode;
-  gen_config.seeded = config_.seeded_population && !result.compatible_pairs.empty();
-  RuleGenerator generator(result.compatible_pairs, a_->schema().property_names(),
-                          b_->schema().property_names(), gen_config);
-
-  auto crossover_set =
-      MakeCrossoverSet(config_.mode, config_.subtree_crossover_only);
-
-  // --- Initial population.
-  Population population;
-  for (size_t i = 0; i < config_.population_size; ++i) {
-    population.Add(Individual{generator.RandomRule(rng), {}, false});
-  }
-  EvaluatePopulation(population, engine);
-
-  {
-    double f1_sum = 0.0;
-    for (const auto& ind : population.individuals()) {
-      f1_sum += ind.fitness.f_measure;
-    }
-    result.initial_population_mean_f1 =
-        f1_sum / static_cast<double>(population.size());
-  }
-
-  // Records per-iteration statistics; `iteration` 0 is the initial
-  // population, matching the tables in Section 6.2 of the paper.
-  auto record = [&](size_t iteration) {
-    size_t best = population.BestIndex();
-    const Individual& best_ind = population[best];
-    IterationStats stats;
-    stats.iteration = iteration;
-    stats.seconds = SecondsSince(start);
-    stats.train_f1 = best_ind.fitness.f_measure;
-    stats.train_mcc = best_ind.fitness.mcc;
-    stats.mean_operators = population.MeanOperatorCount();
-    stats.best_operators = static_cast<double>(best_ind.rule.OperatorCount());
-    if (!val_pairs.empty()) {
-      ConfusionMatrix cm = EvaluateRuleOnPairs(best_ind.rule, val_pairs,
-                                               a_->schema(), b_->schema());
-      stats.val_f1 = FMeasure(cm);
-      stats.val_mcc = MatthewsCorrelation(cm);
-    }
-    result.trajectory.iterations.push_back(stats);
-    if (callback) callback(stats, population);
-    return stats;
-  };
-
-  IterationStats last = record(0);
-
-  // --- Evolution loop (Algorithm 1).
-  for (size_t iteration = 1;
-       iteration <= config_.max_iterations && last.train_f1 < config_.stop_f_measure;
-       ++iteration) {
-    Population next;
-
-    // Elitism: carry over the best individuals unchanged.
-    if (config_.elitism > 0) {
-      std::vector<size_t> order(population.size());
-      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-      std::partial_sort(order.begin(),
-                        order.begin() + std::min(config_.elitism, order.size()),
-                        order.end(), [&](size_t x, size_t y) {
-                          return population[x].fitness.fitness >
-                                 population[y].fitness.fitness;
-                        });
-      for (size_t e = 0; e < std::min(config_.elitism, order.size()); ++e) {
-        const Individual& elite = population[order[e]];
-        next.Add(Individual{elite.rule.Clone(), elite.fitness, true});
-      }
-    }
-
-    // Structural hashes already present in the next generation.
-    // Suppressing duplicates keeps the population diverse: without it,
-    // tournament selection floods the population with copies of the
-    // current best rule within a few generations and recombination has
-    // no material left to discover multi-comparison rules.
-    std::unordered_set<uint64_t> seen;
-    for (const auto& individual : next.individuals()) {
-      seen.insert(individual.rule.StructuralHash());
-    }
-
-    while (next.size() < config_.population_size) {
-      const LinkageRule& parent1 =
-          population[TournamentSelect(population, config_.tournament_size, rng)].rule;
-      const LinkageRule& parent2 =
-          population[TournamentSelect(population, config_.tournament_size, rng)].rule;
-
-      LinkageRule child;
-      bool produced = false;
-      // A drawn operator can be inapplicable (e.g. transformation
-      // crossover without transformations), produce an oversized or
-      // invalid child, or duplicate an existing individual; redraw a few
-      // times before falling back to reproduction.
-      for (int attempt = 0; attempt < 6 && !produced; ++attempt) {
-        const CrossoverOperator& op =
-            *crossover_set[rng.PickIndex(crossover_set.size())];
-        std::optional<LinkageRule> bred;
-        if (rng.Bernoulli(config_.mutation_probability)) {
-          // Headless-chicken mutation: cross with a random rule.
-          LinkageRule random_rule = generator.RandomRule(rng);
-          bred = op.Cross(parent1, random_rule, rng);
-        } else {
-          bred = op.Cross(parent1, parent2, rng);
-        }
-        if (bred.has_value() && bred->OperatorCount() <= config_.max_operators &&
-            bred->Validate().ok()) {
-          // Keep the Silk invariant: rules are aggregation-rooted, so
-          // that operators crossover can always recombine comparisons.
-          EnsureAggregationRoot(*bred, generator.RandomAggregationFunction(rng));
-          if (!seen.insert(bred->StructuralHash()).second) continue;
-          child = std::move(*bred);
-          produced = true;
-        }
-      }
-      if (!produced) {
-        // Fall back to a fresh random rule rather than a clone: clones
-        // would reintroduce exactly the duplicates we just rejected.
-        child = generator.RandomRule(rng);
-        seen.insert(child.StructuralHash());
-      }
-      next.Add(Individual{std::move(child), {}, false});
-    }
-
-    population = std::move(next);
-    EvaluatePopulation(population, engine);
-    last = record(iteration);
-  }
-
-  const Individual& best = population[population.BestIndex()];
-  result.eval_stats = engine.stats();
-  result.best_rule = best.rule.Clone();
-  result.trajectory.best_rule_sexpr = ToPrettySexpr(result.best_rule);
-  result.trajectory.final_val_f1 =
-      result.trajectory.iterations.empty()
-          ? 0.0
-          : result.trajectory.iterations.back().val_f1;
-  return result;
+  return LearnIslands(*a_, *b_, config_, train, validation, rng, callback);
 }
 
 }  // namespace genlink

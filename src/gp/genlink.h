@@ -71,6 +71,19 @@ struct GenLinkConfig {
   /// filling cold distance rows (see eval/value_store.h). Bit-identical
   /// results either way; off only for A/B measurements.
   bool use_value_store = true;
+
+  /// ---- Island model (gp/islands.h; an extension beyond Algorithm 1,
+  /// off by default). Number of independent populations, each of
+  /// `population_size` rules with its own deterministic RNG stream,
+  /// bred in parallel and evaluated through one shared engine. 1 is the
+  /// paper's single-population algorithm, bit-identical to the legacy
+  /// loop.
+  size_t num_islands = 1;
+  /// Every `migration_interval` generations the best `migration_size`
+  /// rules of each island replace the worst rules of its ring neighbor
+  /// (island i sends to island i+1 mod K). 0 disables migration.
+  size_t migration_interval = 5;
+  size_t migration_size = 3;
 };
 
 /// Output of one learning run.
@@ -84,6 +97,10 @@ struct LearnResult {
   std::vector<CompatiblePair> compatible_pairs;
   /// Final counters of the evaluation engine (cache hit rates etc.).
   EngineStats eval_stats;
+  /// One trajectory per island (size = num_islands; element 0 equals
+  /// `trajectory` for single-island runs). `trajectory` itself is the
+  /// merged view: per iteration, the stats of the leading island.
+  std::vector<RunTrajectory> island_trajectories;
 };
 
 /// Per-iteration observer (iteration stats plus read access to the

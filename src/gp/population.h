@@ -37,6 +37,16 @@ class Population {
 
   void Add(Individual individual) { individuals_.push_back(std::move(individual)); }
 
+  /// Pre-allocates room for `capacity` individuals. The breeding loop
+  /// reserves the full population size up front so a generation is bred
+  /// without a single vector reallocation.
+  void Reserve(size_t capacity) { individuals_.reserve(capacity); }
+
+  /// Drops all individuals but keeps the allocation, so a population
+  /// object can be reused as the breeding buffer of the next generation
+  /// (no per-generation vector churn).
+  void Clear() { individuals_.clear(); }
+
   /// Index of the individual with the highest fitness. Requires a
   /// non-empty, evaluated population.
   size_t BestIndex() const;

@@ -3,6 +3,7 @@
 #include "common/string_util.h"
 #include "io/csv.h"
 #include "io/ntriples.h"
+#include "matcher/matcher.h"
 
 namespace genlink {
 namespace {
@@ -78,6 +79,23 @@ std::string WriteSameAsLinks(const ReferenceLinkSet& links) {
            "> .\n";
   }
   return out;
+}
+
+std::string WriteGeneratedLinksCsv(const std::vector<GeneratedLink>& links) {
+  std::string csv = "id_a,id_b,score\n";
+  for (const auto& link : links) {
+    csv += link.id_a + "," + link.id_b + "," + FormatDouble(link.score, 4) + "\n";
+  }
+  return csv;
+}
+
+std::string WriteGeneratedLinksNt(const std::vector<GeneratedLink>& links) {
+  std::string nt;
+  for (const auto& link : links) {
+    nt += "<" + link.id_a + "> <" + std::string(kSameAsIri) + "> <" + link.id_b +
+          "> .\n";
+  }
+  return nt;
 }
 
 }  // namespace genlink

@@ -9,6 +9,7 @@
 #include "datasets/sider_drugbank.h"
 #include "gp/crossover.h"
 #include "gp/genlink.h"
+#include "gp/islands.h"
 #include "rule/serialize.h"
 
 namespace genlink {
@@ -84,6 +85,150 @@ TEST_F(ThreadInvarianceTest, PopulationEvaluationIndependentOfThreadCount) {
     EXPECT_EQ(p1[i].fitness.fitness, serial.fitness) << i;
     EXPECT_EQ(p1[i].fitness.mcc, serial.mcc) << i;
   }
+}
+
+// ------------------------------------------------ island-model invariance
+
+// A process-stable fingerprint of a LearnResult: the best rule's
+// structural hash plus every deterministic number of the merged and
+// per-island trajectories. Two runs with equal fingerprints learned the
+// same rules along the same path (wall-clock seconds excluded).
+struct LearnFingerprint {
+  uint64_t rule_hash = 0;
+  double initial_mean_f1 = 0.0;
+  std::string best_rule_sexpr;
+  std::vector<double> numbers;
+
+  bool operator==(const LearnFingerprint&) const = default;
+};
+
+LearnFingerprint Fingerprint(const LearnResult& result) {
+  LearnFingerprint fp;
+  fp.rule_hash = result.best_rule.StructuralHash();
+  fp.initial_mean_f1 = result.initial_population_mean_f1;
+  fp.best_rule_sexpr = result.trajectory.best_rule_sexpr;
+  auto add_trajectory = [&](const RunTrajectory& trajectory) {
+    for (const IterationStats& stats : trajectory.iterations) {
+      fp.numbers.push_back(static_cast<double>(stats.iteration));
+      fp.numbers.push_back(stats.train_f1);
+      fp.numbers.push_back(stats.val_f1);
+      fp.numbers.push_back(stats.train_mcc);
+      fp.numbers.push_back(stats.val_mcc);
+      fp.numbers.push_back(stats.mean_operators);
+      fp.numbers.push_back(stats.best_operators);
+    }
+  };
+  add_trajectory(result.trajectory);
+  for (const RunTrajectory& island : result.island_trajectories) {
+    add_trajectory(island);
+  }
+  return fp;
+}
+
+class IslandDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CoraConfig config;
+    config.scale = 0.05;
+    task_ = GenerateCora(config);
+  }
+
+  // One learning run with a fixed master seed: train on fold 0,
+  // validate on fold 1 (so val_* numbers are part of the fingerprint).
+  LearnFingerprint Run(size_t islands, size_t threads,
+                       size_t migration_interval) {
+    GenLinkConfig config;
+    config.population_size = 32;
+    config.max_iterations = 5;
+    config.num_threads = threads;
+    config.num_islands = islands;
+    config.migration_interval = migration_interval;
+    config.migration_size = 2;
+    Rng rng(2024);
+    auto folds = task_.links.SplitFolds(2, rng);
+    GenLink learner(task_.Source(), task_.Target(), config);
+    auto result = learner.Learn(folds[0], &folds[1], rng);
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? Fingerprint(*result) : LearnFingerprint{};
+  }
+
+  MatchingTask task_;
+};
+
+// Same master seed => identical best rule and identical merged AND
+// per-island trajectories at any thread count, for one, two and four
+// islands. With migration every 2 generations of a 5-generation run,
+// this also proves migration (which replaces concrete individuals) is
+// independent of how breeding tasks were scheduled across threads.
+TEST_F(IslandDeterminismTest, ResultIndependentOfThreadCount) {
+  for (size_t islands : {1u, 2u, 4u}) {
+    LearnFingerprint single = Run(islands, 1, /*migration_interval=*/2);
+    EXPECT_FALSE(single.numbers.empty());
+    EXPECT_EQ(single, Run(islands, 4, 2)) << islands << " islands, 4 threads";
+    EXPECT_EQ(single, Run(islands, 8, 2)) << islands << " islands, 8 threads";
+  }
+}
+
+// Migration every generation (the most scheduling-sensitive setting):
+// the whole ring still replays identically across thread counts.
+TEST_F(IslandDeterminismTest, PerGenerationMigrationIsDeterministic) {
+  LearnFingerprint single = Run(4, 1, /*migration_interval=*/1);
+  EXPECT_EQ(single, Run(4, 8, 1));
+}
+
+// The island engine with num_islands = 1 is the production path behind
+// GenLink::Learn; it must reproduce the legacy single-population loop
+// bit for bit at any thread count (the refactor gate).
+TEST_F(IslandDeterminismTest, SingleIslandMatchesLegacySinglePopulation) {
+  GenLinkConfig config;
+  config.population_size = 32;
+  config.max_iterations = 5;
+  for (size_t threads : {1u, 4u}) {
+    config.num_threads = threads;
+
+    Rng legacy_rng(2024);
+    auto legacy_folds = task_.links.SplitFolds(2, legacy_rng);
+    auto legacy = LearnSinglePopulation(task_.Source(), task_.Target(), config,
+                                        legacy_folds[0], &legacy_folds[1],
+                                        legacy_rng);
+    ASSERT_TRUE(legacy.ok());
+
+    Rng island_rng(2024);
+    auto island_folds = task_.links.SplitFolds(2, island_rng);
+    auto island = LearnIslands(task_.Source(), task_.Target(), config,
+                               island_folds[0], &island_folds[1], island_rng);
+    ASSERT_TRUE(island.ok());
+
+    EXPECT_EQ(Fingerprint(*legacy), Fingerprint(*island))
+        << "at " << threads << " threads";
+    EXPECT_EQ(ToSexpr(legacy->best_rule), ToSexpr(island->best_rule));
+    ASSERT_EQ(island->island_trajectories.size(), 1u);
+  }
+}
+
+// Multiple islands explore genuinely different populations: with
+// distinct per-island RNG streams the islands must not all evolve the
+// same trajectory (they may still converge to the same best rule).
+TEST_F(IslandDeterminismTest, IslandsEvolveIndependentPopulations) {
+  GenLinkConfig config;
+  config.population_size = 32;
+  config.max_iterations = 3;
+  config.num_islands = 3;
+  config.migration_interval = 0;  // isolation: no mixing at all
+  Rng rng(5);
+  auto result = LearnIslands(task_.Source(), task_.Target(), config,
+                             task_.links, nullptr, rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->island_trajectories.size(), 3u);
+  bool any_difference = false;
+  for (size_t i = 1; i < result->island_trajectories.size(); ++i) {
+    if (result->island_trajectories[i].best_rule_sexpr !=
+        result->island_trajectories[0].best_rule_sexpr) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference)
+      << "all islands evolved identical best rules from distinct streams";
 }
 
 // ------------------------------------------------- parent immutability

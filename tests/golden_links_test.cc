@@ -1,0 +1,129 @@
+// Golden-file tests for generated link output: a fixed rule over the
+// deterministic Restaurant generator must produce byte-identical CSV
+// and owl:sameAs N-Triples through GenerateLinks + io/link_io, covering
+// the threshold and best_match_only matcher options (which previously
+// had no direct output test). The matcher sorts links by (score desc,
+// id_a, id_b) — a total order — and the writers format scores with a
+// fixed precision, so the bytes are stable across platforms and thread
+// counts.
+//
+// The golden files live in tests/golden/ (path baked in via the
+// GENLINK_TEST_GOLDEN_DIR compile definition). To regenerate after an
+// intentional output change:
+//   GENLINK_REGEN_GOLDEN=1 ./golden_links_test
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "datasets/restaurant.h"
+#include "io/link_io.h"
+#include "matcher/matcher.h"
+#include "rule/parse.h"
+
+namespace genlink {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(GENLINK_TEST_GOLDEN_DIR) + "/" + name;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with GENLINK_REGEN_GOLDEN=1)";
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool RegenRequested() {
+  const char* regen = std::getenv("GENLINK_REGEN_GOLDEN");
+  return regen != nullptr && regen[0] != '\0' && regen[0] != '0';
+}
+
+// Compares `actual` against the golden file byte for byte; in regen
+// mode rewrites the file instead.
+void ExpectMatchesGolden(const std::string& actual, const std::string& name) {
+  const std::string path = GoldenPath(name);
+  if (RegenRequested()) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::string expected = ReadFileOrDie(path);
+  EXPECT_EQ(actual, expected) << "output differs from golden " << path;
+}
+
+class GoldenLinksTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RestaurantConfig config;
+    config.scale = 0.3;  // 259 records, seconds-fast, still ~30 links
+    task_ = GenerateRestaurant(config);
+
+    std::string rule_text = ReadFileOrDie(GoldenPath("restaurant.rule"));
+    ASSERT_FALSE(rule_text.empty());
+    auto rule = ParseRule(rule_text);
+    ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+    rule_ = std::move(*rule);
+  }
+
+  std::vector<GeneratedLink> Generate(const MatchOptions& options) {
+    return GenerateLinks(rule_, task_.Source(), task_.Target(), options);
+  }
+
+  MatchingTask task_;
+  LinkageRule rule_;
+};
+
+TEST_F(GoldenLinksTest, DefaultThresholdCsvAndNt) {
+  MatchOptions options;
+  auto links = Generate(options);
+  EXPECT_GT(links.size(), 10u);
+  ExpectMatchesGolden(WriteGeneratedLinksCsv(links), "restaurant_links.csv");
+  ExpectMatchesGolden(WriteGeneratedLinksNt(links), "restaurant_links.nt");
+}
+
+TEST_F(GoldenLinksTest, HighThresholdVariant) {
+  MatchOptions options;
+  options.threshold = 0.75;
+  auto links = Generate(options);
+  ExpectMatchesGolden(WriteGeneratedLinksCsv(links),
+                      "restaurant_links_t075.csv");
+}
+
+TEST_F(GoldenLinksTest, BestMatchOnlyVariant) {
+  MatchOptions options;
+  options.best_match_only = true;
+  auto links = Generate(options);
+  ExpectMatchesGolden(WriteGeneratedLinksCsv(links),
+                      "restaurant_links_best.csv");
+}
+
+// The golden bytes must not depend on the execution strategy: blocking
+// vs cross product, value store vs operator tree, 1 vs 4 threads all
+// serialize to the same files.
+TEST_F(GoldenLinksTest, OutputIndependentOfExecutionStrategy) {
+  MatchOptions base;
+  std::string golden = WriteGeneratedLinksCsv(Generate(base));
+
+  MatchOptions cross = base;
+  cross.use_blocking = false;
+  EXPECT_EQ(WriteGeneratedLinksCsv(Generate(cross)), golden);
+
+  MatchOptions no_store = base;
+  no_store.use_value_store = false;
+  EXPECT_EQ(WriteGeneratedLinksCsv(Generate(no_store)), golden);
+
+  MatchOptions threads = base;
+  threads.num_threads = 4;
+  EXPECT_EQ(WriteGeneratedLinksCsv(Generate(threads)), golden);
+}
+
+}  // namespace
+}  // namespace genlink

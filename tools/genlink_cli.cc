@@ -50,6 +50,8 @@ int Usage() {
       "  genlink learn --source A --target B --links L [--out rule.xml]\n"
       "                [--population 500] [--iterations 50] [--seed 42]\n"
       "                [--threads 0] [--id-column id]\n"
+      "                [--islands 1] [--migration-interval 5]\n"
+      "                [--migration-size 3]\n"
       "                [--match links_out.nt] [--match-threshold 0.5]\n"
       "  genlink match --source A --target B --rule R [--out links.csv]\n"
       "                [--threshold 0.5] [--threads 0] [--id-column id]\n"
@@ -59,7 +61,11 @@ int Usage() {
       "links:    .csv (id_a,id_b[,label]) or .nt (owl:sameAs)\n"
       "learn --match: after learning, link the FULL datasets with the\n"
       "learned rule (value-store matcher) and write them to the given\n"
-      "path (.nt = owl:sameAs triples, anything else = CSV with scores)\n");
+      "path (.nt = owl:sameAs triples, anything else = CSV with scores)\n"
+      "learn --islands: evolve N independent populations in parallel\n"
+      "(ring migration every --migration-interval generations, top\n"
+      "--migration-size rules to the next island; 1 = the paper's\n"
+      "single-population algorithm)\n");
   return 2;
 }
 
@@ -92,26 +98,6 @@ Result<LinkageRule> LoadRule(const std::string& path) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
-}
-
-// The two generated-link serializations (shared by `match` and
-// `learn --match`): CSV with scores, and score-less owl:sameAs
-// N-Triples.
-std::string LinksToCsv(const std::vector<GeneratedLink>& links) {
-  std::string csv = "id_a,id_b,score\n";
-  for (const auto& link : links) {
-    csv += link.id_a + "," + link.id_b + "," + FormatDouble(link.score, 4) + "\n";
-  }
-  return csv;
-}
-
-std::string LinksToSameAsNt(const std::vector<GeneratedLink>& links) {
-  std::string nt;
-  for (const auto& link : links) {
-    nt += "<" + link.id_a + "> <http://www.w3.org/2002/07/owl#sameAs> <" +
-          link.id_b + "> .\n";
-  }
-  return nt;
 }
 
 int RunLearn(const Args& args) {
@@ -148,6 +134,18 @@ int RunLearn(const Args& args) {
   if (args.Get("threads") && ParseInt64(args.Get("threads"), &value) &&
       value >= 0) {
     config.num_threads = static_cast<size_t>(value);
+  }
+  if (args.Get("islands") && ParseInt64(args.Get("islands"), &value) &&
+      value >= 1) {
+    config.num_islands = static_cast<size_t>(value);
+  }
+  if (args.Get("migration-interval") &&
+      ParseInt64(args.Get("migration-interval"), &value) && value >= 0) {
+    config.migration_interval = static_cast<size_t>(value);
+  }
+  if (args.Get("migration-size") &&
+      ParseInt64(args.Get("migration-size"), &value) && value >= 0) {
+    config.migration_size = static_cast<size_t>(value);
   }
   uint64_t seed = 42;
   if (args.Get("seed") && ParseInt64(args.Get("seed"), &value)) {
@@ -190,8 +188,8 @@ int RunLearn(const Args& args) {
     }
     auto generated = GenerateLinks(result->best_rule, *a, *b, match_options);
     std::string serialized = EndsWith(match_out, ".nt")
-                                 ? LinksToSameAsNt(generated)
-                                 : LinksToCsv(generated);
+                                 ? WriteGeneratedLinksNt(generated)
+                                 : WriteGeneratedLinksCsv(generated);
     Status status = WriteStringToFile(match_out, serialized);
     if (!status.ok()) return Fail(status);
     std::fprintf(stderr, "matched full datasets: %zu links written to %s\n",
@@ -227,7 +225,7 @@ int RunMatch(const Args& args) {
   auto links = GenerateLinks(*rule, *a, *b, options);
   std::fprintf(stderr, "generated %zu links\n", links.size());
 
-  std::string csv = LinksToCsv(links);
+  std::string csv = WriteGeneratedLinksCsv(links);
   const char* out = args.Get("out");
   if (out != nullptr) {
     Status status = WriteStringToFile(out, csv);
