@@ -91,7 +91,9 @@ int main() {
               "pairs\n",
               task.a.size(), blocked_pairs, cross_pairs);
 
-  const size_t reps = scale.name == "smoke" ? 1 : 3;
+  // Best-of-3 even at smoke scale: single-sample wall times on a
+  // millisecond-long join are too noisy for the CI ratio gate.
+  const size_t reps = 3;
   std::vector<PathMeasurement> runs = {
       {"matcher/operator-tree/blocking", true, false},
       {"matcher/value-store/blocking", true, true},

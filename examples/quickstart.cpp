@@ -8,9 +8,12 @@
 //   2. Split the reference links into a training and a validation fold.
 //   3. Run the GenLink learner.
 //   4. Inspect the learned rule and its quality.
+//   5. Deploy the rule into a query-serving MatcherIndex (see
+//      serve_queries.cpp for the full service lifecycle).
 
 #include <cstdio>
 
+#include "api/matcher_index.h"
 #include "datasets/restaurant.h"
 #include "eval/metrics.h"
 #include "gp/genlink.h"
@@ -52,5 +55,15 @@ int main() {
   std::printf("validation F-measure: %.3f\n", final_stats.val_f1);
   std::printf("\nlearned linkage rule:\n%s\n",
               ToPrettySexpr(result->best_rule).c_str());
+
+  // 5. Deploy: build the serving index once, then answer queries
+  //    against it. A long-running service keeps the index and calls
+  //    MatchEntity per incoming record.
+  auto index =
+      MatcherIndex::Build(task.a, task.a, result->best_rule, MatchOptions{});
+  auto links = index->MatchEntity(task.a.entity(0));
+  std::string best = links.empty() ? "" : " (best: " + links[0].id_b + ")";
+  std::printf("deployed: query %s has %zu duplicate candidate(s)%s\n",
+              task.a.entity(0).id().c_str(), links.size(), best.c_str());
   return 0;
 }

@@ -1,0 +1,453 @@
+#include "api/matcher_index.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "common/thread_pool.h"
+#include "distance/distance_measure.h"
+#include "eval/value_store.h"
+#include "matcher/blocking.h"
+#include "rule/rule_hash.h"
+
+namespace genlink {
+namespace {
+
+std::vector<const Entity*> DatasetPointers(const Dataset& dataset) {
+  std::vector<const Entity*> pointers;
+  pointers.reserve(dataset.size());
+  for (const Entity& entity : dataset.entities()) pointers.push_back(&entity);
+  return pointers;
+}
+
+/// The documented best_match_only winner: highest score, then smallest
+/// id_b (see MatchOptions::best_match_only). min_element under this
+/// "preferred first" order is deterministic because (score, id_b) is
+/// unique per target within one source entity's links.
+void KeepBestTarget(std::vector<GeneratedLink>& links) {
+  auto best = std::min_element(links.begin(), links.end(),
+                               [](const GeneratedLink& x, const GeneratedLink& y) {
+                                 if (x.score != y.score) return x.score > y.score;
+                                 return x.id_b < y.id_b;
+                               });
+  GeneratedLink keep = std::move(*best);
+  links.clear();
+  links.push_back(std::move(keep));
+}
+
+/// The total order every full-join surface returns (and link_io relies
+/// on for byte-stable output).
+void SortLinks(std::vector<GeneratedLink>& links) {
+  std::sort(links.begin(), links.end(), [](const auto& x, const auto& y) {
+    if (x.score != y.score) return x.score > y.score;
+    if (x.id_a != y.id_a) return x.id_a < y.id_a;
+    return x.id_b < y.id_b;
+  });
+}
+
+double Elapsed(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+/// Writer-priority shared mutex. std::shared_mutex on glibc prefers
+/// readers: under continuous query traffic a WithRule compile could
+/// wait forever for a gap in the read lock. Here a waiting writer
+/// blocks NEW readers, so hot swaps complete after at most the
+/// in-flight queries drain (tests/api_test.cc hammers this with four
+/// query threads against 21 back-to-back swaps). Meets the
+/// SharedLockable/ Lockable requirements std::shared_lock and
+/// std::unique_lock use.
+class MatcherIndex::SharedStoreMutex {
+ public:
+  void lock_shared() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    readers_allowed_.wait(
+        lock, [&] { return !writer_active_ && waiting_writers_ == 0; });
+    ++active_readers_;
+  }
+  void unlock_shared() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (--active_readers_ == 0 && waiting_writers_ > 0) {
+      writers_allowed_.notify_one();
+    }
+  }
+  void lock() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++waiting_writers_;
+    writers_allowed_.wait(
+        lock, [&] { return !writer_active_ && active_readers_ == 0; });
+    --waiting_writers_;
+    writer_active_ = true;
+  }
+  void unlock() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    writer_active_ = false;
+    if (waiting_writers_ > 0) {
+      writers_allowed_.notify_one();
+    } else {
+      readers_allowed_.notify_all();
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable readers_allowed_;
+  std::condition_variable writers_allowed_;
+  int active_readers_ = 0;
+  int waiting_writers_ = 0;
+  bool writer_active_ = false;
+};
+
+// The dataset-side artifacts every WithRule generation shares. The
+// mutex orders value-store appends (a new rule's unseen plans) against
+// concurrent queries: query surfaces hold the read lock for the
+// duration of a call, CompileLocked runs under the write lock. The
+// store is append-only, so previously handed-out PlanIds stay valid
+// across generations.
+struct MatcherIndex::Corpus {
+  const Dataset* source = nullptr;  // null for serving-only builds
+  const Dataset* target = nullptr;
+  mutable SharedStoreMutex mutex;
+  std::unique_ptr<ValueStore> store;  // null when use_value_store is off
+  /// Blocking indexes over `target`, keyed by the (sorted) property
+  /// list they index — rules reading the same target properties share
+  /// one index across hot swaps.
+  std::map<std::vector<std::string>, std::shared_ptr<const TokenBlockingIndex>>
+      blocking_cache;
+  std::unique_ptr<ThreadPool> pool;
+};
+
+/// Source-side values of one query entity: each distinct value subtree
+/// of the rule evaluated once per query (not once per candidate).
+struct MatcherIndex::QueryValues {
+  std::vector<ValueSet> values;                      // per query_ops_ slot
+  std::vector<std::vector<std::string_view>> views;  // views into values
+};
+
+MatcherIndex::MatcherIndex(std::shared_ptr<Corpus> corpus, LinkageRule rule,
+                           MatchOptions options)
+    : corpus_(std::move(corpus)),
+      rule_(std::move(rule)),
+      options_(options) {}
+
+MatcherIndex::~MatcherIndex() = default;
+
+std::shared_ptr<const MatcherIndex> MatcherIndex::Build(
+    const Dataset& source, const Dataset& target, const LinkageRule& rule,
+    const MatchOptions& options) {
+  auto corpus = std::make_shared<Corpus>();
+  corpus->source = &source;
+  corpus->target = &target;
+  corpus->pool = std::make_unique<ThreadPool>(options.num_threads);
+  if (options.use_value_store) {
+    corpus->store = std::make_unique<ValueStore>(source, target);
+  }
+  std::shared_ptr<MatcherIndex> index(
+      new MatcherIndex(corpus, rule.Clone(), options));
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::unique_lock lock(corpus->mutex);
+    index->CompileLocked();
+  }
+  index->build_seconds_ = Elapsed(start);
+  return index;
+}
+
+std::shared_ptr<const MatcherIndex> MatcherIndex::Build(
+    const Dataset& target, const LinkageRule& rule,
+    const MatchOptions& options) {
+  auto corpus = std::make_shared<Corpus>();
+  corpus->target = &target;
+  corpus->pool = std::make_unique<ThreadPool>(options.num_threads);
+  if (options.use_value_store) {
+    // No bound source: the store's source side stays empty (source
+    // plans register with zero entities), queries evaluate their own
+    // values through the query scorer.
+    const std::vector<const Entity*> target_pointers = DatasetPointers(target);
+    corpus->store = std::make_unique<ValueStore>(
+        std::span<const Entity* const>{}, target.schema(),
+        std::span<const Entity* const>(target_pointers), target.schema());
+  }
+  std::shared_ptr<MatcherIndex> index(
+      new MatcherIndex(corpus, rule.Clone(), options));
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::unique_lock lock(corpus->mutex);
+    index->CompileLocked();
+  }
+  index->build_seconds_ = Elapsed(start);
+  return index;
+}
+
+void MatcherIndex::CompileLocked() {
+  Corpus& corpus = *corpus_;
+  if (options_.use_blocking) {
+    std::vector<std::string> properties = TargetProperties(rule_);
+    auto& slot = corpus.blocking_cache[properties];
+    if (slot == nullptr) {
+      slot = std::make_shared<const TokenBlockingIndex>(*corpus.target,
+                                                        properties);
+    }
+    blocking_ = slot;
+  }
+  if (corpus.store == nullptr || rule_.empty()) return;
+
+  // Full-join scoring over store-resident pairs. Compiles both sides'
+  // value subtrees into the shared store; a WithRule generation only
+  // pays for subtrees no earlier rule materialized.
+  compiled_ = std::make_unique<CompiledRule>(rule_, *corpus.store,
+                                             corpus.pool.get());
+
+  // Query scorer: the same comparison sites in the same pre-order, but
+  // with the source side evaluated per query entity. Target plans are
+  // re-requested from the store (all hits against compiled_'s batch);
+  // distinct source subtrees collapse to one evaluation slot.
+  RuleHashInfo info = AnalyzeRule(rule_);
+  std::vector<const ValueOperator*> target_ops;
+  target_ops.reserve(info.comparisons.size());
+  for (const ComparisonSite& site : info.comparisons) {
+    target_ops.push_back(site.op->target());
+  }
+  std::vector<PlanId> target_plans(target_ops.size());
+  corpus.store->CompileBatch(ValueStore::Side::kTarget, target_ops,
+                             target_plans, corpus.pool.get());
+
+  query_ops_.clear();
+  query_sites_.clear();
+  query_sites_.reserve(info.comparisons.size());
+  std::unordered_map<uint64_t, uint32_t> slot_by_hash;
+  for (size_t k = 0; k < info.comparisons.size(); ++k) {
+    const ValueOperator* source_op = info.comparisons[k].op->source();
+    auto [it, inserted] = slot_by_hash.try_emplace(
+        ValueOperatorHash(*source_op),
+        static_cast<uint32_t>(query_ops_.size()));
+    if (inserted) query_ops_.push_back(source_op);
+    query_sites_.push_back(
+        {info.comparisons[k].op, it->second, target_plans[k]});
+  }
+}
+
+std::shared_ptr<const MatcherIndex> MatcherIndex::WithRule(
+    const LinkageRule& rule) const {
+  std::shared_ptr<MatcherIndex> next(
+      new MatcherIndex(corpus_, rule.Clone(), options_));
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::unique_lock lock(corpus_->mutex);
+    next->CompileLocked();
+  }
+  next->build_seconds_ = Elapsed(start);
+  return next;
+}
+
+void MatcherIndex::EvaluateQueryOps(const Entity& entity, const Schema& schema,
+                                    QueryValues& out) const {
+  out.values.resize(query_ops_.size());
+  out.views.resize(query_ops_.size());
+  for (size_t i = 0; i < query_ops_.size(); ++i) {
+    out.values[i] = query_ops_[i]->Evaluate(entity, schema);
+    out.views[i].clear();
+    out.views[i].reserve(out.values[i].size());
+    for (const std::string& value : out.values[i]) {
+      out.views[i].push_back(value);
+    }
+  }
+}
+
+double MatcherIndex::QueryNode(const SimilarityOperator& node,
+                               const QueryValues& qv, size_t target_index,
+                               size_t& next_site) const {
+  if (node.kind() == OperatorKind::kComparison) {
+    const QuerySite& site = query_sites_[next_site++];
+    const ComparisonOperator& cmp = *site.op;
+    const std::vector<std::string_view>& source_views =
+        qv.views[site.source_slot];
+    const std::span<const ValueId> target_values = corpus_->store->Values(
+        ValueStore::Side::kTarget, site.target_plan, target_index);
+    double distance;
+    if (source_views.empty() || target_values.empty()) {
+      // PairDistance's empty-side convention: similarity 0.
+      distance = kInfiniteDistance;
+    } else {
+      thread_local std::vector<std::string_view> scratch;
+      scratch.clear();
+      for (ValueId id : target_values) {
+        scratch.push_back(corpus_->store->View(id));
+      }
+      // As in CompiledRule::EvalNode, the comparison threshold doubles
+      // as the distance bound; DistanceViews is bit-identical to the
+      // TokenIdDistance path PairDistance takes for set measures
+      // (distance/distance_measure.h).
+      distance = cmp.measure()->DistanceViews(
+          source_views, std::span<const std::string_view>(scratch),
+          cmp.threshold());
+    }
+    return ThresholdedScore(distance, cmp.threshold());
+  }
+  const auto& agg = static_cast<const AggregationOperator&>(node);
+  return AggregateOperandScores(
+      *agg.function(), agg.operands(), [&](const SimilarityOperator& op) {
+        return QueryNode(op, qv, target_index, next_site);
+      });
+}
+
+std::vector<GeneratedLink> MatcherIndex::MatchEntityUnlocked(
+    const Entity& entity, const Schema& schema) const {
+  const Dataset& target = *corpus_->target;
+  // A record is never its own duplicate: a self-indexed corpus (dedup)
+  // and a serving-only index (queries of unknown provenance, often the
+  // corpus itself — the `genlink query` shape) both skip the candidate
+  // carrying the query's own id. Only a two-dataset index keeps
+  // equal-id candidates, preserving bit-identity with the full join
+  // (contract in the header).
+  const bool skip_own_id =
+      corpus_->source == nullptr || corpus_->source == corpus_->target;
+  QueryValues qv;
+  if (compiled_ != nullptr) EvaluateQueryOps(entity, schema, qv);
+
+  std::vector<GeneratedLink> links;
+  auto consider = [&](size_t j) {
+    const Entity& eb = target.entity(j);
+    if (skip_own_id && eb.id() == entity.id()) return;
+    double score;
+    if (compiled_ != nullptr) {
+      size_t next_site = 0;
+      score = QueryNode(*rule_.root(), qv, j, next_site);
+    } else {
+      score = rule_.Evaluate(entity, eb, schema, target.schema());
+    }
+    if (score >= options_.threshold) {
+      links.push_back({entity.id(), eb.id(), score});
+    }
+  };
+  if (blocking_ != nullptr) {
+    for (size_t j : blocking_->Candidates(entity, schema)) consider(j);
+  } else {
+    for (size_t j = 0; j < target.size(); ++j) consider(j);
+  }
+
+  std::sort(links.begin(), links.end(), [](const auto& x, const auto& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return x.id_b < y.id_b;
+  });
+  if (options_.best_match_only && links.size() > 1) links.resize(1);
+  return links;
+}
+
+std::vector<GeneratedLink> MatcherIndex::MatchEntity(
+    const Entity& entity, const Schema& schema) const {
+  std::shared_lock lock(corpus_->mutex);
+  return MatchEntityUnlocked(entity, schema);
+}
+
+std::vector<GeneratedLink> MatcherIndex::MatchEntity(
+    const Entity& entity) const {
+  return MatchEntity(entity, has_source() ? corpus_->source->schema()
+                                          : corpus_->target->schema());
+}
+
+std::vector<GeneratedLink> MatcherIndex::MatchBatch(
+    std::span<const Entity> entities, const Schema& schema) const {
+  std::vector<std::vector<GeneratedLink>> per_entity(entities.size());
+  {
+    std::shared_lock lock(corpus_->mutex);
+    corpus_->pool->ParallelFor(entities.size(), [&](size_t i) {
+      per_entity[i] = MatchEntityUnlocked(entities[i], schema);
+    });
+  }
+  std::vector<GeneratedLink> links;
+  size_t total = 0;
+  for (const auto& group : per_entity) total += group.size();
+  links.reserve(total);
+  for (auto& group : per_entity) {
+    for (auto& link : group) links.push_back(std::move(link));
+  }
+  return links;
+}
+
+std::vector<GeneratedLink> MatcherIndex::MatchBatch(
+    std::span<const Entity> entities) const {
+  return MatchBatch(entities, has_source() ? corpus_->source->schema()
+                                           : corpus_->target->schema());
+}
+
+std::vector<GeneratedLink> MatcherIndex::MatchDataset(
+    const Dataset& source) const {
+  std::vector<GeneratedLink> links;
+  std::mutex links_mutex;
+  std::shared_lock lock(corpus_->mutex);
+  const Dataset& target = *corpus_->target;
+  const bool self_join = &source == &target;
+  // Store-resident scoring needs the store's source-side plans, which
+  // only the bound source dataset has; any other dataset goes through
+  // the (bit-identical) query scorer.
+  const bool bound = compiled_ != nullptr && &source == corpus_->source;
+  const bool query_scorer = compiled_ != nullptr && !bound;
+
+  corpus_->pool->ParallelFor(source.size(), [&](size_t i) {
+    const Entity& ea = source.entity(i);
+    QueryValues qv;
+    if (query_scorer) EvaluateQueryOps(ea, source.schema(), qv);
+    std::vector<GeneratedLink> local;
+    auto consider = [&](size_t j) {
+      const Entity& eb = target.entity(j);
+      if (self_join && ea.id() >= eb.id()) return;  // dedup: each pair once
+      double score;
+      if (bound) {
+        score = compiled_->Score(i, j);
+      } else if (query_scorer) {
+        size_t next_site = 0;
+        score = QueryNode(*rule_.root(), qv, j, next_site);
+      } else {
+        score = rule_.Evaluate(ea, eb, source.schema(), target.schema());
+      }
+      if (score >= options_.threshold) {
+        local.push_back({ea.id(), eb.id(), score});
+      }
+    };
+    if (blocking_ != nullptr) {
+      for (size_t j : blocking_->Candidates(ea, source.schema())) consider(j);
+    } else {
+      for (size_t j = 0; j < target.size(); ++j) consider(j);
+    }
+    if (options_.best_match_only && local.size() > 1) KeepBestTarget(local);
+    if (!local.empty()) {
+      std::lock_guard<std::mutex> links_lock(links_mutex);
+      for (auto& link : local) links.push_back(std::move(link));
+    }
+  });
+
+  SortLinks(links);
+  return links;
+}
+
+std::vector<GeneratedLink> MatcherIndex::MatchDataset() const {
+  if (corpus_->source == nullptr) return {};
+  return MatchDataset(*corpus_->source);
+}
+
+const Dataset& MatcherIndex::target() const { return *corpus_->target; }
+
+bool MatcherIndex::has_source() const { return corpus_->source != nullptr; }
+
+MatcherIndexStats MatcherIndex::stats() const {
+  std::shared_lock lock(corpus_->mutex);
+  MatcherIndexStats stats;
+  stats.target_entities = corpus_->target->size();
+  stats.blocking_tokens = blocking_ != nullptr ? blocking_->NumTokens() : 0;
+  if (corpus_->store != nullptr) {
+    stats.value_plans = corpus_->store->stats().plans_compiled;
+    stats.store_bytes = corpus_->store->ApproxBytes();
+  }
+  stats.build_seconds = build_seconds_;
+  return stats;
+}
+
+}  // namespace genlink

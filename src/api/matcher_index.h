@@ -1,0 +1,231 @@
+// The service facade: a long-lived, immutable, thread-safe matcher
+// session.
+//
+// The paper's Definition 3 treats link generation as a one-shot batch
+// (M_l = {(a,b) : l(a,b) >= 0.5}), and matcher/matcher.h mirrors that:
+// GenerateLinks rebuilds the token-blocking index and the compiled
+// value store on every call. A production deployment has the opposite
+// shape — build the expensive artifacts once, then answer many cheap
+// queries against them. MatcherIndex is that shape:
+//
+//   auto index = MatcherIndex::Build(corpus, rule, options);  // expensive
+//   auto links = index->MatchEntity(incoming_record, schema); // cheap, often
+//
+// Build compiles the rule's value subtrees into a persistent value
+// store (eval/value_store.h: per-entity transform plans + interned
+// token-id spans) and constructs a persistent TokenBlockingIndex
+// (matcher/blocking.h); queries then pay only candidate lookup plus
+// interned-distance scoring. Three query surfaces:
+//
+//   * MatchEntity  — one query entity against the indexed corpus; the
+//     request-serving path. No thread pool involved.
+//   * MatchBatch   — a span of query entities, scored in parallel
+//     chunks on the corpus's pool; results grouped by query, in input
+//     order.
+//   * MatchDataset — the legacy full join, bit-identical to
+//     GenerateLinks (which is now a thin wrapper over Build +
+//     MatchDataset; asserted by tests/api_test.cc).
+//
+// Scores from every surface are bit-identical to
+// LinkageRule::Evaluate on the same entity pair: the target side reads
+// interned value spans, the query side evaluates each distinct source
+// value subtree once per query, and both feed the same
+// DistanceMeasure surfaces the one-shot matcher uses (see
+// distance/distance_measure.h for the bit-identity contract).
+//
+// Lifetimes and hot swap: a MatcherIndex is immutable after Build and
+// safe to query from any number of threads. The dataset(s) passed to
+// Build must outlive every index built over them. WithRule compiles a
+// NEW index for a freshly learned rule while sharing the dataset-side
+// stores (value pool, transform plans, blocking indexes) with the old
+// one — only the new rule's unseen value subtrees are evaluated, the
+// corpus is not re-interned. Old and new indexes serve concurrently;
+// a service hot-swaps by publishing the new shared_ptr:
+//
+//   std::shared_ptr<const MatcherIndex> serving = MatcherIndex::Build(...);
+//   ...
+//   std::atomic_store(&serving, serving->WithRule(learner_output));
+//
+// Rule deployment artifacts (save a learned rule + options to a file,
+// load it into a fresh process) live in io/artifact.h; the end-to-end
+// serve path is `genlink query` (tools/genlink_cli.cc).
+
+#ifndef GENLINK_API_MATCHER_INDEX_H_
+#define GENLINK_API_MATCHER_INDEX_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "matcher/matcher.h"
+#include "rule/linkage_rule.h"
+
+namespace genlink {
+
+class CompiledRule;
+class ValueStore;
+class ThreadPool;
+
+/// Snapshot counters of a built index (stats()).
+struct MatcherIndexStats {
+  /// Entities on the indexed (target) side.
+  size_t target_entities = 0;
+  /// Distinct tokens in the blocking index (0 when blocking is off).
+  size_t blocking_tokens = 0;
+  /// Transform plans materialized in the shared value store, summed
+  /// over all rules compiled against this corpus (0 when the value
+  /// store is off).
+  size_t value_plans = 0;
+  /// Approximate bytes held by the shared value store.
+  size_t store_bytes = 0;
+  /// Wall seconds spent building/compiling THIS index (for WithRule:
+  /// only the incremental compile, not the original corpus build).
+  double build_seconds = 0.0;
+};
+
+/// A linkage rule deployed against a corpus: immutable, thread-safe,
+/// cheap to query. See the file comment for the full contract.
+class MatcherIndex {
+ public:
+  /// Compiles `rule` against a source/target dataset pair (the paper's
+  /// A and B; pass the same dataset twice for deduplication). All query
+  /// surfaces are available, and MatchDataset() replays the legacy full
+  /// join over the bound sides. Both datasets must outlive the index.
+  static std::shared_ptr<const MatcherIndex> Build(
+      const Dataset& source, const Dataset& target, const LinkageRule& rule,
+      const MatchOptions& options = {});
+
+  /// Serving-only build: indexes `target` for MatchEntity/MatchBatch
+  /// queries without binding a source dataset (the `genlink query`
+  /// shape, where queries arrive from a stream). MatchDataset(dataset)
+  /// still works for any dataset; MatchDataset() requires a bound
+  /// source and returns empty here.
+  static std::shared_ptr<const MatcherIndex> Build(
+      const Dataset& target, const LinkageRule& rule,
+      const MatchOptions& options = {});
+
+  ~MatcherIndex();
+  MatcherIndex(const MatcherIndex&) = delete;
+  MatcherIndex& operator=(const MatcherIndex&) = delete;
+
+  /// Scores one query entity (whose properties live in `schema`)
+  /// against all blocking candidates and returns the links reaching
+  /// options().threshold, sorted by descending score, then ascending
+  /// id_b. With best_match_only, only the winner under that same order
+  /// is returned. A self-indexed corpus (dedup) and a serving-only
+  /// index skip the candidate carrying the query's own id (a record is
+  /// never its own duplicate; without that, querying the corpus
+  /// against itself would return every record as its own best match);
+  /// a two-dataset index keeps equal-id candidates, matching the full
+  /// join. Unlike the full join, BOTH orientations are served — a
+  /// query finds duplicates with smaller and larger ids. Thread-safe.
+  std::vector<GeneratedLink> MatchEntity(const Entity& entity,
+                                         const Schema& schema) const;
+
+  /// MatchEntity with the bound source dataset's schema (the target
+  /// schema for a serving-only index).
+  std::vector<GeneratedLink> MatchEntity(const Entity& entity) const;
+
+  /// MatchEntity for every entity of `entities`, scored in parallel
+  /// chunks on the corpus pool. The result is the concatenation of the
+  /// per-entity link lists in input order (deterministic for any
+  /// thread count).
+  std::vector<GeneratedLink> MatchBatch(std::span<const Entity> entities,
+                                        const Schema& schema) const;
+
+  /// MatchBatch with the bound source dataset's schema.
+  std::vector<GeneratedLink> MatchBatch(std::span<const Entity> entities) const;
+
+  /// The legacy full join of `source` against the indexed corpus,
+  /// bit-identical to GenerateLinks(rule, source, target, options):
+  /// same pairs, same doubles, same order, including the self-join
+  /// orientation dedup (id_a < id_b) when `source` IS the indexed
+  /// dataset.
+  std::vector<GeneratedLink> MatchDataset(const Dataset& source) const;
+
+  /// MatchDataset over the bound source dataset; empty for a
+  /// serving-only index.
+  std::vector<GeneratedLink> MatchDataset() const;
+
+  /// Compiles `rule` into a new index that shares this index's
+  /// dataset-side stores: the value pool, all previously materialized
+  /// transform plans, and any blocking index over the same property
+  /// set are reused, so only the new rule's unseen value subtrees
+  /// touch the corpus. Both indexes keep serving; in-flight queries on
+  /// either are safe while the new rule compiles (internally
+  /// synchronized). Swap atomically by publishing the returned
+  /// pointer.
+  std::shared_ptr<const MatcherIndex> WithRule(const LinkageRule& rule) const;
+
+  /// The deployed rule / the options every query path uses.
+  const LinkageRule& rule() const { return rule_; }
+  const MatchOptions& options() const { return options_; }
+
+  /// The indexed (target) dataset.
+  const Dataset& target() const;
+  /// True when a source dataset is bound (two-dataset Build).
+  bool has_source() const;
+
+  MatcherIndexStats stats() const;
+
+ private:
+  /// Dataset-side artifacts shared across WithRule generations.
+  struct Corpus;
+  /// Writer-priority reader/writer lock over the shared corpus (see
+  /// the .cc: a waiting WithRule compile cannot be starved by query
+  /// traffic).
+  class SharedStoreMutex;
+
+  /// One comparison of rule_ as seen by the query scorer: source side
+  /// from the query entity's pre-evaluated values, target side from the
+  /// store plan.
+  struct QuerySite {
+    const ComparisonOperator* op = nullptr;
+    uint32_t source_slot = 0;  // into query_ops_
+    uint32_t target_plan = 0;  // PlanId in the corpus store
+  };
+
+  MatcherIndex(std::shared_ptr<Corpus> corpus, LinkageRule rule,
+               MatchOptions options);
+
+  /// Compiles rule_ against the corpus (value plans, blocking index,
+  /// query sites). Must run under the corpus write lock.
+  void CompileLocked();
+
+  /// Pre-evaluated source-side values of one query entity.
+  struct QueryValues;
+  void EvaluateQueryOps(const Entity& entity, const Schema& schema,
+                        QueryValues& out) const;
+  /// Mirror of CompiledRule::EvalNode with the source side read from
+  /// `qv` instead of store plans.
+  double QueryNode(const SimilarityOperator& node, const QueryValues& qv,
+                   size_t target_index, size_t& next_site) const;
+
+  /// MatchEntity body; caller holds the corpus read lock.
+  std::vector<GeneratedLink> MatchEntityUnlocked(const Entity& entity,
+                                                 const Schema& schema) const;
+
+  std::shared_ptr<Corpus> corpus_;
+  LinkageRule rule_;
+  MatchOptions options_;
+
+  /// Blocking index over the target side for rule_'s target properties
+  /// (shared with other generations using the same property set); null
+  /// when options_.use_blocking is false.
+  std::shared_ptr<const TokenBlockingIndex> blocking_;
+  /// Compiled scoring for store-resident entity pairs (the full-join
+  /// path); null when the value store is off or the rule is empty.
+  std::unique_ptr<CompiledRule> compiled_;
+
+  /// Distinct source-side value subtrees of rule_ (deduplicated by
+  /// ValueOperatorHash) and the per-comparison sites of the query
+  /// scorer, in pre-order. Empty when the value store is off.
+  std::vector<const ValueOperator*> query_ops_;
+  std::vector<QuerySite> query_sites_;
+
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_API_MATCHER_INDEX_H_

@@ -100,6 +100,57 @@ std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
   return out;
 }
 
+namespace {
+
+/// Header-driven row decoding shared by ReadCsvDataset and
+/// CsvEntityStream, so batch loads and streamed queries cannot drift.
+Status MapCsvHeader(const std::vector<std::string>& header,
+                    const CsvDatasetOptions& options, Schema& schema,
+                    int* id_col, std::vector<int>* prop_of_col) {
+  *id_col = -1;
+  prop_of_col->assign(header.size(), -1);
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (!options.id_column.empty() && header[c] == options.id_column) {
+      *id_col = static_cast<int>(c);
+      continue;
+    }
+    (*prop_of_col)[c] = static_cast<int>(schema.AddProperty(header[c]));
+  }
+  if (!options.id_column.empty() && *id_col < 0) {
+    return Status::NotFound("id column '" + options.id_column +
+                            "' not present in CSV header");
+  }
+  return Status::Ok();
+}
+
+Entity CsvRowToEntity(const std::vector<std::string>& row,
+                      const CsvDatasetOptions& options, int id_col,
+                      const std::vector<int>& prop_of_col, size_t row_index) {
+  std::string id = id_col >= 0 && static_cast<size_t>(id_col) < row.size()
+                       ? row[id_col]
+                       : "row" + std::to_string(row_index);
+  Entity entity(std::move(id));
+  for (size_t c = 0; c < row.size() && c < prop_of_col.size(); ++c) {
+    if (prop_of_col[c] < 0) continue;
+    const std::string& cell = row[c];
+    if (cell.empty()) continue;
+    if (!options.missing_marker.empty() && cell == options.missing_marker) {
+      continue;
+    }
+    PropertyId pid = static_cast<PropertyId>(prop_of_col[c]);
+    if (options.value_separator != '\0') {
+      for (auto& value : Split(cell, options.value_separator)) {
+        if (!value.empty()) entity.AddValue(pid, std::move(value));
+      }
+    } else {
+      entity.AddValue(pid, cell);
+    }
+  }
+  return entity;
+}
+
+}  // namespace
+
 Result<Dataset> ReadCsvDataset(std::string_view text, std::string name,
                                const CsvDatasetOptions& options) {
   auto rows = ParseCsv(text, options.separator);
@@ -107,46 +158,108 @@ Result<Dataset> ReadCsvDataset(std::string_view text, std::string name,
   if (rows->empty()) return Status::ParseError("CSV input has no header row");
 
   Dataset dataset(std::move(name));
-  const std::vector<std::string>& header = (*rows)[0];
   int id_col = -1;
-  std::vector<int> prop_of_col(header.size(), -1);
-  for (size_t c = 0; c < header.size(); ++c) {
-    if (!options.id_column.empty() && header[c] == options.id_column) {
-      id_col = static_cast<int>(c);
-      continue;
-    }
-    prop_of_col[c] = static_cast<int>(dataset.schema().AddProperty(header[c]));
-  }
-  if (!options.id_column.empty() && id_col < 0) {
-    return Status::NotFound("id column '" + options.id_column +
-                            "' not present in CSV header");
-  }
-
+  std::vector<int> prop_of_col;
+  GENLINK_RETURN_IF_ERROR(MapCsvHeader((*rows)[0], options, dataset.schema(),
+                                       &id_col, &prop_of_col));
   for (size_t r = 1; r < rows->size(); ++r) {
-    const auto& row = (*rows)[r];
-    std::string id = id_col >= 0 && static_cast<size_t>(id_col) < row.size()
-                         ? row[id_col]
-                         : "row" + std::to_string(r - 1);
-    Entity entity(std::move(id));
-    for (size_t c = 0; c < row.size() && c < header.size(); ++c) {
-      if (prop_of_col[c] < 0) continue;
-      const std::string& cell = row[c];
-      if (cell.empty()) continue;
-      if (!options.missing_marker.empty() && cell == options.missing_marker) {
-        continue;
-      }
-      PropertyId pid = static_cast<PropertyId>(prop_of_col[c]);
-      if (options.value_separator != '\0') {
-        for (auto& value : Split(cell, options.value_separator)) {
-          if (!value.empty()) entity.AddValue(pid, std::move(value));
-        }
-      } else {
-        entity.AddValue(pid, cell);
-      }
-    }
-    GENLINK_RETURN_IF_ERROR(dataset.AddEntity(std::move(entity)));
+    GENLINK_RETURN_IF_ERROR(dataset.AddEntity(
+        CsvRowToEntity((*rows)[r], options, id_col, prop_of_col, r - 1)));
   }
   return dataset;
+}
+
+CsvEntityStream::CsvEntityStream(std::istream& in,
+                                 const CsvDatasetOptions& options)
+    : in_(&in), options_(options) {
+  std::string record;
+  if (!ReadRecord(&record)) {
+    status_ = Status::ParseError("CSV input has no header row");
+    return;
+  }
+  auto rows = ParseCsv(record, options_.separator);
+  if (!rows.ok()) {
+    status_ = rows.status();
+    return;
+  }
+  if (rows->empty()) {
+    status_ = Status::ParseError("CSV input has no header row");
+    return;
+  }
+  status_ = MapCsvHeader((*rows)[0], options_, schema_, &id_col_, &prop_of_col_);
+}
+
+namespace {
+
+/// True when `text` ends inside an open quoted field, under exactly
+/// ParseCsv's quoting rules: a quote only OPENS a field when it is the
+/// field's first character (a literal '"' later in an unquoted field —
+/// `5" nail` — stays literal), and '""' inside quotes is an escape.
+bool EndsInsideQuotedField(std::string_view text, char separator) {
+  bool in_quotes = false;
+  bool at_field_start = true;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          ++i;  // escaped quote
+        } else {
+          in_quotes = false;
+          at_field_start = false;  // a closed quote never reopens
+        }
+      }
+      continue;
+    }
+    if (c == '"' && at_field_start) {
+      in_quotes = true;
+      at_field_start = false;
+    } else if (c == separator || c == '\n' || c == '\r') {
+      at_field_start = true;
+    } else {
+      at_field_start = false;
+    }
+  }
+  return in_quotes;
+}
+
+}  // namespace
+
+bool CsvEntityStream::ReadRecord(std::string* record) {
+  std::string line;
+  if (!std::getline(*in_, line)) return false;
+  *record = std::move(line);
+  // A record continues across lines while a quoted field is open; the
+  // accumulated record is rescanned with ParseCsv's own quoting rules
+  // (records are short, so the rescan is cheap).
+  while (EndsInsideQuotedField(*record, options_.separator) &&
+         std::getline(*in_, line)) {
+    *record += '\n';
+    *record += line;
+  }
+  return true;
+}
+
+bool CsvEntityStream::Next(Entity* out) {
+  if (!status_.ok()) return false;
+  // Serve any rows left over from the previous record first: a single
+  // input line can parse to several rows (a bare '\r' is a row
+  // terminator to ParseCsv) and none may be dropped.
+  while (pending_.empty()) {
+    std::string record;
+    if (!ReadRecord(&record)) return false;
+    if (TrimView(record).empty()) continue;  // blank line between records
+    auto rows = ParseCsv(record, options_.separator);
+    if (!rows.ok()) {
+      status_ = rows.status();
+      return false;
+    }
+    for (auto& row : *rows) pending_.push_back(std::move(row));
+  }
+  *out = CsvRowToEntity(pending_.front(), options_, id_col_, prop_of_col_,
+                        row_index_++);
+  pending_.pop_front();
+  return true;
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {

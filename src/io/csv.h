@@ -5,6 +5,8 @@
 #ifndef GENLINK_IO_CSV_H_
 #define GENLINK_IO_CSV_H_
 
+#include <deque>
+#include <istream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,6 +42,48 @@ struct CsvDatasetOptions {
 /// property names.
 Result<Dataset> ReadCsvDataset(std::string_view text, std::string name,
                                const CsvDatasetOptions& options = {});
+
+/// Incremental CSV entity reader: parses the header as soon as it
+/// arrives, then yields one entity per record without waiting for end
+/// of input — so `genlink query` can serve a stdin pipe as queries are
+/// written to it. Quoted fields spanning multiple lines are handled;
+/// decoding of each row matches ReadCsvDataset (same options, same
+/// id/property/missing/value-separator semantics), except that blank
+/// lines are skipped and duplicate ids are allowed (a query stream is
+/// not a dataset).
+class CsvEntityStream {
+ public:
+  /// Reads the header row from `in` immediately; check status().
+  /// `in` must outlive the stream.
+  explicit CsvEntityStream(std::istream& in,
+                           const CsvDatasetOptions& options = {});
+
+  /// Ok while the header parsed and no record has failed to parse.
+  const Status& status() const { return status_; }
+
+  /// The header's property names (the id column excluded).
+  const Schema& schema() const { return schema_; }
+
+  /// Reads the next entity. Returns false at end of input or on a
+  /// parse error (status() tells them apart).
+  bool Next(Entity* out);
+
+ private:
+  /// Reads one CSV record (joining lines while a quoted field is
+  /// open). False at end of input.
+  bool ReadRecord(std::string* record);
+
+  std::istream* in_;
+  CsvDatasetOptions options_;
+  Status status_;
+  Schema schema_;
+  int id_col_ = -1;
+  std::vector<int> prop_of_col_;
+  /// Rows parsed but not yet served (one input record can hold several
+  /// rows, e.g. around a bare '\r' row terminator).
+  std::deque<std::vector<std::string>> pending_;
+  size_t row_index_ = 0;
+};
 
 /// Reads a whole file into a string.
 Result<std::string> ReadFileToString(const std::string& path);

@@ -81,10 +81,14 @@ std::string WriteSameAsLinks(const ReferenceLinkSet& links) {
   return out;
 }
 
+std::string GeneratedLinkCsvRow(const GeneratedLink& link) {
+  return link.id_a + "," + link.id_b + "," + FormatDouble(link.score, 4) + "\n";
+}
+
 std::string WriteGeneratedLinksCsv(const std::vector<GeneratedLink>& links) {
-  std::string csv = "id_a,id_b,score\n";
+  std::string csv(kGeneratedLinksCsvHeader);
   for (const auto& link : links) {
-    csv += link.id_a + "," + link.id_b + "," + FormatDouble(link.score, 4) + "\n";
+    csv += GeneratedLinkCsvRow(link);
   }
   return csv;
 }

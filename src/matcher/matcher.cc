@@ -1,75 +1,17 @@
 #include "matcher/matcher.h"
 
-#include <algorithm>
-#include <mutex>
-
-#include "eval/value_store.h"
+#include "api/matcher_index.h"
 
 namespace genlink {
 
 std::vector<GeneratedLink> GenerateLinks(const LinkageRule& rule,
                                          const Dataset& a, const Dataset& b,
                                          const MatchOptions& options) {
-  std::vector<GeneratedLink> links;
-  std::mutex links_mutex;
-
-  std::unique_ptr<TokenBlockingIndex> index;
-  if (options.use_blocking) {
-    index = std::make_unique<TokenBlockingIndex>(b, TargetProperties(rule));
-  }
-
-  ThreadPool pool(options.num_threads);
-
-  // Fast path: evaluate every value subtree once per entity up front
-  // (store entity index == dataset entity index), then score candidate
-  // pairs over interned values only. Falls back to the operator tree
-  // when disabled; the generated links are bit-identical.
-  std::unique_ptr<ValueStore> store;
-  std::unique_ptr<CompiledRule> compiled;
-  if (options.use_value_store && !rule.empty()) {
-    store = std::make_unique<ValueStore>(a, b);
-    compiled = std::make_unique<CompiledRule>(rule, *store, &pool);
-  }
-
-  pool.ParallelFor(a.size(), [&](size_t i) {
-    const Entity& ea = a.entity(i);
-    std::vector<GeneratedLink> local;
-    auto consider = [&](size_t j) {
-      const Entity& eb = b.entity(j);
-      if (&a == &b && ea.id() >= eb.id()) return;  // dedup: each pair once
-      double score = compiled != nullptr
-                         ? compiled->Score(i, j)
-                         : rule.Evaluate(ea, eb, a.schema(), b.schema());
-      if (score >= options.threshold) {
-        local.push_back({ea.id(), eb.id(), score});
-      }
-    };
-    if (index != nullptr) {
-      for (size_t j : index->Candidates(ea, a.schema())) consider(j);
-    } else {
-      for (size_t j = 0; j < b.size(); ++j) consider(j);
-    }
-    if (options.best_match_only && local.size() > 1) {
-      auto best = std::max_element(local.begin(), local.end(),
-                                   [](const auto& x, const auto& y) {
-                                     return x.score < y.score;
-                                   });
-      GeneratedLink keep = *best;
-      local.clear();
-      local.push_back(std::move(keep));
-    }
-    if (!local.empty()) {
-      std::lock_guard<std::mutex> lock(links_mutex);
-      for (auto& link : local) links.push_back(std::move(link));
-    }
-  });
-
-  std::sort(links.begin(), links.end(), [](const auto& x, const auto& y) {
-    if (x.score != y.score) return x.score > y.score;
-    if (x.id_a != y.id_a) return x.id_a < y.id_a;
-    return x.id_b < y.id_b;
-  });
-  return links;
+  // One-shot convenience over the session API: build the artifacts
+  // (blocking index, value store, compiled rule), run the full join,
+  // throw the artifacts away. Callers that match more than once should
+  // hold the MatcherIndex instead.
+  return MatcherIndex::Build(a, b, rule, options)->MatchDataset();
 }
 
 }  // namespace genlink

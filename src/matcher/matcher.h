@@ -1,6 +1,13 @@
 // Rule execution over whole datasets: generates the set of links
 // M_l = {(a,b) : l(a,b) >= 0.5} (Definition 3 of the paper), using token
 // blocking or the exhaustive cross product.
+//
+// GenerateLinks is the one-shot convenience surface: it rebuilds every
+// execution artifact (blocking index, value store, compiled rule) per
+// call. Long-lived deployments — request serving, repeated matching,
+// rule hot swap — should build a MatcherIndex (api/matcher_index.h)
+// once and query it; GenerateLinks forwards to that layer and is
+// bit-identical to MatcherIndex::MatchDataset.
 
 #ifndef GENLINK_MATCHER_MATCHER_H_
 #define GENLINK_MATCHER_MATCHER_H_
@@ -36,6 +43,10 @@ struct MatchOptions {
   /// Minimum similarity for a link to be emitted.
   double threshold = 0.5;
   /// Keep only the best-scoring target per source entity when true.
+  /// Ties are broken deterministically: highest score first, then the
+  /// lexicographically smallest id_b — so the kept link never depends
+  /// on candidate enumeration order or thread count
+  /// (tests/matcher_test.cc, BestMatchTieBreak*).
   bool best_match_only = false;
   /// Worker threads (0 = hardware concurrency).
   size_t num_threads = 0;

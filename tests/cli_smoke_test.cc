@@ -5,8 +5,12 @@
 // The path to the CLI binary is passed as argv[1] by CTest (see
 // tests/CMakeLists.txt), so this suite provides its own main.
 
+#include <sys/wait.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -129,6 +133,151 @@ TEST(CliSmokeTest, LearnWithMatchWritesFullDatasetLinks) {
   std::remove(data_path.c_str());
   std::remove(links_path.c_str());
   std::remove(rule_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+// Runs `command`, capturing stdout+stderr into *output. Returns the
+// exit code (-1 if the process could not be run).
+int RunCapture(const std::string& command, std::string* output) {
+  const std::string capture_path = TempPath("capture.txt");
+  const int code = std::system((command + " > " + capture_path + " 2>&1").c_str());
+  auto content = ReadFileToString(capture_path);
+  *output = content.ok() ? *content : "";
+  std::remove(capture_path.c_str());
+  if (code == -1) return -1;
+  return WEXITSTATUS(code);
+}
+
+TEST(CliSmokeTest, VersionFlagPrintsVersion) {
+  ASSERT_FALSE(g_cli_path.empty());
+  std::string output;
+  EXPECT_EQ(RunCapture(g_cli_path + " --version", &output), 0);
+  EXPECT_NE(output.find("genlink "), std::string::npos) << output;
+}
+
+TEST(CliSmokeTest, EverySubcommandPrintsItsOwnHelp) {
+  ASSERT_FALSE(g_cli_path.empty());
+  for (const char* command : {"learn", "match", "query", "eval"}) {
+    std::string output;
+    EXPECT_EQ(RunCapture(g_cli_path + " " + command + " --help", &output), 0);
+    EXPECT_NE(output.find(std::string("usage: genlink ") + command),
+              std::string::npos)
+        << command << " help:\n" << output;
+  }
+  // The top-level help lists all subcommands.
+  std::string output;
+  EXPECT_EQ(RunCapture(g_cli_path + " --help", &output), 0);
+  for (const char* command : {"learn", "match", "query", "eval"}) {
+    EXPECT_NE(output.find(command), std::string::npos) << output;
+  }
+}
+
+TEST(CliSmokeTest, UnknownFlagErrorNamesTheFlag) {
+  ASSERT_FALSE(g_cli_path.empty());
+  std::string output;
+  EXPECT_EQ(RunCapture(g_cli_path + " match --frobnicate 1", &output), 2);
+  EXPECT_NE(output.find("--frobnicate"), std::string::npos) << output;
+  EXPECT_NE(output.find("match --help"), std::string::npos) << output;
+
+  // A value flag without its value names the flag too.
+  EXPECT_EQ(RunCapture(g_cli_path + " match --rule", &output), 2);
+  EXPECT_NE(output.find("--rule"), std::string::npos) << output;
+
+  // Missing required flags are named.
+  EXPECT_EQ(RunCapture(g_cli_path + " eval", &output), 2);
+  EXPECT_NE(output.find("--source"), std::string::npos) << output;
+
+  // Unknown subcommands fall back to the top-level usage.
+  EXPECT_EQ(RunCapture(g_cli_path + " transmogrify", &output), 2);
+  EXPECT_NE(output.find("transmogrify"), std::string::npos) << output;
+}
+
+TEST(CliSmokeTest, MalformedNumericFlagValuesAreRejectedByName) {
+  ASSERT_FALSE(g_cli_path.empty());
+  // Numeric flags are validated before any file is opened, so none of
+  // these need real datasets; each must exit 2 naming the flag rather
+  // than silently running with the default.
+  struct Case {
+    const char* command_line;
+    const char* flag;
+  };
+  const Case cases[] = {
+      {" match --source a --target b --rule r --threshold 0.7x",
+       "--threshold"},
+      {" match --source a --target b --rule r --threads lots", "--threads"},
+      {" learn --source a --target b --links l --population many",
+       "--population"},
+      {" learn --source a --target b --links l --match-threshold abc",
+       "--match-threshold"},
+      {" learn --source a --target b --links l --islands 0", "--islands"},
+      {" query --target b --rule r --threshold ,5", "--threshold"},
+  };
+  for (const Case& c : cases) {
+    std::string output;
+    EXPECT_EQ(RunCapture(g_cli_path + c.command_line, &output), 2)
+        << c.command_line << "\n" << output;
+    EXPECT_NE(output.find(c.flag), std::string::npos)
+        << c.command_line << "\n" << output;
+  }
+}
+
+// The deployment loop end to end: learn a rule with --save-artifact,
+// then serve CSV queries against it with `genlink query` and check the
+// streamed links parse and cover some known duplicates.
+TEST(CliSmokeTest, QueryServesArtifactLearnedByLearn) {
+  ASSERT_FALSE(g_cli_path.empty());
+
+  RestaurantConfig config;
+  config.scale = 0.3;
+  MatchingTask task = GenerateRestaurant(config);
+
+  const std::string data_path = TempPath("query_restaurant.csv");
+  const std::string links_path = TempPath("query_links.csv");
+  const std::string artifact_path = TempPath("query_artifact.gla");
+  const std::string out_path = TempPath("query_out.csv");
+  ASSERT_TRUE(WriteStringToFile(data_path, DatasetToCsv(task.Source())).ok());
+  ASSERT_TRUE(WriteStringToFile(links_path, WriteLinksCsv(task.links)).ok());
+
+  const std::string learn_command =
+      g_cli_path + " learn --source " + data_path + " --target " + data_path +
+      " --links " + links_path + " --save-artifact " + artifact_path +
+      " --population 50 --iterations 3 --seed 7 > /dev/null 2>&1";
+  ASSERT_EQ(std::system(learn_command.c_str()), 0) << learn_command;
+
+  // Serve the corpus itself as the query stream: duplicates should be
+  // found in both orientations.
+  std::string output;
+  const int exit_code =
+      RunCapture(g_cli_path + " query --target " + data_path + " --artifact " +
+                     artifact_path + " --entities " + data_path + " --out " +
+                     out_path,
+                 &output);
+  EXPECT_EQ(exit_code, 0) << output;
+  EXPECT_NE(output.find("served "), std::string::npos) << output;
+
+  auto csv = ReadFileToString(out_path);
+  ASSERT_TRUE(csv.ok()) << "query did not write " << out_path;
+  EXPECT_EQ(csv->rfind("id_a,id_b,score\n", 0), 0u) << *csv;
+  // At least one known duplicate pair should have been served, and —
+  // since the query stream IS the corpus — never a record as its own
+  // match.
+  size_t links_served = 0;
+  std::istringstream rows(*csv);
+  std::string row;
+  std::getline(rows, row);  // header
+  while (std::getline(rows, row)) {
+    const size_t comma = row.find(',');
+    ASSERT_NE(comma, std::string::npos) << row;
+    const std::string id_a = row.substr(0, comma);
+    const std::string rest = row.substr(comma + 1);
+    EXPECT_NE(rest.rfind(id_a + ",", 0), 0u) << "self link served: " << row;
+    ++links_served;
+  }
+  EXPECT_GT(links_served, 0u) << *csv;
+
+  std::remove(data_path.c_str());
+  std::remove(links_path.c_str());
+  std::remove(artifact_path.c_str());
   std::remove(out_path.c_str());
 }
 

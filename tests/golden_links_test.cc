@@ -97,6 +97,10 @@ TEST_F(GoldenLinksTest, HighThresholdVariant) {
                       "restaurant_links_t075.csv");
 }
 
+// Golden regenerated when best_match_only gained its deterministic
+// tie-break (score desc, then id_b asc — see MatchOptions): two
+// Restaurant sources have several exact-1.0 duplicates, and the old
+// code kept whichever came first in candidate-enumeration order.
 TEST_F(GoldenLinksTest, BestMatchOnlyVariant) {
   MatchOptions options;
   options.best_match_only = true;

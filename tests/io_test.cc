@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "io/csv.h"
 #include "io/link_io.h"
 #include "io/ntriples.h"
@@ -78,6 +82,114 @@ TEST(CsvTest, ReadDatasetMissingIdColumnFails) {
 }
 
 // -------------------------------------------------------------- N-Triples
+
+// The incremental reader behind `genlink query` must decode records
+// exactly like the batch loader (same header mapping, same cell
+// semantics), including quoted fields spanning lines.
+TEST(CsvEntityStreamTest, MatchesBatchLoadRecordForRecord) {
+  const std::string csv =
+      "id,name,notes\n"
+      "r1,Alpha,\"multi\nline, note\"\n"
+      "r2,Beta,\n"
+      "r3,\"Quoted \"\"Name\"\"\",plain\n";
+  CsvDatasetOptions options;
+  options.id_column = "id";
+  auto batch = ReadCsvDataset(csv, "batch", options);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+
+  std::istringstream in(csv);
+  CsvEntityStream stream(in, options);
+  ASSERT_TRUE(stream.status().ok()) << stream.status().ToString();
+  ASSERT_EQ(stream.schema().property_names(),
+            batch->schema().property_names());
+
+  Entity entity;
+  size_t index = 0;
+  while (stream.Next(&entity)) {
+    ASSERT_LT(index, batch->size());
+    const Entity& expected = batch->entity(index);
+    EXPECT_EQ(entity.id(), expected.id());
+    for (PropertyId p = 0; p < stream.schema().NumProperties(); ++p) {
+      EXPECT_EQ(entity.Values(p), expected.Values(p)) << entity.id();
+    }
+    ++index;
+  }
+  EXPECT_TRUE(stream.status().ok());
+  EXPECT_EQ(index, batch->size());
+}
+
+// A literal '"' inside an unquoted field (`5" nail`) is a literal
+// character to ParseCsv, not an open quote — the stream must not glue
+// the rest of the input into one record and drop the later queries.
+TEST(CsvEntityStreamTest, LiteralQuoteInUnquotedFieldDoesNotEatLaterRows) {
+  const std::string csv =
+      "id,name\n"
+      "q1,5\" nail\n"
+      "q2,hammer\n"
+      "q3,saw\n";
+  CsvDatasetOptions options;
+  options.id_column = "id";
+  auto batch = ReadCsvDataset(csv, "batch", options);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), 3u);
+
+  std::istringstream in(csv);
+  CsvEntityStream stream(in, options);
+  ASSERT_TRUE(stream.status().ok());
+  Entity entity;
+  std::vector<std::string> ids;
+  std::vector<std::string> names;
+  while (stream.Next(&entity)) {
+    ids.push_back(entity.id());
+    names.push_back(entity.Values(0).empty() ? "" : entity.Values(0)[0]);
+  }
+  EXPECT_TRUE(stream.status().ok());
+  EXPECT_EQ(ids, (std::vector<std::string>{"q1", "q2", "q3"}));
+  EXPECT_EQ(names[0], "5\" nail");
+}
+
+// A bare '\r' is a row terminator to ParseCsv, so one input line can
+// hold two rows — both must be served, matching the batch loader.
+TEST(CsvEntityStreamTest, BareCarriageReturnYieldsBothRows) {
+  const std::string csv = "id,name\nq1,alpha\rq2,beta\n";
+  CsvDatasetOptions options;
+  options.id_column = "id";
+  auto batch = ReadCsvDataset(csv, "batch", options);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 2u);
+
+  std::istringstream in(csv);
+  CsvEntityStream stream(in, options);
+  ASSERT_TRUE(stream.status().ok());
+  Entity entity;
+  std::vector<std::string> ids;
+  while (stream.Next(&entity)) ids.push_back(entity.id());
+  EXPECT_TRUE(stream.status().ok());
+  EXPECT_EQ(ids, (std::vector<std::string>{"q1", "q2"}));
+}
+
+TEST(CsvEntityStreamTest, SkipsBlankLinesAndAllowsDuplicateIds) {
+  std::istringstream in("id,name\n\nq1,Alpha\n\n\nq1,Alpha again\n");
+  CsvDatasetOptions options;
+  options.id_column = "id";
+  CsvEntityStream stream(in, options);
+  ASSERT_TRUE(stream.status().ok());
+  Entity entity;
+  std::vector<std::string> ids;
+  while (stream.Next(&entity)) ids.push_back(entity.id());
+  EXPECT_TRUE(stream.status().ok());
+  // A query stream is not a dataset: the repeated id is served twice.
+  EXPECT_EQ(ids, (std::vector<std::string>{"q1", "q1"}));
+}
+
+TEST(CsvEntityStreamTest, MissingHeaderOrIdColumnFails) {
+  CsvDatasetOptions options;
+  options.id_column = "id";
+  std::istringstream empty("");
+  EXPECT_FALSE(CsvEntityStream(empty, options).status().ok());
+  std::istringstream no_id("name\nAlpha\n");
+  EXPECT_FALSE(CsvEntityStream(no_id, options).status().ok());
+}
 
 TEST(NTriplesTest, ParsesLiteralTriple) {
   auto t = ParseNTriplesLine(

@@ -90,6 +90,75 @@ TEST_F(MatcherTest, DedupSelfMatchEmitsEachPairOnce) {
   EXPECT_TRUE(links.empty());
 }
 
+// best_match_only's documented tie-break: highest score first, then
+// the lexicographically smallest id_b — independent of candidate
+// enumeration order (matcher/matcher.h).
+TEST_F(MatcherTest, BestMatchTieBreakPrefersSmallestIdOnExactTies) {
+  // Two targets carry the SAME value as source "a0", so both score an
+  // exact 1.0; ids chosen so candidate-index order ("b9..." inserted
+  // before "b10...") disagrees with lexicographic order.
+  Dataset source("tie_a"), targets("tie_b");
+  PropertyId s_name = source.schema().AddProperty("name");
+  PropertyId t_label = targets.schema().AddProperty("label");
+  Entity query("a0");
+  query.AddValue(s_name, "golf seven");
+  ASSERT_TRUE(source.AddEntity(std::move(query)).ok());
+  for (const char* id : {"b9", "b10"}) {
+    Entity eb(id);
+    eb.AddValue(t_label, "golf seven");
+    ASSERT_TRUE(targets.AddEntity(std::move(eb)).ok());
+  }
+
+  auto rule = RuleBuilder()
+                  .Compare("levenshtein", 1.0, Prop("name").Lower(),
+                           Prop("label").Lower())
+                  .Build();
+  ASSERT_TRUE(rule.ok());
+  MatchOptions options;
+  options.best_match_only = true;
+  for (bool use_blocking : {true, false}) {
+    for (bool use_value_store : {true, false}) {
+      options.use_blocking = use_blocking;
+      options.use_value_store = use_value_store;
+      auto links = GenerateLinks(*rule, source, targets, options);
+      ASSERT_EQ(links.size(), 1u)
+          << "blocking=" << use_blocking << " store=" << use_value_store;
+      // Exact tie at score 1.0: "b10" < "b9" lexicographically wins,
+      // although b9 enumerates first.
+      EXPECT_DOUBLE_EQ(links[0].score, 1.0);
+      EXPECT_EQ(links[0].id_b, "b10");
+    }
+  }
+}
+
+TEST_F(MatcherTest, BestMatchKeepsHigherScoreOverSmallerId) {
+  // No tie: the higher score must win even when its id_b is larger.
+  Dataset source("score_a"), targets("score_b");
+  PropertyId s_name = source.schema().AddProperty("name");
+  PropertyId t_label = targets.schema().AddProperty("label");
+  Entity query("a0");
+  query.AddValue(s_name, "hotel india");
+  ASSERT_TRUE(source.AddEntity(std::move(query)).ok());
+  Entity close_but_not_exact("b1");
+  close_but_not_exact.AddValue(t_label, "hotel indiax");  // distance 1
+  ASSERT_TRUE(targets.AddEntity(std::move(close_but_not_exact)).ok());
+  Entity exact("b2");
+  exact.AddValue(t_label, "hotel india");  // distance 0
+  ASSERT_TRUE(targets.AddEntity(std::move(exact)).ok());
+
+  auto rule = RuleBuilder()
+                  .Compare("levenshtein", 2.0, Prop("name").Lower(),
+                           Prop("label").Lower())
+                  .Build();
+  ASSERT_TRUE(rule.ok());
+  MatchOptions options;
+  options.best_match_only = true;
+  auto links = GenerateLinks(*rule, source, targets, options);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].id_b, "b2");
+  EXPECT_DOUBLE_EQ(links[0].score, 1.0);
+}
+
 TEST_F(MatcherTest, SourcePropertyExtraction) {
   LinkageRule rule = NameRule();
   EXPECT_EQ(SourceProperties(rule), (std::vector<std::string>{"name"}));

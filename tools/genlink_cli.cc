@@ -1,27 +1,34 @@
 // genlink - command-line interface to the library.
 //
-//   genlink learn  --source a.csv --target b.csv --links links.csv \
-//                  [--out rule.xml] [--population N] [--iterations N]
-//                  [--seed N] [--id-column id]
-//   genlink match  --source a.csv --target b.csv --rule rule.xml \
-//                  [--out links.csv] [--threshold 0.5]
-//   genlink eval   --source a.csv --target b.csv --rule rule.xml \
-//                  --links links.csv
+//   genlink learn   learn a linkage rule from labelled reference links
+//   genlink match   one-shot link generation over two datasets
+//   genlink query   serve queries against a prebuilt matcher index
+//   genlink eval    score a rule against reference links
+//   genlink --version / genlink <command> --help
 //
 // Datasets are CSV (first row = property names; use --id-column to name
 // the id column) or N-Triples (*.nt). Reference links are CSV
 // (id_a,id_b[,label]) or owl:sameAs N-Triples. Rules are stored in the
-// Silk-style XML format (rule/xml.h); .rule files with s-expressions are
-// also accepted.
+// Silk-style XML format (rule/xml.h); .rule files with s-expressions
+// are also accepted. Learned rules deploy as versioned artifacts
+// (io/artifact.h: rule + match options) via `learn --save-artifact`,
+// which `query` loads to serve entities read from stdin or a CSV file
+// — the build-once / query-many path of api/matcher_index.h.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "api/matcher_index.h"
 #include "common/string_util.h"
 #include "eval/link_metrics.h"
 #include "gp/genlink.h"
+#include "io/artifact.h"
 #include "io/csv.h"
 #include "io/link_io.h"
 #include "io/ntriples.h"
@@ -29,6 +36,11 @@
 #include "rule/parse.h"
 #include "rule/serialize.h"
 #include "rule/xml.h"
+
+// Kept in sync with the CMake project version by tools/CMakeLists.txt.
+#ifndef GENLINK_VERSION
+#define GENLINK_VERSION "0.0.0-dev"
+#endif
 
 namespace genlink {
 namespace {
@@ -41,32 +53,198 @@ struct Args {
     auto it = options.find(key);
     return it == options.end() ? fallback : it->second.c_str();
   }
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
 };
 
-int Usage() {
-  std::fprintf(
-      stderr,
-      "usage:\n"
-      "  genlink learn --source A --target B --links L [--out rule.xml]\n"
-      "                [--population 500] [--iterations 50] [--seed 42]\n"
-      "                [--threads 0] [--id-column id]\n"
-      "                [--islands 1] [--migration-interval 5]\n"
-      "                [--migration-size 3]\n"
-      "                [--match links_out.nt] [--match-threshold 0.5]\n"
-      "  genlink match --source A --target B --rule R [--out links.csv]\n"
-      "                [--threshold 0.5] [--threads 0] [--id-column id]\n"
-      "  genlink eval  --source A --target B --rule R --links L\n"
-      "                [--id-column id]\n"
-      "datasets: .csv (header row = properties) or .nt (N-Triples)\n"
-      "links:    .csv (id_a,id_b[,label]) or .nt (owl:sameAs)\n"
-      "learn --match: after learning, link the FULL datasets with the\n"
-      "learned rule (value-store matcher) and write them to the given\n"
-      "path (.nt = owl:sameAs triples, anything else = CSV with scores)\n"
-      "learn --islands: evolve N independent populations in parallel\n"
-      "(ring migration every --migration-interval generations, top\n"
-      "--migration-size rules to the next island; 1 = the paper's\n"
-      "single-population algorithm)\n");
-  return 2;
+/// One flag of a subcommand. `value_name` null means a boolean flag
+/// (present/absent, no value argument).
+struct FlagSpec {
+  const char* name;
+  const char* value_name;
+  const char* help;
+  bool required = false;
+};
+
+struct CommandSpec {
+  const char* name;
+  const char* summary;
+  std::vector<FlagSpec> flags;
+  /// Free-form paragraph printed at the end of --help (may be null).
+  const char* notes;
+};
+
+const std::vector<CommandSpec>& Commands() {
+  static const std::vector<CommandSpec> kCommands = {
+      {"learn",
+       "learn a linkage rule from labelled reference links (GenLink)",
+       {
+           {"source", "FILE", "source dataset (.csv or .nt)", true},
+           {"target", "FILE", "target dataset (.csv or .nt)", true},
+           {"links", "FILE", "reference links (.csv or owl:sameAs .nt)", true},
+           {"out", "FILE", "write the learned rule as XML (default: stdout)"},
+           {"save-artifact", "FILE",
+            "also write a deployment artifact (rule + match options) "
+            "that `genlink query --artifact` serves"},
+           {"population", "N", "population size (default 500)"},
+           {"iterations", "N", "maximum iterations (default 50)"},
+           {"seed", "N", "random seed (default 42)"},
+           {"threads", "N", "worker threads, 0 = hardware (default 0)"},
+           {"id-column", "NAME", "CSV id column (default 'id')"},
+           {"islands", "N", "independent populations (default 1)"},
+           {"migration-interval", "N",
+            "generations between island migrations (default 5)"},
+           {"migration-size", "N", "rules migrated per interval (default 3)"},
+           {"match", "FILE",
+            "after learning, link the FULL datasets with the learned rule "
+            "and write them (.nt = owl:sameAs, else CSV with scores)"},
+           {"match-threshold", "T",
+            "similarity threshold for --match and --save-artifact "
+            "(default 0.5)"},
+       },
+       "learn --islands evolves N independent populations in parallel\n"
+       "(ring migration every --migration-interval generations, top\n"
+       "--migration-size rules to the next island; 1 = the paper's\n"
+       "single-population algorithm)"},
+      {"match",
+       "one-shot link generation: execute a rule over two datasets",
+       {
+           {"source", "FILE", "source dataset (.csv or .nt)", true},
+           {"target", "FILE", "target dataset (.csv or .nt)", true},
+           {"rule", "FILE", "linkage rule (.xml or s-expression .rule)", true},
+           {"out", "FILE", "write links CSV (default: stdout)"},
+           {"threshold", "T", "minimum similarity (default 0.5)"},
+           {"best-match", nullptr,
+            "keep only the best target per source entity (ties: highest "
+            "score, then smallest id)"},
+           {"threads", "N", "worker threads, 0 = hardware (default 0)"},
+           {"id-column", "NAME", "CSV id column (default 'id')"},
+       },
+       "match rebuilds the execution artifacts on every invocation; for\n"
+       "repeated matching against the same corpus use `genlink query`"},
+      {"query",
+       "serve entity queries against a prebuilt matcher index",
+       {
+           {"target", "FILE", "indexed corpus dataset (.csv or .nt)", true},
+           {"artifact", "FILE",
+            "deployment artifact from `learn --save-artifact` (rule + "
+            "options)"},
+           {"rule", "FILE",
+            "bare rule (.xml or .rule) with default options instead of "
+            "--artifact"},
+           {"entities", "FILE",
+            "query entities as CSV with a header row (default: stdin)"},
+           {"out", "FILE", "write links CSV (default: stdout, streamed)"},
+           {"threshold", "T", "override the artifact's threshold"},
+           {"best-match", nullptr, "keep only the best link per query"},
+           {"threads", "N", "worker threads, 0 = hardware (default 0)"},
+           {"id-column", "NAME", "CSV id column (default 'id')"},
+       },
+       "query builds the index once (token blocking + compiled value\n"
+       "store, api/matcher_index.h), then answers each input entity with\n"
+       "its matching corpus entities, streaming one CSV row per link as\n"
+       "queries arrive. Pass exactly one of --artifact or --rule."},
+      {"eval",
+       "evaluate a rule's generated links against reference links",
+       {
+           {"source", "FILE", "source dataset (.csv or .nt)", true},
+           {"target", "FILE", "target dataset (.csv or .nt)", true},
+           {"rule", "FILE", "linkage rule (.xml or s-expression .rule)", true},
+           {"links", "FILE", "reference links (.csv or owl:sameAs .nt)", true},
+           {"id-column", "NAME", "CSV id column (default 'id')"},
+       },
+       nullptr},
+  };
+  return kCommands;
+}
+
+const CommandSpec* FindCommand(std::string_view name) {
+  for (const CommandSpec& command : Commands()) {
+    if (name == command.name) return &command;
+  }
+  return nullptr;
+}
+
+void PrintCommandHelp(const CommandSpec& spec, std::FILE* out) {
+  std::fprintf(out, "usage: genlink %s", spec.name);
+  for (const FlagSpec& flag : spec.flags) {
+    if (flag.required) std::fprintf(out, " --%s %s", flag.name, flag.value_name);
+  }
+  std::fprintf(out, " [options]\n\n%s\n\noptions:\n", spec.summary);
+  for (const FlagSpec& flag : spec.flags) {
+    std::string left = std::string("--") + flag.name;
+    if (flag.value_name != nullptr) left += std::string(" ") + flag.value_name;
+    std::fprintf(out, "  %-22s %s%s\n", left.c_str(), flag.help,
+                 flag.required ? "  [required]" : "");
+  }
+  std::fprintf(out,
+               "\ndatasets: .csv (header row = properties) or .nt (N-Triples)\n"
+               "links:    .csv (id_a,id_b[,label]) or .nt (owl:sameAs)\n");
+  if (spec.notes != nullptr) std::fprintf(out, "\n%s\n", spec.notes);
+}
+
+void PrintTopHelp(std::FILE* out) {
+  std::fprintf(out,
+               "usage: genlink <command> [options]\n"
+               "       genlink <command> --help\n"
+               "       genlink --version\n\ncommands:\n");
+  for (const CommandSpec& command : Commands()) {
+    std::fprintf(out, "  %-7s %s\n", command.name, command.summary);
+  }
+}
+
+/// Parses argv[2..] against the command's flag table into `args`.
+/// Returns -1 to continue, otherwise the process exit code (0 for
+/// --help, 2 for a flag error). Errors name the offending flag.
+int ParseFlags(const CommandSpec& spec, int argc, char** argv, Args& args) {
+  for (int i = 2; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintCommandHelp(spec, stdout);
+      return 0;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr,
+                   "genlink %s: unexpected argument '%s'\n"
+                   "(run 'genlink %s --help' for usage)\n",
+                   spec.name, argv[i], spec.name);
+      return 2;
+    }
+    const std::string key(arg.substr(2));
+    const FlagSpec* flag = nullptr;
+    for (const FlagSpec& candidate : spec.flags) {
+      if (key == candidate.name) {
+        flag = &candidate;
+        break;
+      }
+    }
+    if (flag == nullptr) {
+      std::fprintf(stderr,
+                   "genlink %s: unknown flag '--%s'\n"
+                   "(run 'genlink %s --help' for usage)\n",
+                   spec.name, key.c_str(), spec.name);
+      return 2;
+    }
+    if (flag->value_name != nullptr) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "genlink %s: flag '--%s' expects a value (%s)\n",
+                     spec.name, key.c_str(), flag->value_name);
+        return 2;
+      }
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";
+    }
+  }
+  for (const FlagSpec& flag : spec.flags) {
+    if (flag.required && !args.Has(flag.name)) {
+      std::fprintf(stderr,
+                   "genlink %s: missing required flag '--%s'\n"
+                   "(run 'genlink %s --help' for usage)\n",
+                   spec.name, flag.name, spec.name);
+      return 2;
+    }
+  }
+  return -1;
 }
 
 Result<Dataset> LoadDataset(const std::string& path, const char* id_column,
@@ -100,18 +278,63 @@ int Fail(const Status& status) {
   return 1;
 }
 
-int RunLearn(const Args& args) {
-  const char* source = args.Get("source");
-  const char* target = args.Get("target");
-  const char* links_path = args.Get("links");
-  if (source == nullptr || target == nullptr || links_path == nullptr) {
-    return Usage();
+/// Parses an optional numeric flag. Returns false (after an error
+/// naming the flag, CLI exit code 2) when the value is present but
+/// does not parse — malformed numbers must never silently fall back to
+/// the default.
+bool FlagAsDouble(const Args& args, const char* command, const char* name,
+                  double* out) {
+  const char* raw = args.Get(name);
+  if (raw == nullptr) return true;
+  if (ParseDouble(raw, out)) return true;
+  std::fprintf(stderr, "genlink %s: flag '--%s' expects a number, got '%s'\n",
+               command, name, raw);
+  return false;
+}
+
+/// Same for non-negative integer flags, with a lower bound.
+bool FlagAsCount(const Args& args, const char* command, const char* name,
+                 int64_t min_value, size_t* out) {
+  const char* raw = args.Get(name);
+  if (raw == nullptr) return true;
+  int64_t value = 0;
+  if (ParseInt64(raw, &value) && value >= min_value) {
+    *out = static_cast<size_t>(value);
+    return true;
   }
-  auto a = LoadDataset(source, args.Get("id-column", "id"), "source");
+  std::fprintf(stderr,
+               "genlink %s: flag '--%s' expects an integer >= %lld, got '%s'\n",
+               command, name, static_cast<long long>(min_value), raw);
+  return false;
+}
+
+int RunLearn(const Args& args) {
+  // Validate every numeric flag before touching the filesystem, so a
+  // typo fails fast with exit 2.
+  GenLinkConfig config;
+  size_t seed_value = 42;
+  MatchOptions match_options;
+  if (!FlagAsCount(args, "learn", "population", 1, &config.population_size) ||
+      !FlagAsCount(args, "learn", "iterations", 1, &config.max_iterations) ||
+      !FlagAsCount(args, "learn", "threads", 0, &config.num_threads) ||
+      !FlagAsCount(args, "learn", "islands", 1, &config.num_islands) ||
+      !FlagAsCount(args, "learn", "migration-interval", 0,
+                   &config.migration_interval) ||
+      !FlagAsCount(args, "learn", "migration-size", 0,
+                   &config.migration_size) ||
+      !FlagAsCount(args, "learn", "seed", 0, &seed_value) ||
+      !FlagAsDouble(args, "learn", "match-threshold",
+                    &match_options.threshold)) {
+    return 2;
+  }
+  const uint64_t seed = seed_value;
+  match_options.num_threads = config.num_threads;
+
+  auto a = LoadDataset(args.Get("source"), args.Get("id-column", "id"), "source");
   if (!a.ok()) return Fail(a.status());
-  auto b = LoadDataset(target, args.Get("id-column", "id"), "target");
+  auto b = LoadDataset(args.Get("target"), args.Get("id-column", "id"), "target");
   if (!b.ok()) return Fail(b.status());
-  auto links = LoadLinks(links_path);
+  auto links = LoadLinks(args.Get("links"));
   if (!links.ok()) return Fail(links.status());
 
   if (links->negatives().empty()) {
@@ -121,35 +344,6 @@ int RunLearn(const Args& args) {
                  links->positives().size());
     Rng neg_rng(1);
     links->GenerateNegativesFromPositives(neg_rng);
-  }
-
-  GenLinkConfig config;
-  int64_t value = 0;
-  if (args.Get("population") && ParseInt64(args.Get("population"), &value)) {
-    config.population_size = static_cast<size_t>(value);
-  }
-  if (args.Get("iterations") && ParseInt64(args.Get("iterations"), &value)) {
-    config.max_iterations = static_cast<size_t>(value);
-  }
-  if (args.Get("threads") && ParseInt64(args.Get("threads"), &value) &&
-      value >= 0) {
-    config.num_threads = static_cast<size_t>(value);
-  }
-  if (args.Get("islands") && ParseInt64(args.Get("islands"), &value) &&
-      value >= 1) {
-    config.num_islands = static_cast<size_t>(value);
-  }
-  if (args.Get("migration-interval") &&
-      ParseInt64(args.Get("migration-interval"), &value) && value >= 0) {
-    config.migration_interval = static_cast<size_t>(value);
-  }
-  if (args.Get("migration-size") &&
-      ParseInt64(args.Get("migration-size"), &value) && value >= 0) {
-    config.migration_size = static_cast<size_t>(value);
-  }
-  uint64_t seed = 42;
-  if (args.Get("seed") && ParseInt64(args.Get("seed"), &value)) {
-    seed = static_cast<uint64_t>(value);
   }
 
   Rng rng(seed);
@@ -174,18 +368,24 @@ int RunLearn(const Args& args) {
     std::fputs(xml.c_str(), stdout);
   }
 
+  // learn --save-artifact: bundle the learned rule with the options it
+  // should be served under, for `genlink query --artifact`.
+  const char* artifact_out = args.Get("save-artifact");
+  if (artifact_out != nullptr) {
+    RuleArtifact artifact;
+    artifact.name = "genlink-learn";
+    artifact.rule = result->best_rule.Clone();
+    artifact.options = match_options;
+    Status status = SaveArtifact(artifact_out, artifact);
+    if (!status.ok()) return Fail(status);
+    std::fprintf(stderr, "artifact written to %s\n", artifact_out);
+  }
+
   // learn --match: end-to-end linking. The learned rule is executed over
   // the FULL datasets (not just the labelled pairs) through the
   // value-store matcher path and the links are written out.
   const char* match_out = args.Get("match");
   if (match_out != nullptr) {
-    MatchOptions match_options;
-    match_options.num_threads = config.num_threads;
-    double match_threshold = 0.5;
-    if (args.Get("match-threshold") &&
-        ParseDouble(args.Get("match-threshold"), &match_threshold)) {
-      match_options.threshold = match_threshold;
-    }
     auto generated = GenerateLinks(result->best_rule, *a, *b, match_options);
     std::string serialized = EndsWith(match_out, ".nt")
                                  ? WriteGeneratedLinksNt(generated)
@@ -199,29 +399,20 @@ int RunLearn(const Args& args) {
 }
 
 int RunMatch(const Args& args) {
-  const char* source = args.Get("source");
-  const char* target = args.Get("target");
-  const char* rule_path = args.Get("rule");
-  if (source == nullptr || target == nullptr || rule_path == nullptr) {
-    return Usage();
+  MatchOptions options;
+  options.best_match_only = args.Has("best-match");
+  if (!FlagAsDouble(args, "match", "threshold", &options.threshold) ||
+      !FlagAsCount(args, "match", "threads", 0, &options.num_threads)) {
+    return 2;
   }
-  auto a = LoadDataset(source, args.Get("id-column", "id"), "source");
+
+  auto a = LoadDataset(args.Get("source"), args.Get("id-column", "id"), "source");
   if (!a.ok()) return Fail(a.status());
-  auto b = LoadDataset(target, args.Get("id-column", "id"), "target");
+  auto b = LoadDataset(args.Get("target"), args.Get("id-column", "id"), "target");
   if (!b.ok()) return Fail(b.status());
-  auto rule = LoadRule(rule_path);
+  auto rule = LoadRule(args.Get("rule"));
   if (!rule.ok()) return Fail(rule.status());
 
-  MatchOptions options;
-  double threshold = 0.5;
-  if (args.Get("threshold") && ParseDouble(args.Get("threshold"), &threshold)) {
-    options.threshold = threshold;
-  }
-  int64_t threads = 0;
-  if (args.Get("threads") && ParseInt64(args.Get("threads"), &threads) &&
-      threads >= 0) {
-    options.num_threads = static_cast<size_t>(threads);
-  }
   auto links = GenerateLinks(*rule, *a, *b, options);
   std::fprintf(stderr, "generated %zu links\n", links.size());
 
@@ -236,22 +427,115 @@ int RunMatch(const Args& args) {
   return 0;
 }
 
-int RunEval(const Args& args) {
-  const char* source = args.Get("source");
-  const char* target = args.Get("target");
+int RunQuery(const Args& args) {
+  const char* artifact_path = args.Get("artifact");
   const char* rule_path = args.Get("rule");
-  const char* links_path = args.Get("links");
-  if (source == nullptr || target == nullptr || rule_path == nullptr ||
-      links_path == nullptr) {
-    return Usage();
+  if ((artifact_path == nullptr) == (rule_path == nullptr)) {
+    std::fprintf(stderr,
+                 "genlink query: pass exactly one of --artifact or --rule\n"
+                 "(run 'genlink query --help' for usage)\n");
+    return 2;
   }
-  auto a = LoadDataset(source, args.Get("id-column", "id"), "source");
+  // Validate the overrides before any file I/O; they apply on top of
+  // the artifact's options once it is loaded.
+  double threshold_override = 0.0;
+  size_t threads_override = 0;
+  if (!FlagAsDouble(args, "query", "threshold", &threshold_override) ||
+      !FlagAsCount(args, "query", "threads", 0, &threads_override)) {
+    return 2;
+  }
+
+  auto target =
+      LoadDataset(args.Get("target"), args.Get("id-column", "id"), "target");
+  if (!target.ok()) return Fail(target.status());
+
+  RuleArtifact artifact;
+  if (artifact_path != nullptr) {
+    auto loaded = LoadArtifact(artifact_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    artifact = std::move(*loaded);
+  } else {
+    auto rule = LoadRule(rule_path);
+    if (!rule.ok()) return Fail(rule.status());
+    artifact.rule = std::move(*rule);
+  }
+  if (args.Has("best-match")) artifact.options.best_match_only = true;
+  if (args.Has("threshold")) artifact.options.threshold = threshold_override;
+  if (args.Has("threads")) artifact.options.num_threads = threads_override;
+
+  // Build once; every query below is a cheap lookup against these
+  // artifacts (api/matcher_index.h).
+  auto index = MatcherIndex::Build(*target, artifact.rule, artifact.options);
+  MatcherIndexStats stats = index->stats();
+  std::fprintf(stderr,
+               "index built over %zu entities in %.3fs "
+               "(%zu blocking tokens, %zu value plans)\n",
+               stats.target_entities, stats.build_seconds,
+               stats.blocking_tokens, stats.value_plans);
+
+  // Query source: a CSV file or stdin, consumed INCREMENTALLY — each
+  // record is served as soon as its line(s) arrive, so a long-running
+  // producer piping into `genlink query` sees answers before closing
+  // the stream.
+  std::ifstream entities_file;
+  std::istream* in = &std::cin;
+  if (const char* entities_path = args.Get("entities")) {
+    entities_file.open(entities_path, std::ios::binary);
+    if (!entities_file) {
+      return Fail(Status::IoError(std::string("cannot open file: ") +
+                                  entities_path));
+    }
+    in = &entities_file;
+  }
+  CsvDatasetOptions csv_options;
+  csv_options.id_column = args.Get("id-column", "id");
+  CsvEntityStream queries(*in, csv_options);
+  if (!queries.status().ok()) return Fail(queries.status());
+
+  std::FILE* out = stdout;
+  const char* out_path = args.Get("out");
+  if (out_path != nullptr) {
+    out = std::fopen(out_path, "wb");
+    if (out == nullptr) {
+      return Fail(Status::IoError(std::string("cannot open file: ") + out_path));
+    }
+  }
+
+  std::fwrite(kGeneratedLinksCsvHeader.data(), 1,
+              kGeneratedLinksCsvHeader.size(), out);
+  std::fflush(out);
+  size_t served = 0;
+  size_t total_links = 0;
+  const auto start = std::chrono::steady_clock::now();
+  Entity entity;
+  while (queries.Next(&entity)) {
+    auto links = index->MatchEntity(entity, queries.schema());
+    for (const GeneratedLink& link : links) {
+      const std::string row = GeneratedLinkCsvRow(link);
+      std::fwrite(row.data(), 1, row.size(), out);
+    }
+    ++served;
+    total_links += links.size();
+    std::fflush(out);
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (out != stdout) std::fclose(out);
+  if (!queries.status().ok()) return Fail(queries.status());
+  std::fprintf(stderr, "served %zu queries, %zu links (%.0f queries/s)\n",
+               served, total_links, seconds > 0.0 ? served / seconds : 0.0);
+  return 0;
+}
+
+int RunEval(const Args& args) {
+  auto a = LoadDataset(args.Get("source"), args.Get("id-column", "id"), "source");
   if (!a.ok()) return Fail(a.status());
-  auto b = LoadDataset(target, args.Get("id-column", "id"), "target");
+  auto b = LoadDataset(args.Get("target"), args.Get("id-column", "id"), "target");
   if (!b.ok()) return Fail(b.status());
-  auto rule = LoadRule(rule_path);
+  auto rule = LoadRule(args.Get("rule"));
   if (!rule.ok()) return Fail(rule.status());
-  auto links = LoadLinks(links_path);
+  auto links = LoadLinks(args.Get("links"));
   if (!links.ok()) return Fail(links.status());
 
   auto generated = GenerateLinks(*rule, *a, *b);
@@ -271,20 +555,34 @@ int RunEval(const Args& args) {
 }
 
 int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  Args args;
-  args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    std::string_view arg = argv[i];
-    if (arg.rfind("--", 0) != 0) return Usage();
-    std::string key(arg.substr(2));
-    if (i + 1 >= argc) return Usage();
-    args.options[key] = argv[++i];
+  if (argc < 2) {
+    PrintTopHelp(stderr);
+    return 2;
   }
-  if (args.command == "learn") return RunLearn(args);
-  if (args.command == "match") return RunMatch(args);
-  if (args.command == "eval") return RunEval(args);
-  return Usage();
+  const std::string_view command = argv[1];
+  if (command == "--version" || command == "version") {
+    std::printf("genlink %s\n", GENLINK_VERSION);
+    return 0;
+  }
+  if (command == "--help" || command == "-h" || command == "help") {
+    PrintTopHelp(stdout);
+    return 0;
+  }
+  const CommandSpec* spec = FindCommand(command);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "genlink: unknown command '%s'\n\n",
+                 std::string(command).c_str());
+    PrintTopHelp(stderr);
+    return 2;
+  }
+  Args args;
+  args.command = spec->name;
+  const int parse_exit = ParseFlags(*spec, argc, argv, args);
+  if (parse_exit >= 0) return parse_exit;
+  if (command == "learn") return RunLearn(args);
+  if (command == "match") return RunMatch(args);
+  if (command == "query") return RunQuery(args);
+  return RunEval(args);
 }
 
 }  // namespace
