@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "distance/distance_measure.h"
 #include "eval/value_store.h"
@@ -56,71 +55,33 @@ double Elapsed(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-/// Writer-priority shared mutex. std::shared_mutex on glibc prefers
-/// readers: under continuous query traffic a WithRule compile could
-/// wait forever for a gap in the read lock. Here a waiting writer
-/// blocks NEW readers, so hot swaps complete after at most the
-/// in-flight queries drain (tests/api_test.cc hammers this with four
-/// query threads against 21 back-to-back swaps). Meets the
-/// SharedLockable/ Lockable requirements std::shared_lock and
-/// std::unique_lock use.
-class MatcherIndex::SharedStoreMutex {
- public:
-  void lock_shared() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    readers_allowed_.wait(
-        lock, [&] { return !writer_active_ && waiting_writers_ == 0; });
-    ++active_readers_;
-  }
-  void unlock_shared() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (--active_readers_ == 0 && waiting_writers_ > 0) {
-      writers_allowed_.notify_one();
-    }
-  }
-  void lock() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ++waiting_writers_;
-    writers_allowed_.wait(
-        lock, [&] { return !writer_active_ && active_readers_ == 0; });
-    --waiting_writers_;
-    writer_active_ = true;
-  }
-  void unlock() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    writer_active_ = false;
-    if (waiting_writers_ > 0) {
-      writers_allowed_.notify_one();
-    } else {
-      readers_allowed_.notify_all();
-    }
-  }
-
- private:
-  std::mutex mutex_;
-  std::condition_variable readers_allowed_;
-  std::condition_variable writers_allowed_;
-  int active_readers_ = 0;
-  int waiting_writers_ = 0;
-  bool writer_active_ = false;
-};
-
 // The dataset-side artifacts every WithRule generation shares. The
-// mutex orders value-store appends (a new rule's unseen plans) against
-// concurrent queries: query surfaces hold the read lock for the
-// duration of a call, CompileLocked runs under the write lock. The
-// store is append-only, so previously handed-out PlanIds stay valid
-// across generations.
+// writer-priority mutex (common/mutex.h: a waiting WithRule compile
+// cannot be starved by continuous query traffic) orders value-store
+// appends — a new rule's unseen plans — against concurrent queries:
+// query surfaces hold the read lock for the duration of a call,
+// CompileLocked runs under the write lock. The store is append-only,
+// so previously handed-out PlanIds stay valid across generations.
+//
+// The annotations make the regime checkable: the store's *contents*
+// and the blocking cache require the capability, so a query path that
+// forgot the reader lock (or a compile step outside the writer lock)
+// fails `clang -Wthread-safety`. Code reached from pool-worker tasks
+// whose dispatching frame holds the lock asserts the capability
+// instead (WriterPriorityMutex::AssertReaderHeld — a real runtime
+// check in debug builds, zero-cost in release).
 struct MatcherIndex::Corpus {
   const Dataset* source = nullptr;  // null for serving-only builds
   const Dataset* target = nullptr;
-  mutable SharedStoreMutex mutex;
-  std::unique_ptr<ValueStore> store;  // null when use_value_store is off
+  mutable WriterPriorityMutex mutex;
+  /// Null when use_value_store is off. The pointer itself is set once
+  /// at Build before the corpus is shared; the pointee is guarded.
+  std::unique_ptr<ValueStore> store GENLINK_PT_GUARDED_BY(mutex);
   /// Blocking indexes over `target`, keyed by the (sorted) property
   /// list they index — rules reading the same target properties share
   /// one index across hot swaps.
   std::map<std::vector<std::string>, std::shared_ptr<const TokenBlockingIndex>>
-      blocking_cache;
+      blocking_cache GENLINK_GUARDED_BY(mutex);
   std::unique_ptr<ThreadPool> pool;
 };
 
@@ -153,7 +114,7 @@ std::shared_ptr<const MatcherIndex> MatcherIndex::Build(
       new MatcherIndex(corpus, rule.Clone(), options));
   const auto start = std::chrono::steady_clock::now();
   {
-    std::unique_lock lock(corpus->mutex);
+    WriterMutexLock lock(corpus->mutex);
     index->CompileLocked();
   }
   index->build_seconds_ = Elapsed(start);
@@ -179,7 +140,7 @@ std::shared_ptr<const MatcherIndex> MatcherIndex::Build(
       new MatcherIndex(corpus, rule.Clone(), options));
   const auto start = std::chrono::steady_clock::now();
   {
-    std::unique_lock lock(corpus->mutex);
+    WriterMutexLock lock(corpus->mutex);
     index->CompileLocked();
   }
   index->build_seconds_ = Elapsed(start);
@@ -188,6 +149,9 @@ std::shared_ptr<const MatcherIndex> MatcherIndex::Build(
 
 void MatcherIndex::CompileLocked() {
   Corpus& corpus = *corpus_;
+  // Declared in the header, where Corpus is incomplete, so the writer
+  // requirement is asserted rather than spelled as GENLINK_REQUIRES.
+  corpus.mutex.AssertWriterHeld();
   if (options_.use_blocking) {
     std::vector<std::string> properties = TargetProperties(rule_);
     auto& slot = corpus.blocking_cache[properties];
@@ -240,7 +204,7 @@ std::shared_ptr<const MatcherIndex> MatcherIndex::WithRule(
       new MatcherIndex(corpus_, rule.Clone(), options_));
   const auto start = std::chrono::steady_clock::now();
   {
-    std::unique_lock lock(corpus_->mutex);
+    WriterMutexLock lock(corpus_->mutex);
     next->CompileLocked();
   }
   next->build_seconds_ = Elapsed(start);
@@ -264,6 +228,9 @@ void MatcherIndex::EvaluateQueryOps(const Entity& entity, const Schema& schema,
 double MatcherIndex::QueryNode(const SimilarityOperator& node,
                                const QueryValues& qv, size_t target_index,
                                size_t& next_site) const {
+  // May run on a pool worker (MatchBatch/MatchDataset tasks) while the
+  // dispatching frame holds the reader lock; free in release builds.
+  corpus_->mutex.AssertReaderHeld();
   if (node.kind() == OperatorKind::kComparison) {
     const QuerySite& site = query_sites_[next_site++];
     const ComparisonOperator& cmp = *site.op;
@@ -300,6 +267,7 @@ double MatcherIndex::QueryNode(const SimilarityOperator& node,
 
 std::vector<GeneratedLink> MatcherIndex::MatchEntityUnlocked(
     const Entity& entity, const Schema& schema) const {
+  corpus_->mutex.AssertReaderHeld();
   const Dataset& target = *corpus_->target;
   // A record is never its own duplicate: a self-indexed corpus (dedup)
   // and a serving-only index (queries of unknown provenance, often the
@@ -343,7 +311,7 @@ std::vector<GeneratedLink> MatcherIndex::MatchEntityUnlocked(
 
 std::vector<GeneratedLink> MatcherIndex::MatchEntity(
     const Entity& entity, const Schema& schema) const {
-  std::shared_lock lock(corpus_->mutex);
+  ReaderMutexLock lock(corpus_->mutex);
   return MatchEntityUnlocked(entity, schema);
 }
 
@@ -357,8 +325,10 @@ std::vector<GeneratedLink> MatcherIndex::MatchBatch(
     std::span<const Entity> entities, const Schema& schema) const {
   std::vector<std::vector<GeneratedLink>> per_entity(entities.size());
   {
-    std::shared_lock lock(corpus_->mutex);
+    ReaderMutexLock lock(corpus_->mutex);
     corpus_->pool->ParallelFor(entities.size(), [&](size_t i) {
+      // Runs on pool workers while the dispatching frame above holds
+      // the reader lock for the whole parallel section.
       per_entity[i] = MatchEntityUnlocked(entities[i], schema);
     });
   }
@@ -381,8 +351,8 @@ std::vector<GeneratedLink> MatcherIndex::MatchBatch(
 std::vector<GeneratedLink> MatcherIndex::MatchDataset(
     const Dataset& source) const {
   std::vector<GeneratedLink> links;
-  std::mutex links_mutex;
-  std::shared_lock lock(corpus_->mutex);
+  Mutex links_mutex;
+  ReaderMutexLock lock(corpus_->mutex);
   const Dataset& target = *corpus_->target;
   const bool self_join = &source == &target;
   // Store-resident scoring needs the store's source-side plans, which
@@ -419,7 +389,7 @@ std::vector<GeneratedLink> MatcherIndex::MatchDataset(
     }
     if (options_.best_match_only && local.size() > 1) KeepBestTarget(local);
     if (!local.empty()) {
-      std::lock_guard<std::mutex> links_lock(links_mutex);
+      MutexLock links_lock(links_mutex);
       for (auto& link : local) links.push_back(std::move(link));
     }
   });
@@ -438,7 +408,7 @@ const Dataset& MatcherIndex::target() const { return *corpus_->target; }
 bool MatcherIndex::has_source() const { return corpus_->source != nullptr; }
 
 MatcherIndexStats MatcherIndex::stats() const {
-  std::shared_lock lock(corpus_->mutex);
+  ReaderMutexLock lock(corpus_->mutex);
   MatcherIndexStats stats;
   stats.target_entities = corpus_->target->size();
   stats.blocking_tokens = blocking_ != nullptr ? blocking_->NumTokens() : 0;

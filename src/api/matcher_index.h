@@ -169,12 +169,13 @@ class MatcherIndex {
   MatcherIndexStats stats() const;
 
  private:
-  /// Dataset-side artifacts shared across WithRule generations.
+  /// Dataset-side artifacts shared across WithRule generations,
+  /// guarded by a writer-priority reader/writer lock
+  /// (common/mutex.h WriterPriorityMutex: a waiting WithRule compile
+  /// cannot be starved by query traffic). The guarded members are
+  /// annotated for clang -Wthread-safety in the .cc; the lock
+  /// hierarchy is documented in docs/CONCURRENCY.md.
   struct Corpus;
-  /// Writer-priority reader/writer lock over the shared corpus (see
-  /// the .cc: a waiting WithRule compile cannot be starved by query
-  /// traffic).
-  class SharedStoreMutex;
 
   /// One comparison of rule_ as seen by the query scorer: source side
   /// from the query entity's pre-evaluated values, target side from the

@@ -1,0 +1,252 @@
+// Annotated synchronization primitives: the only lock types genlink
+// code outside common/ is allowed to own.
+//
+// The standard library's std::mutex / std::shared_mutex carry no
+// thread-safety attributes on libstdc++, so state they guard is
+// invisible to `clang -Wthread-safety` — and tools/genlink_lint.py
+// therefore rejects raw standard mutex members outside common/. These
+// wrappers restore the checking:
+//
+//   * Mutex / MutexLock       — std::mutex as an annotated capability
+//     with an RAII guard. CondVar pairs with MutexLock for waits; the
+//     predicate is written as a plain while-loop in the caller so the
+//     analysis sees every guarded read under the lock.
+//   * WriterPriorityMutex     — the hand-rolled writer-priority
+//     reader/writer lock (moved here from api/matcher_index.cc) as a
+//     shared capability, with ReaderMutexLock / WriterMutexLock scoped
+//     guards and AssertReaderHeld() for code reached from worker
+//     threads whose caller holds the lock.
+//   * PhaseRole / PhaseGuard  — a zero-cost "role" capability (clang's
+//     role-based discipline pattern) for state that is protected by
+//     *phase structure* rather than by a lock: the evaluation engine's
+//     caches are touched only in the serial phases between parallel
+//     sections, and marking them GENLINK_GUARDED_BY(serial_phase_)
+//     turns a cache access from inside a worker task into a compile
+//     error instead of a data race.
+//
+// Lock hierarchy and which state each capability guards:
+// docs/CONCURRENCY.md.
+
+#ifndef GENLINK_COMMON_MUTEX_H_
+#define GENLINK_COMMON_MUTEX_H_
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace genlink {
+
+/// std::mutex as an annotated capability.
+class GENLINK_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() GENLINK_ACQUIRE() { mutex_.lock(); }
+  void Unlock() GENLINK_RELEASE() { mutex_.unlock(); }
+  bool TryLock() GENLINK_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// RAII guard over Mutex; the annotated stand-in for std::lock_guard.
+class GENLINK_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) GENLINK_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.Lock();
+  }
+  ~MutexLock() GENLINK_RELEASE() { mutex_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with Mutex/MutexLock. No predicate
+/// overload on purpose: a predicate lambda is analyzed as a separate
+/// function that does not hold the lock, so guarded reads inside it
+/// would (rightly) fail -Wthread-safety. Callers spell the loop out:
+///
+///   MutexLock lock(mutex_);
+///   while (!condition_over_guarded_state) cv_.Wait(lock);
+class CondVar {
+ public:
+  /// Atomically releases `lock`'s mutex, waits, and reacquires it
+  /// before returning. The capability is held again on return, which
+  /// is what the (lack of an) annotation says: from the analysis's
+  /// point of view the lock never left this scope.
+  void Wait(MutexLock& lock) {
+    std::unique_lock<std::mutex> native(lock.mutex_.mutex_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership returns to `lock`
+  }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Writer-priority shared mutex. std::shared_mutex on glibc prefers
+/// readers: under continuous query traffic a writer could wait forever
+/// for a gap in the read lock. Here a *waiting* writer blocks NEW
+/// readers, so writers complete after at most the in-flight readers
+/// drain (tests/api_test.cc hammers this with four query threads
+/// against 21 back-to-back rule swaps; tests/stress_swap_tsan_test.cc
+/// runs the same shape under ThreadSanitizer). Used by
+/// api/matcher_index.cc to order value-store appends (rule hot swaps)
+/// against concurrent queries.
+class GENLINK_CAPABILITY("mutex") WriterPriorityMutex {
+ public:
+  WriterPriorityMutex() = default;
+  WriterPriorityMutex(const WriterPriorityMutex&) = delete;
+  WriterPriorityMutex& operator=(const WriterPriorityMutex&) = delete;
+
+  void ReaderLock() GENLINK_ACQUIRE_SHARED() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    readers_allowed_.wait(lock, [&] {
+      return !writer_active_.load(std::memory_order_relaxed) &&
+             waiting_writers_ == 0;
+    });
+    active_readers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void ReaderUnlock() GENLINK_RELEASE_SHARED() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (active_readers_.fetch_sub(1, std::memory_order_relaxed) == 1 &&
+        waiting_writers_ > 0) {
+      writers_allowed_.notify_one();
+    }
+  }
+  void WriterLock() GENLINK_ACQUIRE() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++waiting_writers_;
+    writers_allowed_.wait(lock, [&] {
+      return !writer_active_.load(std::memory_order_relaxed) &&
+             active_readers_.load(std::memory_order_relaxed) == 0;
+    });
+    --waiting_writers_;
+    writer_active_.store(true, std::memory_order_relaxed);
+  }
+  void WriterUnlock() GENLINK_RELEASE() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    writer_active_.store(false, std::memory_order_relaxed);
+    if (waiting_writers_ > 0) {
+      writers_allowed_.notify_one();
+    } else {
+      readers_allowed_.notify_all();
+    }
+  }
+
+  /// Static + (debug-build) runtime claim that the calling thread is
+  /// inside a read- or write-locked region. For code reached from pool
+  /// workers whose *dispatching* call frame holds the lock (e.g.
+  /// MatchBatch tasks): the analysis cannot see through the task
+  /// boundary, so the worker asserts the capability instead of
+  /// reacquiring it. Sits on query hot paths, hence assert()-only: the
+  /// relaxed atomic loads compile to nothing under NDEBUG. (The check
+  /// is necessarily approximate — *some* reader or writer is active —
+  /// but a stray call from an unlocked context trips it immediately in
+  /// the concurrency tests.)
+  void AssertReaderHeld() const GENLINK_ASSERT_SHARED_CAPABILITY(this) {
+    assert(active_readers_.load(std::memory_order_relaxed) > 0 ||
+           writer_active_.load(std::memory_order_relaxed));
+  }
+  /// Same claim for the exclusive mode (e.g. compile steps that must
+  /// run under the writer lock).
+  void AssertWriterHeld() const GENLINK_ASSERT_CAPABILITY(this) {
+    assert(writer_active_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  // The counters are mutated only under mutex_ (the condition-variable
+  // protocol needs that anyway); they are atomics so the Assert*Held
+  // debug checks may read them from unlocked contexts without a data
+  // race.
+  mutable std::mutex mutex_;
+  std::condition_variable readers_allowed_;
+  std::condition_variable writers_allowed_;
+  std::atomic<int> active_readers_{0};
+  int waiting_writers_ = 0;
+  std::atomic<bool> writer_active_{false};
+};
+
+/// RAII shared (read) lock over WriterPriorityMutex.
+class GENLINK_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(WriterPriorityMutex& mutex)
+      GENLINK_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.ReaderLock();
+  }
+  ~ReaderMutexLock() GENLINK_RELEASE() { mutex_.ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  WriterPriorityMutex& mutex_;
+};
+
+/// RAII exclusive (write) lock over WriterPriorityMutex.
+class GENLINK_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(WriterPriorityMutex& mutex) GENLINK_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.WriterLock();
+  }
+  ~WriterMutexLock() GENLINK_RELEASE() { mutex_.WriterUnlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  WriterPriorityMutex& mutex_;
+};
+
+/// A zero-cost capability for phase-structured code (clang's
+/// role-based discipline pattern): Acquire/Release move no bits, they
+/// only tell the analysis which stretches of a function are "the
+/// serial phase". State marked GENLINK_GUARDED_BY(role) can then only
+/// be touched where the role is held — a worker-task lambda, analyzed
+/// as its own function, does not hold it, so a cache or counter access
+/// from inside a parallel section becomes a -Wthread-safety error.
+/// This encodes (not replaces) the engine's determinism discipline:
+/// caches are read/written only between parallel sections, never from
+/// them.
+class GENLINK_CAPABILITY("role") PhaseRole {
+ public:
+  PhaseRole() = default;
+  PhaseRole(const PhaseRole&) = delete;
+  PhaseRole& operator=(const PhaseRole&) = delete;
+
+  void Acquire() GENLINK_ACQUIRE() {}
+  void Release() GENLINK_RELEASE() {}
+};
+
+/// RAII scope of a PhaseRole (one serial stretch).
+class GENLINK_SCOPED_CAPABILITY PhaseGuard {
+ public:
+  explicit PhaseGuard(PhaseRole& role) GENLINK_ACQUIRE(role) : role_(role) {
+    role_.Acquire();
+  }
+  ~PhaseGuard() GENLINK_RELEASE() { role_.Release(); }
+
+  PhaseGuard(const PhaseGuard&) = delete;
+  PhaseGuard& operator=(const PhaseGuard&) = delete;
+
+ private:
+  PhaseRole& role_;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_COMMON_MUTEX_H_

@@ -4,17 +4,33 @@
 // generation; those evaluations are independent and dominate runtime, so
 // they are dispatched through this pool (the paper notes tournament
 // selection was chosen partly because it is easy to parallelize).
+//
+// Thread-safety: Submit/ParallelFor/ParallelForEach may be called from
+// any thread, but one call at a time per pool (the engine and the
+// island model alternate breeding and evaluation on one thread). The
+// task queue and the shutdown flag are guarded by `mutex_` and
+// annotated for clang -Wthread-safety (common/thread_annotations.h);
+// see docs/CONCURRENCY.md for the lock hierarchy.
+//
+// Exceptions: a task that throws does not kill the worker or poison
+// the pool. Both parallel helpers run *every* index regardless of
+// failures, record the exception thrown by the smallest failing index,
+// and rethrow it after the whole range has been processed — the same
+// exception for any thread count, keeping error paths as deterministic
+// as success paths. The pool stays usable afterwards
+// (tests/thread_pool_test.cc).
 
 #ifndef GENLINK_COMMON_THREAD_POOL_H_
 #define GENLINK_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace genlink {
 
@@ -34,14 +50,17 @@ class ThreadPool {
 
   /// Runs `fn(i)` for every i in [0, count), distributing chunks over the
   /// workers, and returns when all indices are done. Runs inline when the
-  /// pool has a single worker or `count` is small.
+  /// pool has a single worker or `count` is small. If any `fn(i)` throws,
+  /// every other index still runs and the smallest failing index's
+  /// exception is rethrown here.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
   /// Like ParallelFor, but submits one task per index with no
   /// small-count inline shortcut: the right shape when `count` is small
   /// and each task is heavy and unequal (e.g. one island's breeding
   /// step), where chunking would serialize the work. Runs inline only
-  /// with a single worker or a single index.
+  /// with a single worker or a single index. Same exception contract as
+  /// ParallelFor.
   void ParallelForEach(size_t count, const std::function<void(size_t)>& fn);
 
  private:
@@ -49,10 +68,10 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar task_available_;
+  std::queue<std::function<void()>> tasks_ GENLINK_GUARDED_BY(mutex_);
+  bool shutting_down_ GENLINK_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace genlink

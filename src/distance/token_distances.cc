@@ -121,12 +121,20 @@ double CosineDistance::Distance(const ValueSet& a, const ValueSet& b) const {
   for (const auto& v : a) ++ca[v];
   for (const auto& v : b) ++cb[v];
   double dot = 0.0;
+  // Hash-order accumulation: libstdc++ iteration order is a pure
+  // function of the insertion sequence (no per-process hash seed), so
+  // the sums are reproducible for a given input and standard library;
+  // the golden tables pin the resulting scores. Sorting the tokens
+  // first would change the float sum order and every cosine golden.
+  // lint:ordered -- insertion-order-deterministic on libstdc++; goldens pin the scores
   for (const auto& [token, count] : ca) {
     auto it = cb.find(token);
     if (it != cb.end()) dot += static_cast<double>(count) * it->second;
   }
   double norm_a = 0.0, norm_b = 0.0;
+  // lint:ordered -- insertion-order-deterministic on libstdc++; goldens pin the scores
   for (const auto& [token, count] : ca) norm_a += static_cast<double>(count) * count;
+  // lint:ordered -- insertion-order-deterministic on libstdc++; goldens pin the scores
   for (const auto& [token, count] : cb) norm_b += static_cast<double>(count) * count;
   double sim = dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
   return 1.0 - sim;

@@ -136,6 +136,14 @@ void EvaluationEngine::EvaluateBatch(std::span<const LinkageRule* const> rules,
                                      std::span<FitnessResult> results) {
   assert(rules.size() == results.size());
 
+  // The whole batch runs on the caller's thread with parallel sections
+  // dispatched in between; this thread holds the serial-phase role
+  // throughout. Worker lambdas are analyzed separately and do NOT hold
+  // it, so they can only touch state resolved for them serially below —
+  // any direct cache/stats access from a task is a -Wthread-safety
+  // error.
+  PhaseGuard serial(serial_phase_);
+
   // Phase 1 (serial): hash every rule, resolve fitness-memo hits, and
   // dedup identical rules within the batch (one representative is
   // evaluated; its result is copied to the duplicates afterwards).
@@ -275,19 +283,25 @@ void EvaluationEngine::EvaluateBatch(std::span<const LinkageRule* const> rules,
     stats_.distance_rows_computed += new_sigs.size();
 
     // Phase 4 (parallel): score the pending rules from the rows. The
-    // row map is read-only here; each rule is scored by one task with a
-    // serial in-order pass over the pairs (deterministic reduction).
-    // Rows are resolved once per rule, in the comparisons' pre-order,
-    // so the per-pair walk consumes them by position.
+    // rows each rule needs are resolved serially first — the map is
+    // serial-phase state, so worker tasks receive plain row pointers
+    // and never touch `distance_rows_` itself. Each rule is scored by
+    // one task with a serial in-order pass over the pairs
+    // (deterministic reduction); rows are resolved once per rule, in
+    // the comparisons' pre-order, so the per-pair walk consumes them by
+    // position.
+    std::vector<std::vector<const std::vector<double>*>> rule_rows(
+        pending.size());
+    for (size_t k = 0; k < pending.size(); ++k) {
+      rule_rows[k].reserve(pending[k].info.comparisons.size());
+      for (const ComparisonSite& site : pending[k].info.comparisons) {
+        rule_rows[k].push_back(&distance_rows_.find(site.signature)->second);
+      }
+    }
     pool_.ParallelFor(pending.size(), [&](size_t k) {
       const Pending& p = pending[k];
       const LinkageRule& rule = *rules[p.index];
-      std::vector<const std::vector<double>*> rule_rows;
-      rule_rows.reserve(p.info.comparisons.size());
-      for (const ComparisonSite& site : p.info.comparisons) {
-        rule_rows.push_back(&distance_rows_.find(site.signature)->second);
-      }
-      results[p.index] = ScoreConfusion(EvaluateWithRows(rule, rule_rows),
+      results[p.index] = ScoreConfusion(EvaluateWithRows(rule, rule_rows[k]),
                                         rule.OperatorCount(), fitness_config_);
     });
   }

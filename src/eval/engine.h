@@ -36,6 +36,18 @@
 //     and each rule is filled by exactly one task, caches are only
 //     written in the serial phases, and no reduction crosses a task
 //     boundary.
+//
+// The "caches are only touched in the serial phases" discipline is not
+// just documented — it is statically enforced. The engine's shared
+// mutable state (fitness memo, distance-row map, hasher, stats
+// counters) is GENLINK_GUARDED_BY(serial_phase_), a zero-cost PhaseRole
+// capability (common/mutex.h): EvaluateBatch holds it in the serial
+// stretches, worker-task lambdas are analyzed as separate functions
+// that do not, so an accidental cache access from a parallel section
+// fails `clang -Wthread-safety` instead of racing at runtime. Parallel
+// sections only read immutable members (pairs_, the pair->entity index
+// maps, the value store contents frozen for the phase) and write
+// disjoint slots resolved serially beforehand.
 
 #ifndef GENLINK_EVAL_ENGINE_H_
 #define GENLINK_EVAL_ENGINE_H_
@@ -45,6 +57,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "eval/fitness.h"
 #include "eval/value_store.h"
@@ -154,7 +168,13 @@ class EvaluationEngine {
   /// Single-rule convenience wrapper over EvaluateBatch.
   FitnessResult Evaluate(const LinkageRule& rule);
 
-  const EngineStats& stats() const { return stats_; }
+  /// Snapshot of the cumulative counters. Returns by value: the stats
+  /// are serial-phase state, so handing out a reference would let
+  /// callers read them while a batch is mid-flight.
+  EngineStats stats() const {
+    PhaseGuard guard(serial_phase_);
+    return stats_;
+  }
 
   /// The engine's worker pool, shared with the search layer: the island
   /// model (gp/islands.h) breeds its populations on the same threads
@@ -195,16 +215,26 @@ class EvaluationEngine {
   EngineConfig config_;
   FitnessEvaluator serial_;
   ThreadPool pool_;
-  RuleHasher hasher_;
-  FitnessCache fitness_cache_;
-  /// comparison signature -> raw distance per training pair.
-  std::unordered_map<uint64_t, std::vector<double>> distance_rows_;
+  /// Discipline token for the engine's phase structure: held by
+  /// EvaluateBatch's serial stretches, never by worker tasks. Mutable
+  /// so the const stats() accessor can take the (zero-cost) guard.
+  mutable PhaseRole serial_phase_;
+  RuleHasher hasher_ GENLINK_GUARDED_BY(serial_phase_);
+  FitnessCache fitness_cache_ GENLINK_GUARDED_BY(serial_phase_);
+  /// comparison signature -> raw distance per training pair. The map
+  /// structure is serial-phase state; the row *contents* a parallel
+  /// phase fills are reached through pointers resolved serially, each
+  /// row written by exactly one task.
+  std::unordered_map<uint64_t, std::vector<double>> distance_rows_
+      GENLINK_GUARDED_BY(serial_phase_);
   /// Per-entity transform plans + interned values (null when disabled).
+  /// Mutated only by CompileBatch in the serial phase 2b; frozen and
+  /// read-shared during the parallel row fill (docs/CONCURRENCY.md).
   std::unique_ptr<ValueStore> store_;
   /// Training-pair index -> store entity index, per side.
   std::vector<uint32_t> pair_source_index_;
   std::vector<uint32_t> pair_target_index_;
-  EngineStats stats_;
+  EngineStats stats_ GENLINK_GUARDED_BY(serial_phase_);
 };
 
 }  // namespace genlink

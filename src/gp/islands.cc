@@ -1,6 +1,7 @@
 #include "gp/islands.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <numeric>
@@ -8,6 +9,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "eval/metrics.h"
 #include "gp/selection.h"
 #include "rule/serialize.h"
@@ -186,6 +189,31 @@ struct Island {
   std::unordered_map<uint64_t, std::pair<double, double>> val_memo;
 };
 
+// Cross-island coordination state of one LearnIslands run. Everything
+// else an island task touches is that island's own (population, RNG
+// stream, trajectory — disjoint by index, see the determinism
+// invariants in the header); the two pieces that ARE shared live here,
+// each with its concurrency regime made explicit.
+struct SearchPhaseState {
+  /// The global early-stop flag: set by any island's record task once
+  /// that island's best rule reaches stop_f_measure, read only in the
+  /// serial loop conditions between generations. A one-way monotonic
+  /// flag written with relaxed stores: concurrent tasks only ever
+  /// write `true`, so the value observed after the parallel phase
+  /// joins is the OR of the per-island conditions — deterministic for
+  /// any thread count.
+  std::atomic<bool> early_stop{false};
+  /// Serial-phase discipline token (common/mutex.h): held by the main
+  /// thread between parallel sections. Guards the migration buffers so
+  /// `clang -Wthread-safety` rejects any attempt to migrate from
+  /// inside a breeding or record task.
+  PhaseRole serial_phase;
+  /// Reused per-island emigrant buffers, filled and consumed by
+  /// Migrate in the serial phase between generations.
+  std::vector<std::vector<Individual>> migration_buffers
+      GENLINK_GUARDED_BY(serial_phase);
+};
+
 // Evaluates every unevaluated individual of every island through ONE
 // engine batch (islands in index order, individuals in population
 // order). Cross-island duplicates dedup inside the batch and all
@@ -235,10 +263,14 @@ size_t LeaderIndex(const std::vector<Island>& islands) {
 // tie-broken by the structural hash, which is name-based and therefore
 // stable across processes — the same seed migrates the same rules in
 // every run.
-void Migrate(std::vector<Island>& islands, size_t migration_size) {
+void Migrate(std::vector<Island>& islands, size_t migration_size,
+             SearchPhaseState& state)
+    GENLINK_REQUIRES(state.serial_phase) {
   const size_t num_islands = islands.size();
-  std::vector<std::vector<Individual>> emigrants(num_islands);
+  std::vector<std::vector<Individual>>& emigrants = state.migration_buffers;
+  emigrants.resize(num_islands);
   for (size_t i = 0; i < num_islands; ++i) {
+    emigrants[i].clear();
     const Population& population = islands[i].population;
     const size_t count = std::min(migration_size, population.size());
     std::vector<size_t> order(population.size());
@@ -301,6 +333,7 @@ Result<LearnResult> LearnIslands(const Dataset& a, const Dataset& b,
 
   LearnResult result;
   result.compatible_pairs = setup->compatible_pairs;
+  SearchPhaseState state;
 
   // --- Island setup. The single-island stream IS the master RNG (the
   // legacy draw order); K > 1 splits one child stream per island off
@@ -334,6 +367,7 @@ Result<LearnResult> LearnIslands(const Dataset& a, const Dataset& b,
     size_t total = 0;
     for (const Island& island : islands) {
       for (const auto& individual : island.population.individuals()) {
+        // lint:allow(float-accum) -- serial phase, fixed island/individual order for any thread count
         f1_sum += individual.fitness.f_measure;
       }
       total += island.population.size();
@@ -344,11 +378,12 @@ Result<LearnResult> LearnIslands(const Dataset& a, const Dataset& b,
 
   // Records per-iteration statistics for every island plus the merged
   // view (the leading island's stats; `iteration` 0 is the initial
-  // population, matching the tables in Section 6.2 of the paper).
-  // Returns the maximum training F-measure across islands, which
-  // drives the global early stop. The per-island computation —
-  // validation scoring is the expensive part — runs one task per
-  // island; each task touches only its own island, so the stats are
+  // population, matching the tables in Section 6.2 of the paper). Any
+  // island whose best rule reaches stop_f_measure raises the global
+  // early-stop flag, which drives the serial loop conditions below.
+  // The per-island computation — validation scoring is the expensive
+  // part — runs one task per island; each task touches only its own
+  // island (plus the monotonic flag), so the stats are
   // scheduling-independent, and the merge below is serial.
   auto record = [&](size_t iteration) {
     const double seconds = SecondsSince(start);
@@ -377,37 +412,40 @@ Result<LearnResult> LearnIslands(const Dataset& a, const Dataset& b,
       }
       island.trajectory.iterations.push_back(stats);
       island.last = stats;
+      if (stats.train_f1 >= config.stop_f_measure) {
+        // One-way flag; OR across islands, order-independent.
+        state.early_stop.store(true, std::memory_order_relaxed);
+      }
     });
 
     const size_t leader = LeaderIndex(islands);
     double operator_sum = 0.0;
     size_t total = 0;
-    double max_train_f1 = 0.0;
     for (const Island& island : islands) {
       // Same accumulation order as Population::MeanOperatorCount, so a
       // single island reproduces the legacy mean bit for bit.
       for (const auto& individual : island.population.individuals()) {
+        // lint:allow(float-accum) -- serial merge phase, fixed island/population order
         operator_sum += static_cast<double>(individual.rule.OperatorCount());
       }
       total += island.population.size();
-      max_train_f1 = std::max(max_train_f1, island.last.train_f1);
     }
     IterationStats merged = islands[leader].last;
     merged.mean_operators =
         total == 0 ? 0.0 : operator_sum / static_cast<double>(total);
     result.trajectory.iterations.push_back(merged);
     if (callback) callback(merged, islands[leader].population);
-    return max_train_f1;
   };
 
-  double max_train_f1 = record(0);
+  record(0);
 
   // --- Evolution loop (Algorithm 1 per island). Breeding runs one
   // task per island on the shared pool; evaluation is one cross-island
   // engine batch; migration happens in the serial phase between
   // generations.
-  for (size_t iteration = 1; iteration <= config.max_iterations &&
-                             max_train_f1 < config.stop_f_measure;
+  for (size_t iteration = 1;
+       iteration <= config.max_iterations &&
+       !state.early_stop.load(std::memory_order_relaxed);
        ++iteration) {
     pool.ParallelForEach(num_islands, [&](size_t i) {
       Island& island = islands[i];
@@ -416,14 +454,15 @@ Result<LearnResult> LearnIslands(const Dataset& a, const Dataset& b,
       std::swap(island.population, island.scratch);
     });
     EvaluateIslands(islands, engine);
-    max_train_f1 = record(iteration);
+    record(iteration);
 
     if (num_islands > 1 && config.migration_interval > 0 &&
         config.migration_size > 0 &&
         iteration % config.migration_interval == 0 &&
         iteration < config.max_iterations &&
-        max_train_f1 < config.stop_f_measure) {
-      Migrate(islands, config.migration_size);
+        !state.early_stop.load(std::memory_order_relaxed)) {
+      PhaseGuard serial(state.serial_phase);
+      Migrate(islands, config.migration_size, state);
     }
   }
 
@@ -477,6 +516,7 @@ Result<LearnResult> LearnSinglePopulation(const Dataset& a, const Dataset& b,
   {
     double f1_sum = 0.0;
     for (const auto& ind : population.individuals()) {
+      // lint:allow(float-accum) -- serial loop over the population vector in index order
       f1_sum += ind.fitness.f_measure;
     }
     result.initial_population_mean_f1 =

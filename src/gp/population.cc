@@ -30,6 +30,7 @@ double Population::MeanOperatorCount() const {
   if (individuals_.empty()) return 0.0;
   double sum = 0.0;
   for (const auto& ind : individuals_) {
+    // lint:allow(float-accum) -- serial loop over the population vector in index order
     sum += static_cast<double>(ind.rule.OperatorCount());
   }
   return sum / static_cast<double>(individuals_.size());

@@ -19,6 +19,14 @@
 namespace genlink {
 
 /// Inverted index from token to entity indexes of the target dataset.
+///
+/// Thread safety: immutable after construction; Candidates() is const
+/// and safe to call concurrently from any number of threads. Its only
+/// mutable state is a thread_local epoch-stamped scratch array (see
+/// blocking.cc and docs/CONCURRENCY.md), so concurrent callers never
+/// share scratch and no locking is needed. api/matcher_index.cc shares
+/// one index across rule generations through a shared_ptr<const
+/// TokenBlockingIndex> in a cache guarded by the corpus lock.
 class TokenBlockingIndex {
  public:
   /// Indexes `dataset` over the given properties (all properties when
@@ -38,6 +46,9 @@ class TokenBlockingIndex {
  private:
   const Dataset* dataset_;
   std::vector<PropertyId> indexed_properties_;  // in dataset_'s schema
+  /// Read-only after construction (the const-thread-safety contract
+  /// above). Iteration order never reaches output: Candidates() probes
+  /// by key and sorts its result.
   std::unordered_map<std::string, std::vector<size_t>> index_;
 };
 

@@ -1,0 +1,183 @@
+// Concurrency stress for the serving path, written for
+// ThreadSanitizer: reader threads drive every query surface
+// (MatchEntity, MatchBatch, stats) against a published
+// shared_ptr<const MatcherIndex> while a writer thread keeps
+// hot-swapping rules with WithRule and republishing. Under
+// -DGENLINK_SANITIZE=thread this exercises the writer-priority lock,
+// the shared value store appends, the blocking-index cache, and the
+// atomic publish pattern the API header documents; under a plain build
+// it is a fast smoke test of the same paths (it stays in tier-1 so the
+// schedule keeps being exercised).
+//
+// tests/api_test.cc checks the *answers* under swaps; this test's job
+// is purely to put every cross-thread access pattern in front of TSan,
+// so assertions are minimal by design.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/matcher_index.h"
+#include "matcher/matcher.h"
+#include "model/dataset.h"
+#include "rule/builder.h"
+
+namespace genlink {
+namespace {
+
+// A synthetic corpus with enough token overlap that queries produce
+// candidates and links (empty candidate sets would leave the scoring
+// paths cold).
+Dataset MakeCorpus(size_t n) {
+  Dataset dataset("corpus");
+  PropertyId name = dataset.schema().AddProperty("name");
+  PropertyId city = dataset.schema().AddProperty("city");
+  const char* cities[] = {"berlin", "mannheim", "leipzig"};
+  for (size_t i = 0; i < n; ++i) {
+    std::string id = "e";
+    id += std::to_string(i);
+    std::string record = "record number ";
+    record += std::to_string(i / 2);
+    Entity entity(id);
+    entity.AddValue(name, record);
+    entity.AddValue(city, cities[i % 3]);
+    EXPECT_TRUE(dataset.AddEntity(std::move(entity)).ok());
+  }
+  return dataset;
+}
+
+LinkageRule NameRule() {
+  auto rule = RuleBuilder()
+                  .Compare("jaccard", 0.5, Prop("name").Lower().Tokenize(),
+                           Prop("name").Lower().Tokenize())
+                  .Build();
+  EXPECT_TRUE(rule.ok());
+  return std::move(rule).value();
+}
+
+LinkageRule NameCityRule() {
+  auto rule = RuleBuilder()
+                  .Aggregate("min")
+                  .Compare("jaccard", 0.5, Prop("name").Lower().Tokenize(),
+                           Prop("name").Lower().Tokenize())
+                  .Compare("levenshtein", 2.0, Prop("city").Lower(),
+                           Prop("city").Lower())
+                  .End()
+                  .Build();
+  EXPECT_TRUE(rule.ok());
+  return std::move(rule).value();
+}
+
+TEST(StressSwapTsanTest, QueriesRaceHotSwapsCleanly) {
+  Dataset corpus = MakeCorpus(60);
+  LinkageRule rules[] = {NameRule(), NameCityRule()};
+
+  MatchOptions options;
+  options.num_threads = 2;  // the corpus pool MatchBatch dispatches on
+  auto serving = std::make_shared<
+      std::shared_ptr<const MatcherIndex>>(
+      MatcherIndex::Build(corpus, corpus, rules[0], options));
+
+  constexpr int kReaders = 4;
+  constexpr int kSwaps = 24;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> queries{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      size_t i = static_cast<size_t>(r);
+      while (!stop.load(std::memory_order_acquire)) {
+        // Grab the currently published generation, exactly as a
+        // request handler would.
+        std::shared_ptr<const MatcherIndex> index =
+            std::atomic_load(serving.get());
+        const Entity& entity = corpus.entity(i % corpus.size());
+        switch (r % 3) {
+          case 0:
+            (void)index->MatchEntity(entity, corpus.schema());
+            break;
+          case 1: {
+            auto span = std::span<const Entity>(
+                &corpus.entity((i * 3) % (corpus.size() - 8)), 8);
+            (void)index->MatchBatch(span, corpus.schema());
+            break;
+          }
+          default:
+            (void)index->stats();
+            break;
+        }
+        queries.fetch_add(1, std::memory_order_relaxed);
+        i += 13;
+      }
+    });
+  }
+
+  // Writer: alternate rules; every WithRule compiles against the
+  // SHARED corpus under the write lock while readers hold read locks,
+  // then the new generation is published with an atomic store.
+  for (int swap = 1; swap <= kSwaps; ++swap) {
+    std::shared_ptr<const MatcherIndex> current = std::atomic_load(serving.get());
+    std::atomic_store(serving.get(), current->WithRule(rules[swap % 2]));
+    // Compiling against the warm shared store is fast; make sure the
+    // swaps actually overlap query traffic instead of finishing before
+    // the readers get scheduled.
+    const size_t target = static_cast<size_t>(swap) * kReaders;
+    while (queries.load(std::memory_order_relaxed) < target) {
+      std::this_thread::yield();
+    }
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_GE(queries.load(), static_cast<size_t>(kSwaps) * kReaders);
+  // The last published generation still answers.
+  std::shared_ptr<const MatcherIndex> last = std::atomic_load(serving.get());
+  auto links = last->MatchEntity(corpus.entity(0), corpus.schema());
+  EXPECT_FALSE(links.empty());  // "record number 0" matches e1
+}
+
+// Same shape against a serving-only index (no bound source dataset):
+// the `genlink query` deployment, where the query side is evaluated
+// per request instead of read from the store.
+TEST(StressSwapTsanTest, ServingOnlyIndexSurvivesSwapHammer) {
+  Dataset corpus = MakeCorpus(40);
+  LinkageRule rules[] = {NameRule(), NameCityRule()};
+
+  auto serving = std::make_shared<std::shared_ptr<const MatcherIndex>>(
+      MatcherIndex::Build(corpus, rules[0], MatchOptions{}));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      size_t i = static_cast<size_t>(r);
+      while (!stop.load(std::memory_order_acquire)) {
+        std::shared_ptr<const MatcherIndex> index =
+            std::atomic_load(serving.get());
+        (void)index->MatchEntity(corpus.entity(i % corpus.size()),
+                                 corpus.schema());
+        i += 5;
+      }
+    });
+  }
+  for (int swap = 1; swap <= 16; ++swap) {
+    std::shared_ptr<const MatcherIndex> current = std::atomic_load(serving.get());
+    std::atomic_store(serving.get(), current->WithRule(rules[swap % 2]));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  std::shared_ptr<const MatcherIndex> last = std::atomic_load(serving.get());
+  EXPECT_GE(last->stats().target_entities, 40u);
+}
+
+}  // namespace
+}  // namespace genlink
