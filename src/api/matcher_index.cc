@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <tuple>
 #include <unordered_map>
 
 #include "common/mutex.h"
@@ -78,10 +79,13 @@ struct MatcherIndex::Corpus {
   /// at Build before the corpus is shared; the pointee is guarded.
   std::unique_ptr<ValueStore> store GENLINK_PT_GUARDED_BY(mutex);
   /// Blocking indexes over `target`, keyed by the (sorted) property
-  /// list they index — rules reading the same target properties share
-  /// one index across hot swaps.
-  std::map<std::vector<std::string>, std::shared_ptr<const TokenBlockingIndex>>
-      blocking_cache GENLINK_GUARDED_BY(mutex);
+  /// list they index plus the option knobs that change the postings
+  /// (max tokens, min df, shard count) — rules reading the same target
+  /// properties under the same knobs share one index across hot swaps.
+  using BlockingKey =
+      std::tuple<std::vector<std::string>, size_t, size_t, size_t>;
+  std::map<BlockingKey, std::shared_ptr<const BlockingIndex>> blocking_cache
+      GENLINK_GUARDED_BY(mutex);
   std::unique_ptr<ThreadPool> pool;
 };
 
@@ -154,10 +158,23 @@ void MatcherIndex::CompileLocked() {
   corpus.mutex.AssertWriterHeld();
   if (options_.use_blocking) {
     std::vector<std::string> properties = TargetProperties(rule_);
-    auto& slot = corpus.blocking_cache[properties];
+    const size_t shards = std::max<size_t>(1, options_.blocking_shards);
+    auto& slot = corpus.blocking_cache[Corpus::BlockingKey(
+        properties, options_.blocking_max_tokens, options_.blocking_min_token_df,
+        shards)];
     if (slot == nullptr) {
-      slot = std::make_shared<const TokenBlockingIndex>(*corpus.target,
-                                                        properties);
+      TokenBlockingOptions blocking_options;
+      blocking_options.max_tokens_per_entity = options_.blocking_max_tokens;
+      blocking_options.min_token_df = options_.blocking_min_token_df;
+      blocking_options.num_shards = shards;
+      blocking_options.build_pool = corpus.pool.get();
+      if (shards > 1) {
+        slot = std::make_shared<const ShardedTokenBlockingIndex>(
+            *corpus.target, properties, blocking_options);
+      } else {
+        slot = std::make_shared<const TokenBlockingIndex>(
+            *corpus.target, properties, blocking_options);
+      }
     }
     blocking_ = slot;
   }
@@ -266,7 +283,8 @@ double MatcherIndex::QueryNode(const SimilarityOperator& node,
 }
 
 std::vector<GeneratedLink> MatcherIndex::MatchEntityUnlocked(
-    const Entity& entity, const Schema& schema) const {
+    const Entity& entity, const Schema& schema,
+    const std::vector<size_t>* candidates) const {
   corpus_->mutex.AssertReaderHeld();
   const Dataset& target = *corpus_->target;
   // A record is never its own duplicate: a self-indexed corpus (dedup)
@@ -295,7 +313,9 @@ std::vector<GeneratedLink> MatcherIndex::MatchEntityUnlocked(
       links.push_back({entity.id(), eb.id(), score});
     }
   };
-  if (blocking_ != nullptr) {
+  if (candidates != nullptr) {
+    for (size_t j : *candidates) consider(j);
+  } else if (blocking_ != nullptr) {
     for (size_t j : blocking_->Candidates(entity, schema)) consider(j);
   } else {
     for (size_t j = 0; j < target.size(); ++j) consider(j);
@@ -323,14 +343,50 @@ std::vector<GeneratedLink> MatcherIndex::MatchEntity(
 
 std::vector<GeneratedLink> MatcherIndex::MatchBatch(
     std::span<const Entity> entities, const Schema& schema) const {
-  std::vector<std::vector<GeneratedLink>> per_entity(entities.size());
+  const size_t n = entities.size();
+  std::vector<std::vector<GeneratedLink>> per_entity(n);
   {
     ReaderMutexLock lock(corpus_->mutex);
-    corpus_->pool->ParallelFor(entities.size(), [&](size_t i) {
-      // Runs on pool workers while the dispatching frame above holds
-      // the reader lock for the whole parallel section.
-      per_entity[i] = MatchEntityUnlocked(entities[i], schema);
-    });
+    const size_t shards = blocking_ != nullptr ? blocking_->NumShards() : 1;
+    if (shards > 1 && n > 0) {
+      // Per-shard fan-out. Phase 1 generates candidates as
+      // (shard × query-chunk) tasks — each task appends one shard's
+      // hits for a chunk of queries into shard-major slots, so no two
+      // tasks ever touch the same vector. Phase 2 merges each query's
+      // per-shard hit lists (sort + unique restores exactly
+      // BlockingIndex::Candidates' output, making the shard count
+      // invisible) and scores.
+      constexpr size_t kChunk = 64;
+      const size_t chunks = (n + kChunk - 1) / kChunk;
+      std::vector<std::vector<size_t>> hits(shards * n);
+      corpus_->pool->ParallelFor(shards * chunks, [&](size_t task) {
+        const size_t shard = task / chunks;
+        const size_t chunk = task % chunks;
+        const size_t end = std::min(n, (chunk + 1) * kChunk);
+        for (size_t i = chunk * kChunk; i < end; ++i) {
+          blocking_->AppendShardCandidates(shard, entities[i], schema,
+                                           hits[shard * n + i]);
+        }
+      });
+      corpus_->pool->ParallelFor(n, [&](size_t i) {
+        std::vector<size_t> candidates;
+        for (size_t shard = 0; shard < shards; ++shard) {
+          const std::vector<size_t>& shard_hits = hits[shard * n + i];
+          candidates.insert(candidates.end(), shard_hits.begin(),
+                            shard_hits.end());
+        }
+        std::sort(candidates.begin(), candidates.end());
+        candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                         candidates.end());
+        per_entity[i] = MatchEntityUnlocked(entities[i], schema, &candidates);
+      });
+    } else {
+      corpus_->pool->ParallelFor(n, [&](size_t i) {
+        // Runs on pool workers while the dispatching frame above holds
+        // the reader lock for the whole parallel section.
+        per_entity[i] = MatchEntityUnlocked(entities[i], schema);
+      });
+    }
   }
   std::vector<GeneratedLink> links;
   size_t total = 0;
@@ -411,7 +467,15 @@ MatcherIndexStats MatcherIndex::stats() const {
   ReaderMutexLock lock(corpus_->mutex);
   MatcherIndexStats stats;
   stats.target_entities = corpus_->target->size();
-  stats.blocking_tokens = blocking_ != nullptr ? blocking_->NumTokens() : 0;
+  if (blocking_ != nullptr) {
+    stats.blocking_tokens = blocking_->NumTokens();
+    stats.blocking_postings = blocking_->NumPostings();
+    stats.blocking_shards = blocking_->NumShards();
+    stats.blocking_shard_stats.reserve(blocking_->NumShards());
+    for (size_t s = 0; s < blocking_->NumShards(); ++s) {
+      stats.blocking_shard_stats.push_back(blocking_->ShardStats(s));
+    }
+  }
   if (corpus_->store != nullptr) {
     stats.value_plans = corpus_->store->stats().plans_compiled;
     stats.store_bytes = corpus_->store->ApproxBytes();

@@ -70,8 +70,18 @@ class ThreadPool;
 struct MatcherIndexStats {
   /// Entities on the indexed (target) side.
   size_t target_entities = 0;
-  /// Distinct tokens in the blocking index (0 when blocking is off).
+  /// Distinct tokens in the blocking index, summed over shards (0 when
+  /// blocking is off).
   size_t blocking_tokens = 0;
+  /// (token, entity) postings in the blocking index, summed over
+  /// shards (0 when blocking is off).
+  size_t blocking_postings = 0;
+  /// Hash shards the blocking postings are partitioned into (1 for the
+  /// single-map index, 0 when blocking is off).
+  size_t blocking_shards = 0;
+  /// Per-shard token/posting counters, one entry per shard — the load
+  /// balance view of a sharded index (empty when blocking is off).
+  std::vector<BlockingShardStats> blocking_shard_stats;
   /// Transform plans materialized in the shared value store, summed
   /// over all rules compiled against this corpus (0 when the value
   /// store is off).
@@ -127,9 +137,13 @@ class MatcherIndex {
   std::vector<GeneratedLink> MatchEntity(const Entity& entity) const;
 
   /// MatchEntity for every entity of `entities`, scored in parallel
-  /// chunks on the corpus pool. The result is the concatenation of the
-  /// per-entity link lists in input order (deterministic for any
-  /// thread count).
+  /// chunks on the corpus pool. With a sharded blocking index
+  /// (MatchOptions::blocking_shards > 1), candidate generation first
+  /// fans out as (shard × query-chunk) tasks, then the merged
+  /// candidates are scored — same pool, higher parallelism on large
+  /// batches. The result is the concatenation of the per-entity link
+  /// lists in input order (deterministic for any thread and shard
+  /// count).
   std::vector<GeneratedLink> MatchBatch(std::span<const Entity> entities,
                                         const Schema& schema) const;
 
@@ -202,18 +216,25 @@ class MatcherIndex {
   double QueryNode(const SimilarityOperator& node, const QueryValues& qv,
                    size_t target_index, size_t& next_site) const;
 
-  /// MatchEntity body; caller holds the corpus read lock.
-  std::vector<GeneratedLink> MatchEntityUnlocked(const Entity& entity,
-                                                 const Schema& schema) const;
+  /// MatchEntity body; caller holds the corpus read lock. When
+  /// `candidates` is non-null it is the precomputed sorted-unique
+  /// candidate index list for `entity` (MatchBatch's per-shard fan-out
+  /// merges it ahead of scoring); null means probe the blocking index
+  /// (or scan the full target when blocking is off).
+  std::vector<GeneratedLink> MatchEntityUnlocked(
+      const Entity& entity, const Schema& schema,
+      const std::vector<size_t>* candidates = nullptr) const;
 
   std::shared_ptr<Corpus> corpus_;
   LinkageRule rule_;
   MatchOptions options_;
 
   /// Blocking index over the target side for rule_'s target properties
-  /// (shared with other generations using the same property set); null
-  /// when options_.use_blocking is false.
-  std::shared_ptr<const TokenBlockingIndex> blocking_;
+  /// and the options' blocking knobs (shared with other generations
+  /// using the same property set and knobs); a ShardedTokenBlockingIndex
+  /// when options_.blocking_shards > 1, null when options_.use_blocking
+  /// is false.
+  std::shared_ptr<const BlockingIndex> blocking_;
   /// Compiled scoring for store-resident entity pairs (the full-join
   /// path); null when the value store is off or the rule is empty.
   std::unique_ptr<CompiledRule> compiled_;

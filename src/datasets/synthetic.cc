@@ -1,0 +1,247 @@
+#include "datasets/synthetic.h"
+
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "datasets/name_pools.h"
+#include "datasets/noise.h"
+
+namespace genlink {
+namespace {
+
+/// One real-world person; both sides' records derive from this.
+struct Person {
+  std::string first;
+  std::string last;
+  std::string address;  // "<number> <street>"
+  std::string city;
+  std::string phone;  // digits only, 10 digits
+  std::string birth;  // year
+};
+
+Person RandomPerson(Rng& rng) {
+  Person p;
+  const auto firsts = pools::FirstNames();
+  const auto lasts = pools::LastNames();
+  p.first = std::string(firsts[rng.PickIndex(firsts.size())]);
+  p.last = std::string(lasts[rng.PickIndex(lasts.size())]);
+  // The name pools are small; hyphenated invented surnames widen the
+  // vocabulary so token frequencies span several orders of magnitude
+  // at scale (common first names vs. rare surname halves) — the
+  // distribution rare-token blocking is designed for.
+  if (rng.Bernoulli(0.25)) {
+    p.last += "-" + RandomWord(4 + rng.PickIndex(4), rng);
+  }
+  const auto streets = pools::StreetNames();
+  p.address = std::to_string(1 + rng.PickIndex(9999)) + " " +
+              std::string(streets[rng.PickIndex(streets.size())]);
+  const auto cities = pools::Cities();
+  p.city = std::string(cities[rng.PickIndex(cities.size())].name);
+  static constexpr std::string_view kAreaCodes[] = {
+      "212", "310", "415", "617", "312", "213", "404", "702", "503", "206",
+  };
+  p.phone = std::string(kAreaCodes[rng.PickIndex(std::size(kAreaCodes))]);
+  p.phone += std::to_string(200 + rng.PickIndex(800));
+  for (int i = 0; i < 4; ++i) {
+    p.phone.push_back(static_cast<char>('0' + rng.PickIndex(10)));
+  }
+  p.birth = std::to_string(1920 + rng.PickIndex(90));
+  return p;
+}
+
+std::string FormatPhone(const std::string& digits) {
+  return digits.substr(0, 3) + "-" + digits.substr(3, 3) + "-" +
+         digits.substr(6);
+}
+
+/// The property values of one record; an empty optional-like flag per
+/// property is modelled by an empty string (skipped at AddValue time).
+struct Record {
+  std::string name;
+  std::string address;
+  std::string city;
+  std::string phone;
+  std::string birth;
+};
+
+Record CleanRecord(const Person& p) {
+  Record r;
+  r.name = p.first + " " + p.last;
+  r.address = p.address;
+  r.city = p.city;
+  r.phone = p.phone;
+  r.birth = p.birth;
+  return r;
+}
+
+/// The B-side duplicate of `p`: the noise mix of datasets/noise.h,
+/// applied with the config's rates. Draw order is fixed; each record's
+/// Rng stream is private, so the order only matters for reproducing a
+/// given seed's corpus.
+Record PerturbedRecord(const Person& p, const SyntheticConfig& config,
+                       Rng& rng) {
+  Record r = CleanRecord(p);
+  if (rng.Bernoulli(0.15)) r.name = AbbreviateTokens(r.name, 1.0, rng);
+  if (rng.Bernoulli(config.typo_probability)) r.name = InjectTypo(r.name, rng);
+  if (rng.Bernoulli(config.case_noise_probability)) {
+    r.name = RandomCaseStyle(r.name, rng);
+  }
+  if (rng.Bernoulli(config.typo_probability)) {
+    r.address = InjectTypo(r.address, rng);
+  }
+  if (rng.Bernoulli(config.typo_probability * 0.5)) {
+    r.city = InjectTypo(r.city, rng);
+  }
+  if (rng.Bernoulli(config.phone_change_probability)) {
+    // An outdated number: the last four digits change.
+    for (size_t i = 6; i < r.phone.size(); ++i) {
+      r.phone[i] = static_cast<char>('0' + rng.PickIndex(10));
+    }
+  }
+  if (rng.Bernoulli(config.phone_format_probability)) {
+    r.phone = FormatPhone(r.phone);
+  }
+  if (rng.Bernoulli(config.missing_field_probability)) r.name.clear();
+  if (rng.Bernoulli(config.missing_field_probability)) r.address.clear();
+  if (rng.Bernoulli(config.missing_field_probability)) r.city.clear();
+  if (rng.Bernoulli(config.missing_field_probability)) r.phone.clear();
+  if (rng.Bernoulli(config.missing_field_probability)) r.birth.clear();
+  return r;
+}
+
+enum class PairKind : uint8_t {
+  kUnrelated,   // B record is an independent person
+  kDuplicate,   // B record is a perturbed copy: positive link
+  kConfusable,  // B record shares street/city/last name: negative link
+};
+
+/// Everything drawn for one record index — filled by a pool worker from
+/// the index's private Rng stream, assembled serially afterwards.
+struct Slot {
+  Record a;
+  Record b;
+  PairKind kind = PairKind::kUnrelated;
+};
+
+void FillSlot(const SyntheticConfig& config, size_t index, Slot& slot) {
+  Rng rng(HashCombine(config.seed, index));
+  const Person base = RandomPerson(rng);
+  slot.a = CleanRecord(base);
+  if (rng.Bernoulli(config.duplicate_rate)) {
+    slot.kind = PairKind::kDuplicate;
+    slot.b = PerturbedRecord(base, config, rng);
+    return;
+  }
+  Person other = RandomPerson(rng);
+  if (rng.Bernoulli(config.confusable_rate)) {
+    // A different person at the same address with the same family
+    // name: shares most blocking tokens with the A record but is a
+    // non-match — the hard negatives that separate good rules from
+    // address-only ones.
+    slot.kind = PairKind::kConfusable;
+    other.last = base.last;
+    other.address = base.address;
+    other.city = base.city;
+  }
+  slot.b = CleanRecord(other);
+}
+
+void AddRecord(Dataset& dataset, std::string id, const Record& r,
+               const PropertyId ids[5]) {
+  Entity entity(std::move(id));
+  if (!r.name.empty()) entity.AddValue(ids[0], r.name);
+  if (!r.address.empty()) entity.AddValue(ids[1], r.address);
+  if (!r.city.empty()) entity.AddValue(ids[2], r.city);
+  if (!r.phone.empty()) entity.AddValue(ids[3], r.phone);
+  if (!r.birth.empty()) entity.AddValue(ids[4], r.birth);
+  (void)dataset.AddEntity(std::move(entity));
+}
+
+}  // namespace
+
+MatchingTask GenerateSynthetic(const SyntheticConfig& config) {
+  MatchingTask task;
+  task.name = "synthetic";
+  task.dedup = false;
+  task.a.set_name("synthetic_a");
+  task.b.set_name("synthetic_b");
+
+  PropertyId a_ids[5];
+  PropertyId b_ids[5];
+  static constexpr std::string_view kProperties[5] = {"name", "address", "city",
+                                                      "phone", "birth"};
+  for (size_t k = 0; k < 5; ++k) {
+    a_ids[k] = task.a.schema().AddProperty(kProperties[k]);
+    b_ids[k] = task.b.schema().AddProperty(kProperties[k]);
+  }
+
+  // Per-index Rng streams make the fill embarrassingly parallel with
+  // byte-identical output for any thread count; only the (cheap)
+  // assembly below is serial.
+  const size_t n = config.num_entities;
+  std::vector<Slot> slots(n);
+  ThreadPool pool(config.num_threads);
+  pool.ParallelFor(n, [&](size_t i) { FillSlot(config, i, slots[i]); });
+
+  for (size_t i = 0; i < n; ++i) {
+    const std::string suffix = std::to_string(i);
+    AddRecord(task.a, "a" + suffix, slots[i].a, a_ids);
+    AddRecord(task.b, "b" + suffix, slots[i].b, b_ids);
+    if (slots[i].kind == PairKind::kDuplicate) {
+      task.links.AddPositive("a" + suffix, "b" + suffix);
+    } else if (slots[i].kind == PairKind::kConfusable) {
+      task.links.AddNegative("a" + suffix, "b" + suffix);
+    }
+  }
+
+  if (config.permutation_negatives &&
+      task.links.negatives().size() < task.links.positives().size()) {
+    Rng link_rng(HashCombine(config.seed, 0x6c696e6b73ULL));  // "links"
+    // `count` is the target total, not the number to add: top the
+    // confusables up until |R-| == |R+|.
+    task.links.GenerateNegativesFromPositives(link_rng,
+                                              task.links.positives().size());
+  }
+  return task;
+}
+
+uint64_t FingerprintTask(const MatchingTask& task) {
+  uint64_t h = HashBytes(task.name);
+  h = HashCombine(h, task.dedup ? 1 : 0);
+  const auto mix_dataset = [&h](const Dataset& dataset) {
+    h = HashCombine(h, HashBytes(dataset.name()));
+    const Schema& schema = dataset.schema();
+    h = HashCombine(h, schema.NumProperties());
+    for (PropertyId p = 0; p < schema.NumProperties(); ++p) {
+      h = HashCombine(h, HashBytes(schema.PropertyName(p)));
+    }
+    h = HashCombine(h, dataset.size());
+    for (const Entity& entity : dataset.entities()) {
+      h = HashCombine(h, HashBytes(entity.id()));
+      for (PropertyId p = 0; p < schema.NumProperties(); ++p) {
+        const ValueSet& values = entity.Values(p);
+        h = HashCombine(h, values.size());
+        for (const std::string& value : values) {
+          h = HashCombine(h, HashBytes(value));
+        }
+      }
+    }
+  };
+  mix_dataset(task.a);
+  mix_dataset(task.b);
+  const auto mix_links = [&h](const std::vector<ReferenceLink>& links) {
+    h = HashCombine(h, links.size());
+    for (const ReferenceLink& link : links) {
+      h = HashCombine(h, HashBytes(link.id_a));
+      h = HashCombine(h, HashBytes(link.id_b));
+    }
+  };
+  mix_links(task.links.positives());
+  mix_links(task.links.negatives());
+  return h;
+}
+
+}  // namespace genlink

@@ -1,0 +1,79 @@
+// Scalable synthetic record-linkage corpus: a person-directory matching
+// task (name / address / city / phone / birth year) at configurable
+// scale, 10k to millions of entities per side, with a known ground-truth
+// link set. The paper's evaluation datasets top out at a few thousand
+// records; this generator is what the million-entity blocking and
+// matching layers (ROADMAP item 1) are measured against.
+//
+// Determinism: every record is drawn from its own Rng stream derived
+// from (seed, record index), so generation parallelizes over any number
+// of threads and still emits byte-identical corpora — same entities,
+// same order, same links — for every value of `num_threads` and across
+// processes/platforms (the xoshiro Rng is platform-stable).
+// tests/synthetic_corpus_test.cc pins a golden fingerprint.
+//
+// Shape of the data: side A holds one clean record per real-world
+// person. Side B holds, for each A record, either a perturbed duplicate
+// (probability `duplicate_rate`; ground-truth positive) or an unrelated
+// person — which with probability `confusable_rate` shares the street,
+// city and last name of its A counterpart (a hard negative, recorded in
+// the link set). Perturbations compose the noise machinery of
+// datasets/noise.h: typos, case changes, abbreviations, missing fields,
+// phone reformatting and outdated phone digits.
+
+#ifndef GENLINK_DATASETS_SYNTHETIC_H_
+#define GENLINK_DATASETS_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "datasets/matching_task.h"
+
+namespace genlink {
+
+/// Knobs of the synthetic corpus generator.
+struct SyntheticConfig {
+  /// Records per side (|A| == |B|).
+  size_t num_entities = 10000;
+  /// Probability that the B-side counterpart of an A record is a
+  /// perturbed duplicate (a ground-truth positive link).
+  double duplicate_rate = 0.35;
+  /// Probability that a non-duplicate B record is a confusable hard
+  /// negative: shares street, city and last name with its A
+  /// counterpart (recorded as a negative link).
+  double confusable_rate = 0.1;
+  /// Per-text-property probability of a typo in a duplicate.
+  double typo_probability = 0.3;
+  /// Per-property probability that a duplicate drops the value.
+  double missing_field_probability = 0.05;
+  /// Probability that a duplicate's phone has its last four digits
+  /// changed (an outdated number — the strongest blocking key breaks).
+  double phone_change_probability = 0.1;
+  /// Probability that a duplicate's phone is reformatted with
+  /// separators ("3102461501" -> "310-246-1501"), splitting the one
+  /// phone token into three.
+  double phone_format_probability = 0.3;
+  /// Probability that a duplicate's name changes letter case entirely.
+  double case_noise_probability = 0.2;
+  /// Top up the link set with permutation negatives (the paper's
+  /// scheme) until |R-| >= |R+|, so the task is learner-ready.
+  bool permutation_negatives = true;
+  /// Generation worker threads (0 = hardware concurrency). Output is
+  /// byte-identical for every value.
+  size_t num_threads = 1;
+  uint64_t seed = 11;
+};
+
+/// Generates the synthetic person-directory matching task ("synthetic",
+/// two-dataset: a<i> vs b<i> ids). Deterministic in (config) only — see
+/// the file comment.
+MatchingTask GenerateSynthetic(const SyntheticConfig& config = {});
+
+/// Order-sensitive 64-bit fingerprint of a task: dataset names, schema
+/// property names, every entity id and value, and the link set.
+/// Byte-stable across processes and platforms; the determinism tests
+/// pin generator output with it.
+uint64_t FingerprintTask(const MatchingTask& task);
+
+}  // namespace genlink
+
+#endif  // GENLINK_DATASETS_SYNTHETIC_H_

@@ -111,6 +111,42 @@ int LevenshteinEditDistance(std::string_view a, std::string_view b) {
   return LevenshteinDp(a, b);
 }
 
+namespace {
+
+// 64-bit occupancy mask of the characters of `text` (bucketed by the
+// low 6 bits). Distinct characters may share a bucket, which can only
+// make a mask intersection test MORE permissive.
+uint64_t CharClassMask(std::string_view text) {
+  uint64_t mask = 0;
+  for (const char c : text) mask |= uint64_t{1} << (static_cast<unsigned char>(c) & 63);
+  return mask;
+}
+
+}  // namespace
+
+bool PassesLevenshteinLengthFilter(std::string_view a, std::string_view b,
+                                   double bound) {
+  const size_t longer = std::max(a.size(), b.size());
+  const size_t shorter = std::min(a.size(), b.size());
+  return static_cast<double>(longer - shorter) <= bound;
+}
+
+bool PassesLevenshteinPrefixFilter(std::string_view a, std::string_view b,
+                                   double bound) {
+  if (bound < 0.0) return false;  // no distance is <= a negative bound
+  const double floored = std::floor(bound);
+  // Distances are string-length-bounded ints; a bound at or beyond the
+  // longer string can never reject (and a huge bound must not be cast).
+  if (floored >= static_cast<double>(std::max(a.size(), b.size()))) return true;
+  const size_t t = static_cast<size_t>(floored);
+  if (a.size() <= t || b.size() <= t) return true;  // argument needs len > t
+  const uint64_t head_a = CharClassMask(a.substr(0, t + 1));
+  const uint64_t head_b = CharClassMask(b.substr(0, t + 1));
+  const uint64_t wide_a = head_a | CharClassMask(a.substr(t + 1, t));
+  const uint64_t wide_b = head_b | CharClassMask(b.substr(t + 1, t));
+  return (head_a & wide_b) != 0 && (head_b & wide_a) != 0;
+}
+
 int BoundedLevenshteinEditDistance(std::string_view a, std::string_view b,
                                    int bound) {
   if (a.size() > b.size()) std::swap(a, b);
@@ -203,6 +239,13 @@ double LevenshteinDistance::BoundedValueDistance(std::string_view a,
   // exactly and maps the rest to floor(bound)+1 > bound.
   const size_t longer = std::max(a.size(), b.size());
   if (!(bound < static_cast<double>(longer))) return ValueDistance(a, b);
+  // Candidate-loop prefilters: both are sound (false only when the
+  // distance provably exceeds the bound), so skipping the kernel here
+  // is bit-identical after ThresholdedScore.
+  if (!PassesLevenshteinLengthFilter(a, b, bound) ||
+      !PassesLevenshteinPrefixFilter(a, b, bound)) {
+    return std::floor(bound) + 1.0;
+  }
   return static_cast<double>(BoundedLevenshteinEditDistance(
       a, b, static_cast<int>(std::floor(bound))));
 }

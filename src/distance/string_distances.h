@@ -70,6 +70,34 @@ class EqualityDistance : public DistanceMeasure {
 /// Myers bit-parallel when min(|a|,|b|) <= 64, dynamic program beyond.
 int LevenshteinEditDistance(std::string_view a, std::string_view b);
 
+// ---------------------------------------------------------------------------
+// Candidate-loop prefilters: O(1)/O(bound) rejection tests that run
+// before the Levenshtein kernels. Both are SOUND: they return false
+// only when the edit distance provably exceeds `bound`, so skipping a
+// filtered pair (treating its distance as > bound) is bit-identical to
+// running the kernel — ThresholdedScore maps every distance > bound to
+// similarity 0 either way. Fuzzed against the reference kernel by
+// tests/blocking_soundness_test.cc.
+
+/// Length filter: ed(a, b) >= ||a| - |b||, so a pair whose lengths
+/// differ by more than `bound` cannot pass. Returns true when the pair
+/// may still be within `bound`.
+bool PassesLevenshteinLengthFilter(std::string_view a, std::string_view b,
+                                   double bound);
+
+/// Prefix filter: if ed(a, b) <= t (t = floor(bound)) and both strings
+/// are longer than t, then among the first t+1 characters of either
+/// string at least one was copied unedited from the first 2t+1
+/// characters of the other — editing all t+1 would need more than t
+/// edits, and a character copied to position j comes from a position
+/// at most j + t away (at most t deletions precede it). The filter
+/// checks both directions with 64-bit character-class masks; mask
+/// collisions only make it more permissive, never unsound.
+/// Returns true when the pair may still be within `bound` (always true
+/// when either string has <= t characters, where the argument fails).
+bool PassesLevenshteinPrefixFilter(std::string_view a, std::string_view b,
+                                   double bound);
+
 /// Levenshtein with a cutoff: returns the exact distance when it is
 /// <= `bound`, and some value > `bound` (not necessarily the distance)
 /// otherwise. `bound` < 0 behaves like bound 0.

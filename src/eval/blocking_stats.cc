@@ -1,0 +1,80 @@
+#include "eval/blocking_stats.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace genlink {
+
+BlockingQuality MeasureBlockingQuality(const BlockingIndex& index,
+                                       const Dataset& source,
+                                       const Dataset& target,
+                                       const ReferenceLinkSet& links,
+                                       size_t sample_every,
+                                       ThreadPool* pool) {
+  if (sample_every == 0) sample_every = 1;
+  BlockingQuality quality;
+
+  // Candidate volume over the sampled queries. Per-entity counts land
+  // in index-addressed slots and are summed serially, so the totals
+  // are identical for any thread count (integer arithmetic only).
+  const size_t n = source.size();
+  std::vector<uint64_t> counts(n, 0);
+  const auto probe = [&](size_t i) {
+    if (i % sample_every != 0) return;
+    counts[i] = index.Candidates(source.entity(i), source.schema()).size();
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(n, probe);
+  } else {
+    for (size_t i = 0; i < n; ++i) probe(i);
+  }
+  for (size_t i = 0; i < n; i += sample_every) {
+    ++quality.queries_probed;
+    quality.candidate_pairs += counts[i];
+  }
+  if (quality.queries_probed > 0) {
+    quality.candidates_per_query =
+        static_cast<double>(quality.candidate_pairs) /
+        static_cast<double>(quality.queries_probed);
+  }
+  if (!target.empty()) {
+    quality.reduction_ratio =
+        1.0 - quality.candidates_per_query / static_cast<double>(target.size());
+  }
+
+  // Pairs completeness: every positive link is checked, sampled or
+  // not. The candidate list is sorted entity indexes, so membership of
+  // the linked target entity is a binary search.
+  const std::vector<ReferenceLink>& positives = links.positives();
+  quality.positives_total = positives.size();
+  std::vector<uint8_t> found(positives.size(), 0);
+  const auto check = [&](size_t k) {
+    const ReferenceLink& link = positives[k];
+    const Entity* a = source.FindEntity(link.id_a);
+    const Entity* b = target.FindEntity(link.id_b);
+    if (a == nullptr || b == nullptr) return;
+    const size_t b_index =
+        static_cast<size_t>(b - target.entities().data());
+    const std::vector<size_t> candidates =
+        index.Candidates(*a, source.schema());
+    if (std::binary_search(candidates.begin(), candidates.end(), b_index)) {
+      found[k] = 1;
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(positives.size(), check);
+  } else {
+    for (size_t k = 0; k < positives.size(); ++k) check(k);
+  }
+  for (const uint8_t f : found) quality.positives_found += f;
+  if (quality.positives_total > 0) {
+    quality.pairs_completeness =
+        static_cast<double>(quality.positives_found) /
+        static_cast<double>(quality.positives_total);
+  }
+  return quality;
+}
+
+}  // namespace genlink

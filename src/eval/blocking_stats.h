@@ -1,0 +1,58 @@
+// Blocking quality measurement: how many candidate pairs an index
+// produces and how many true matches survive it. The two numbers pull
+// against each other — weighted key selection shrinks candidate sets
+// but risks dropping a true match's last shared token — so every
+// blocking change is judged by this pair (tests/blocking_scale_test.cc
+// gates recall floors, bench/blocking_scale.cc plots the trade-off per
+// corpus scale).
+
+#ifndef GENLINK_EVAL_BLOCKING_STATS_H_
+#define GENLINK_EVAL_BLOCKING_STATS_H_
+
+#include "matcher/blocking.h"
+#include "model/dataset.h"
+#include "model/reference_links.h"
+
+namespace genlink {
+
+class ThreadPool;
+
+/// Candidate volume and recall of one blocking index against one
+/// source dataset and its ground truth.
+struct BlockingQuality {
+  /// Source entities probed (after sampling).
+  size_t queries_probed = 0;
+  /// Candidate pairs over the probed queries.
+  size_t candidate_pairs = 0;
+  /// candidate_pairs / queries_probed: the per-query cost the matcher
+  /// actually pays, comparable across sample rates.
+  double candidates_per_query = 0.0;
+  /// 1 - candidates_per_query / |target|: the fraction of the cross
+  /// product the index discards (the blocking literature's reduction
+  /// ratio, estimated from the probed sample).
+  double reduction_ratio = 0.0;
+  /// Positive reference links checked / found among the candidates.
+  /// found/total is pairs completeness — blocking recall; every
+  /// positive link is checked regardless of sampling.
+  size_t positives_total = 0;
+  size_t positives_found = 0;
+  /// positives_found / positives_total (1.0 when there are none).
+  double pairs_completeness = 1.0;
+};
+
+/// Measures `index` (built over `target`) with the entities of `source`
+/// and the positive links of `links`. `sample_every` probes only every
+/// k-th source entity for the candidate-volume side (pairs completeness
+/// always checks every positive link) — the way the 1M bench keeps
+/// measurement time bounded. When `pool` is non-null the probing
+/// parallelizes; results are identical for any thread count.
+BlockingQuality MeasureBlockingQuality(const BlockingIndex& index,
+                                       const Dataset& source,
+                                       const Dataset& target,
+                                       const ReferenceLinkSet& links,
+                                       size_t sample_every = 1,
+                                       ThreadPool* pool = nullptr);
+
+}  // namespace genlink
+
+#endif  // GENLINK_EVAL_BLOCKING_STATS_H_

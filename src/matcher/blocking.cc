@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/hash.h"
+#include "common/thread_pool.h"
 #include "text/case_fold.h"
 #include "text/tokenizer.h"
 
@@ -33,73 +35,271 @@ std::vector<std::string> CollectSideProperties(const LinkageRule& rule,
   return out;
 }
 
-}  // namespace
-
-TokenBlockingIndex::TokenBlockingIndex(const Dataset& dataset,
-                                       const std::vector<std::string>& properties)
-    : dataset_(&dataset) {
+std::vector<PropertyId> ResolveProperties(
+    const Dataset& dataset, const std::vector<std::string>& properties) {
+  std::vector<PropertyId> out;
   if (properties.empty()) {
     for (PropertyId p = 0; p < dataset.schema().NumProperties(); ++p) {
-      indexed_properties_.push_back(p);
+      out.push_back(p);
     }
   } else {
     for (const auto& name : properties) {
       if (auto id = dataset.schema().FindProperty(name)) {
-        indexed_properties_.push_back(*id);
+        out.push_back(*id);
       }
     }
   }
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    const Entity& entity = dataset.entity(i);
-    std::unordered_set<std::string> seen;
-    for (PropertyId p : indexed_properties_) {
-      for (const auto& value : entity.Values(p)) {
-        for (auto& token : TokenizeAlnum(ToLowerAscii(value))) {
-          if (seen.insert(token).second) {
-            index_[token].push_back(i);
-          }
-        }
+  return out;
+}
+
+void AppendEntityTokens(const Entity& entity,
+                        const std::vector<PropertyId>& properties,
+                        std::vector<std::string>& out) {
+  std::unordered_set<std::string> seen;
+  for (PropertyId p : properties) {
+    for (const auto& value : entity.Values(p)) {
+      for (auto& token : TokenizeAlnum(ToLowerAscii(value))) {
+        if (seen.insert(token).second) out.push_back(std::move(token));
       }
     }
   }
 }
 
-std::vector<size_t> TokenBlockingIndex::Candidates(const Entity& entity,
-                                                   const Schema& schema) const {
-  // Deduplicate posting-list hits with an epoch-stamped scratch array
-  // instead of a hash set: candidate sets run to hundreds of entries
-  // per query (one per shared token), and this path sits inside the
-  // matcher's per-source-entity loop. The scratch is thread-local so
-  // concurrent matcher tasks never share it; the epoch bump makes
-  // clearing O(1).
-  thread_local std::vector<uint32_t> stamp;
-  thread_local uint32_t epoch = 0;
-  if (stamp.size() < dataset_->size()) stamp.resize(dataset_->size(), 0);
-  if (++epoch == 0) {  // wrapped: all stamps are stale but may collide
-    std::fill(stamp.begin(), stamp.end(), 0);
-    epoch = 1;
+/// The blocking keys of every entity of `dataset`: lowercased alnum
+/// tokens of the resolved properties, deduplicated per entity and, with
+/// weighted options, pruned to the `max_tokens_per_entity` rarest
+/// tokens (document frequency ascending, ties by token — a total order,
+/// so the selection is deterministic) with df >= min_token_df. Both
+/// index classes build from this, which is what makes the sharded and
+/// single-map indexes agree for any option set.
+std::vector<std::vector<std::string>> ComputeEntityKeys(
+    const Dataset& dataset, const std::vector<PropertyId>& properties,
+    const TokenBlockingOptions& options) {
+  std::vector<std::vector<std::string>> keys(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    AppendEntityTokens(dataset.entity(i), properties, keys[i]);
+  }
+  const bool weighted =
+      options.max_tokens_per_entity > 0 || options.min_token_df > 1;
+  if (!weighted) return keys;
+
+  // Document frequencies over the per-entity deduplicated token lists.
+  std::unordered_map<std::string, size_t> df;
+  for (const auto& entity_keys : keys) {
+    for (const auto& token : entity_keys) ++df[token];
+  }
+  for (auto& entity_keys : keys) {
+    if (options.min_token_df > 1) {
+      entity_keys.erase(
+          std::remove_if(entity_keys.begin(), entity_keys.end(),
+                         [&](const std::string& token) {
+                           return df.find(token)->second < options.min_token_df;
+                         }),
+          entity_keys.end());
+    }
+    const size_t k = options.max_tokens_per_entity;
+    if (k > 0 && entity_keys.size() > k) {
+      std::sort(entity_keys.begin(), entity_keys.end(),
+                [&](const std::string& a, const std::string& b) {
+                  const size_t da = df.find(a)->second;
+                  const size_t db = df.find(b)->second;
+                  if (da != db) return da < db;
+                  return a < b;
+                });
+      entity_keys.resize(k);
+    }
+  }
+  return keys;
+}
+
+/// Thread-local epoch-stamped membership scratch for candidate
+/// deduplication: candidate sets run to hundreds of entries per query
+/// (one per shared token) and this path sits inside the matcher's
+/// per-source-entity loop, so a hash set per call would dominate.
+/// Thread-local so concurrent queries — from the matcher pool or
+/// external callers — never share it; the epoch bump makes clearing
+/// O(1). Shared by all index instances on a thread: every call bumps
+/// the epoch, so stale stamps from another index can never collide
+/// within a call. tests/blocking_concurrency_test.cc exercises this
+/// under TSan.
+struct StampScratch {
+  std::vector<uint32_t> stamp;
+  uint32_t epoch = 0;
+
+  /// Starts a new deduplication round over entity indexes [0, n).
+  void Begin(size_t n) {
+    if (stamp.size() < n) stamp.resize(n, 0);
+    if (++epoch == 0) {  // wrapped: all stamps are stale but may collide
+      std::fill(stamp.begin(), stamp.end(), 0);
+      epoch = 1;
+    }
   }
 
-  std::vector<size_t> out;
+  /// True the first time `j` is seen this round.
+  bool Insert(size_t j) {
+    if (stamp[j] == epoch) return false;
+    stamp[j] = epoch;
+    return true;
+  }
+};
+
+StampScratch& TlsStamp() {
+  thread_local StampScratch scratch;
+  return scratch;
+}
+
+/// Probes `index` with every token of every property of `entity` and
+/// appends the deduplicated hits (unsorted posting order) to `out`.
+/// `accept_token` filters the probe tokens (sharding); the scratch must
+/// have been Begin()-started by the caller.
+template <typename AcceptToken>
+void ProbePostings(
+    const std::unordered_map<std::string, std::vector<size_t>>& index,
+    const Entity& entity, const Schema& schema, StampScratch& scratch,
+    const AcceptToken& accept_token, std::vector<size_t>& out) {
   // Probe with the tokens of every property of the query entity; the
   // source schema generally differs from the indexed one, so all
   // properties are used.
   for (PropertyId p = 0; p < schema.NumProperties(); ++p) {
     for (const auto& value : entity.Values(p)) {
       for (auto& token : TokenizeAlnum(ToLowerAscii(value))) {
-        auto it = index_.find(token);
-        if (it == index_.end()) continue;
+        if (!accept_token(token)) continue;
+        auto it = index.find(token);
+        if (it == index.end()) continue;
         for (size_t j : it->second) {
-          if (stamp[j] != epoch) {
-            stamp[j] = epoch;
-            out.push_back(j);
-          }
+          if (scratch.Insert(j)) out.push_back(j);
+        }
+      }
+    }
+  }
+}
+
+size_t TokenShard(const std::string& token, size_t num_shards) {
+  return HashBytes(token) % num_shards;
+}
+
+}  // namespace
+
+TokenBlockingIndex::TokenBlockingIndex(const Dataset& dataset,
+                                       const std::vector<std::string>& properties,
+                                       const TokenBlockingOptions& options)
+    : dataset_(&dataset) {
+  const std::vector<PropertyId> resolved = ResolveProperties(dataset, properties);
+  std::vector<std::vector<std::string>> keys =
+      ComputeEntityKeys(dataset, resolved, options);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (auto& token : keys[i]) {
+      index_[std::move(token)].push_back(i);
+      ++postings_;
+    }
+  }
+}
+
+std::vector<size_t> TokenBlockingIndex::Candidates(const Entity& entity,
+                                                   const Schema& schema) const {
+  std::vector<size_t> out;
+  AppendShardCandidates(0, entity, schema, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void TokenBlockingIndex::AppendShardCandidates(size_t /*shard*/,
+                                               const Entity& entity,
+                                               const Schema& schema,
+                                               std::vector<size_t>& out) const {
+  StampScratch& scratch = TlsStamp();
+  scratch.Begin(dataset_->size());
+  ProbePostings(index_, entity, schema, scratch,
+                [](const std::string&) { return true; }, out);
+}
+
+BlockingShardStats TokenBlockingIndex::ShardStats(size_t /*shard*/) const {
+  return BlockingShardStats{index_.size(), postings_};
+}
+
+ShardedTokenBlockingIndex::ShardedTokenBlockingIndex(
+    const Dataset& dataset, const std::vector<std::string>& properties,
+    const TokenBlockingOptions& options)
+    : dataset_(&dataset) {
+  const size_t num_shards = std::max<size_t>(1, options.num_shards);
+  shards_.resize(num_shards);
+  const std::vector<PropertyId> resolved = ResolveProperties(dataset, properties);
+  // Tokenize (and df-rank) once, then partition: shard s owns exactly
+  // the tokens with hash % N == s, so shard builds touch disjoint state
+  // and can run in parallel with no synchronization.
+  const std::vector<std::vector<std::string>> keys =
+      ComputeEntityKeys(dataset, resolved, options);
+  const auto build_shard = [&](size_t s) {
+    Shard& shard = shards_[s];
+    for (size_t i = 0; i < keys.size(); ++i) {
+      for (const auto& token : keys[i]) {
+        if (TokenShard(token, num_shards) != s) continue;
+        shard.index[token].push_back(i);
+        ++shard.postings;
+      }
+    }
+  };
+  if (options.build_pool != nullptr && num_shards > 1) {
+    options.build_pool->ParallelForEach(num_shards, build_shard);
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) build_shard(s);
+  }
+}
+
+std::vector<size_t> ShardedTokenBlockingIndex::Candidates(
+    const Entity& entity, const Schema& schema) const {
+  // One scratch round and one tokenization pass: each query token is
+  // looked up in the single shard that owns it. Sorted-unique output
+  // makes the shard count invisible to callers.
+  StampScratch& scratch = TlsStamp();
+  scratch.Begin(dataset_->size());
+  std::vector<size_t> out;
+  const size_t num_shards = shards_.size();
+  for (PropertyId p = 0; p < schema.NumProperties(); ++p) {
+    for (const auto& value : entity.Values(p)) {
+      for (auto& token : TokenizeAlnum(ToLowerAscii(value))) {
+        const auto& index = shards_[TokenShard(token, num_shards)].index;
+        auto it = index.find(token);
+        if (it == index.end()) continue;
+        for (size_t j : it->second) {
+          if (scratch.Insert(j)) out.push_back(j);
         }
       }
     }
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+void ShardedTokenBlockingIndex::AppendShardCandidates(
+    size_t shard, const Entity& entity, const Schema& schema,
+    std::vector<size_t>& out) const {
+  StampScratch& scratch = TlsStamp();
+  scratch.Begin(dataset_->size());
+  const size_t num_shards = shards_.size();
+  ProbePostings(
+      shards_[shard].index, entity, schema, scratch,
+      [&](const std::string& token) {
+        return TokenShard(token, num_shards) == shard;
+      },
+      out);
+}
+
+size_t ShardedTokenBlockingIndex::NumTokens() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.index.size();
+  return total;
+}
+
+size_t ShardedTokenBlockingIndex::NumPostings() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.postings;
+  return total;
+}
+
+BlockingShardStats ShardedTokenBlockingIndex::ShardStats(size_t shard) const {
+  return BlockingShardStats{shards_[shard].index.size(),
+                            shards_[shard].postings};
 }
 
 std::vector<std::string> SourceProperties(const LinkageRule& rule) {
@@ -110,7 +310,7 @@ std::vector<std::string> TargetProperties(const LinkageRule& rule) {
   return CollectSideProperties(rule, /*source_side=*/false);
 }
 
-double BlockingRecall(const TokenBlockingIndex& index, const Dataset& a_set,
+double BlockingRecall(const BlockingIndex& index, const Dataset& a_set,
                       const Dataset& b_set, const ReferenceLinkSet& links) {
   if (links.positives().empty()) return 1.0;
   size_t found = 0;

@@ -4,6 +4,21 @@
 // instead of the full cross product. (The paper defers efficient
 // execution to [19]; this index is this library's implementation of that
 // substrate.)
+//
+// Two implementations share the BlockingIndex interface:
+//   * TokenBlockingIndex — one postings map; the default.
+//   * ShardedTokenBlockingIndex — postings partitioned across N shards
+//     by token hash, built shard-parallel and queried shard-by-shard
+//     (api/matcher_index.cc fans MatchBatch candidate generation out
+//     per shard). Bit-identical candidate sets for any shard count.
+//
+// Both support weighted (rare-token) key selection via
+// TokenBlockingOptions: instead of indexing every token, each entity is
+// indexed under only its k rarest tokens (document frequency ascending,
+// ties broken by the token string, so selection is deterministic).
+// Weighted candidates are always a subset of unweighted candidates;
+// recall floors are gated by tests/blocking_scale_test.cc and
+// bench/blocking_scale.cc.
 
 #ifndef GENLINK_MATCHER_BLOCKING_H_
 #define GENLINK_MATCHER_BLOCKING_H_
@@ -18,38 +33,136 @@
 
 namespace genlink {
 
+class ThreadPool;
+
+/// Key-selection and sharding knobs of the blocking indexes. The
+/// defaults reproduce the classic unweighted single-shard index.
+struct TokenBlockingOptions {
+  /// Index each entity under only its `max_tokens_per_entity` rarest
+  /// tokens (document frequency ascending, then token). 0 = all tokens.
+  size_t max_tokens_per_entity = 0;
+  /// Skip tokens occurring in fewer than this many indexed entities.
+  /// 1 = keep all (default). 2 prunes tokens unique to one entity —
+  /// useful on a self-indexed (dedup) corpus, where a unique token can
+  /// never produce a candidate other than the query entity itself.
+  size_t min_token_df = 1;
+  /// Number of hash shards (ShardedTokenBlockingIndex only; the plain
+  /// index ignores it). 0 or 1 = single shard.
+  size_t num_shards = 1;
+  /// When set, ShardedTokenBlockingIndex builds its shards in parallel
+  /// on this pool (one task per shard). The result is identical with or
+  /// without a pool: each shard's postings depend only on the corpus.
+  ThreadPool* build_pool = nullptr;
+};
+
+/// Size counters of one postings shard (stats()).
+struct BlockingShardStats {
+  size_t tokens = 0;
+  size_t postings = 0;
+};
+
+/// Candidate generation interface shared by the single-map and sharded
+/// indexes. Implementations are immutable after construction and safe
+/// to query concurrently (see TokenBlockingIndex for the scratch
+/// contract).
+class BlockingIndex {
+ public:
+  virtual ~BlockingIndex() = default;
+
+  /// Returns the indexes of candidate entities sharing at least one
+  /// indexed token with `entity` (whose properties live in `schema`).
+  /// Sorted, deduplicated.
+  virtual std::vector<size_t> Candidates(const Entity& entity,
+                                         const Schema& schema) const = 0;
+
+  /// Appends the candidates contributed by shard `shard` (tokens whose
+  /// hash maps to that shard) to `out`: deduplicated within the shard,
+  /// unsorted. The sorted union over all shards equals Candidates() —
+  /// the contract MatcherIndex::MatchBatch's per-shard fan-out relies
+  /// on. `shard` must be < NumShards().
+  virtual void AppendShardCandidates(size_t shard, const Entity& entity,
+                                     const Schema& schema,
+                                     std::vector<size_t>& out) const = 0;
+
+  virtual size_t NumShards() const = 0;
+  /// Number of distinct tokens in the index (summed over shards).
+  virtual size_t NumTokens() const = 0;
+  /// Number of (token, entity) postings (summed over shards).
+  virtual size_t NumPostings() const = 0;
+  /// Size counters of one shard. `shard` must be < NumShards().
+  virtual BlockingShardStats ShardStats(size_t shard) const = 0;
+};
+
 /// Inverted index from token to entity indexes of the target dataset.
 ///
 /// Thread safety: immutable after construction; Candidates() is const
 /// and safe to call concurrently from any number of threads. Its only
 /// mutable state is a thread_local epoch-stamped scratch array (see
 /// blocking.cc and docs/CONCURRENCY.md), so concurrent callers never
-/// share scratch and no locking is needed. api/matcher_index.cc shares
-/// one index across rule generations through a shared_ptr<const
-/// TokenBlockingIndex> in a cache guarded by the corpus lock.
-class TokenBlockingIndex {
+/// share scratch and no locking is needed
+/// (tests/blocking_concurrency_test.cc exercises this under TSan).
+/// api/matcher_index.cc shares one index across rule generations
+/// through a shared_ptr<const BlockingIndex> in a cache guarded by the
+/// corpus lock.
+class TokenBlockingIndex : public BlockingIndex {
  public:
   /// Indexes `dataset` over the given properties (all properties when
-  /// empty). Tokens are lowercased alphanumeric runs.
+  /// empty). Tokens are lowercased alphanumeric runs; `options` selects
+  /// weighted keys (the default indexes every token).
   TokenBlockingIndex(const Dataset& dataset,
-                     const std::vector<std::string>& properties = {});
+                     const std::vector<std::string>& properties = {},
+                     const TokenBlockingOptions& options = {});
 
-  /// Returns the indexes of candidate entities sharing at least one
-  /// token with `entity` (whose properties live in `schema`), restricted
-  /// to `properties` given at construction. Sorted, deduplicated.
   std::vector<size_t> Candidates(const Entity& entity,
-                                 const Schema& schema) const;
-
-  /// Number of distinct tokens in the index.
-  size_t NumTokens() const { return index_.size(); }
+                                 const Schema& schema) const override;
+  void AppendShardCandidates(size_t shard, const Entity& entity,
+                             const Schema& schema,
+                             std::vector<size_t>& out) const override;
+  size_t NumShards() const override { return 1; }
+  size_t NumTokens() const override { return index_.size(); }
+  size_t NumPostings() const override { return postings_; }
+  BlockingShardStats ShardStats(size_t shard) const override;
 
  private:
   const Dataset* dataset_;
-  std::vector<PropertyId> indexed_properties_;  // in dataset_'s schema
+  size_t postings_ = 0;
   /// Read-only after construction (the const-thread-safety contract
   /// above). Iteration order never reaches output: Candidates() probes
   /// by key and sorts its result.
   std::unordered_map<std::string, std::vector<size_t>> index_;
+};
+
+/// Postings partitioned across N shards by token hash. Each token lives
+/// in exactly one shard, so the sorted union of per-shard candidate
+/// sets is bit-identical to the single-map index built with the same
+/// options — for any shard count (tests/blocking_scale_test.cc).
+/// Shards build in parallel when the options carry a pool. Thread
+/// safety matches TokenBlockingIndex: immutable after construction,
+/// concurrent queries share nothing but thread-local scratch.
+class ShardedTokenBlockingIndex : public BlockingIndex {
+ public:
+  ShardedTokenBlockingIndex(const Dataset& dataset,
+                            const std::vector<std::string>& properties,
+                            const TokenBlockingOptions& options);
+
+  std::vector<size_t> Candidates(const Entity& entity,
+                                 const Schema& schema) const override;
+  void AppendShardCandidates(size_t shard, const Entity& entity,
+                             const Schema& schema,
+                             std::vector<size_t>& out) const override;
+  size_t NumShards() const override { return shards_.size(); }
+  size_t NumTokens() const override;
+  size_t NumPostings() const override;
+  BlockingShardStats ShardStats(size_t shard) const override;
+
+ private:
+  struct Shard {
+    std::unordered_map<std::string, std::vector<size_t>> index;
+    size_t postings = 0;
+  };
+
+  const Dataset* dataset_;
+  std::vector<Shard> shards_;
 };
 
 /// Extracts the source-side / target-side property names a rule reads
@@ -64,7 +177,7 @@ std::vector<std::string> TargetProperties(const LinkageRule& rule);
 /// criterion the matcher relies on; asserted on the Restaurant data by
 /// tests/blocking_soundness_test.cc). Links whose entities cannot be
 /// resolved are counted as missed.
-double BlockingRecall(const TokenBlockingIndex& index, const Dataset& a_set,
+double BlockingRecall(const BlockingIndex& index, const Dataset& a_set,
                       const Dataset& b_set, const ReferenceLinkSet& links);
 
 }  // namespace genlink

@@ -50,6 +50,21 @@ struct MatchOptions {
   bool best_match_only = false;
   /// Worker threads (0 = hardware concurrency).
   size_t num_threads = 0;
+  /// Weighted blocking (opt-in): index each target entity under only
+  /// its k rarest tokens (document frequency ascending, ties by token)
+  /// instead of every token. 0 = index all tokens — the default path,
+  /// unchanged. Shrinks candidate sets to a subset of the unweighted
+  /// ones at a small recall risk; floors are gated by
+  /// tests/blocking_scale_test.cc and bench/blocking_scale.cc.
+  size_t blocking_max_tokens = 0;
+  /// Skip blocking tokens seen in fewer than this many target entities.
+  /// 1 = keep all (default). See TokenBlockingOptions::min_token_df.
+  size_t blocking_min_token_df = 1;
+  /// Partition the blocking postings across this many hash shards;
+  /// MatchBatch fans candidate generation out per shard on the pool.
+  /// Links are bit-identical for any shard count (enforced by
+  /// tests/blocking_scale_test.cc). 0 or 1 = single shard (default).
+  size_t blocking_shards = 1;
 };
 
 /// Executes `rule` over all pairs of `a` x `b` and returns the links

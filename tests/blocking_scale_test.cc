@@ -1,0 +1,278 @@
+// The weighted / sharded blocking layer (matcher/blocking.h):
+//
+//   * weighted (rare-token) candidates are always a subset of the
+//     unweighted candidates, for any k and min-df;
+//   * recall floors: 1.0 on the Restaurant reference links, equal to
+//     the unweighted ceiling on Cora, >= 0.98 on the synthetic corpus
+//     at 100k entities;
+//   * the sharded index is bit-identical to the single-shard index for
+//     shards in {1,2,4,7} x build/query threads in {1,4} — candidate
+//     sets, full GenerateLinks output, and the MatchBatch per-shard
+//     fan-out all compare equal, doubles included.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/matcher_index.h"
+#include "common/thread_pool.h"
+#include "datasets/cora.h"
+#include "datasets/restaurant.h"
+#include "datasets/synthetic.h"
+#include "eval/blocking_stats.h"
+#include "matcher/matcher.h"
+#include "rule/builder.h"
+
+namespace genlink {
+namespace {
+
+// Weighted-key budgets under which blocking keeps every link of the
+// default path on the reference datasets (the floors the scale bench
+// gates as well). Restaurant records carry ~10 tokens, Cora citations
+// several dozen — hence the larger k.
+constexpr size_t kRestaurantTopTokens = 6;
+constexpr size_t kCoraTopTokens = 12;
+constexpr double kSyntheticRecallFloor = 0.98;
+
+LinkageRule RestaurantRule() {
+  auto rule = RuleBuilder()
+                  .Aggregate("wmean")
+                  .Compare("levenshtein", 3.0, Prop("name").Lower(),
+                           Prop("name").Lower())
+                  .Compare("jaccard", 0.6, Prop("address").Lower().Tokenize(),
+                           Prop("address").Lower().Tokenize())
+                  .Compare("levenshtein", 2.0, Prop("phone"), Prop("phone"))
+                  .End()
+                  .Build();
+  EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+  return rule.ok() ? std::move(*rule) : LinkageRule();
+}
+
+LinkageRule CoraRule() {
+  auto rule = RuleBuilder()
+                  .Aggregate("min")
+                  .Compare("jaccard", 0.7, Prop("title").Lower().Tokenize(),
+                           Prop("title").Lower().Tokenize())
+                  .Compare("dice", 0.8, Prop("author").Lower().Tokenize(),
+                           Prop("author").Lower().Tokenize())
+                  .End()
+                  .Build();
+  EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+  return rule.ok() ? std::move(*rule) : LinkageRule();
+}
+
+void ExpectSameLinks(const std::vector<GeneratedLink>& actual,
+                     const std::vector<GeneratedLink>& expected,
+                     const std::string& label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].id_a, expected[i].id_a) << label << " link " << i;
+    EXPECT_EQ(actual[i].id_b, expected[i].id_b) << label << " link " << i;
+    // Bit-identical doubles, not just nearly equal.
+    EXPECT_EQ(actual[i].score, expected[i].score) << label << " link " << i;
+  }
+}
+
+TEST(BlockingScaleTest, WeightedCandidatesAreSubsetOfUnweighted) {
+  SyntheticConfig synthetic_config;
+  synthetic_config.num_entities = 3000;
+  const MatchingTask tasks[] = {GenerateRestaurant(RestaurantConfig{}),
+                                GenerateSynthetic(synthetic_config)};
+  for (const MatchingTask& task : tasks) {
+    const TokenBlockingIndex unweighted(task.Target());
+    for (const size_t k : {1ul, 2ul, 4ul}) {
+      for (const size_t min_df : {1ul, 2ul}) {
+        TokenBlockingOptions options;
+        options.max_tokens_per_entity = k;
+        options.min_token_df = min_df;
+        const TokenBlockingIndex weighted(task.Target(), {}, options);
+        EXPECT_LE(weighted.NumPostings(), unweighted.NumPostings());
+        for (const Entity& entity : task.Source().entities()) {
+          const auto full =
+              unweighted.Candidates(entity, task.Source().schema());
+          const auto pruned =
+              weighted.Candidates(entity, task.Source().schema());
+          // Both are sorted, so subset is std::includes.
+          EXPECT_TRUE(std::includes(full.begin(), full.end(), pruned.begin(),
+                                    pruned.end()))
+              << task.name << " k=" << k << " min_df=" << min_df
+              << " entity=" << entity.id();
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockingScaleTest, WeightedRecallIsOneOnRestaurant) {
+  const MatchingTask task = GenerateRestaurant(RestaurantConfig{});
+  TokenBlockingOptions options;
+  options.max_tokens_per_entity = kRestaurantTopTokens;
+  const TokenBlockingIndex weighted(task.Target(), {}, options);
+  EXPECT_DOUBLE_EQ(
+      BlockingRecall(weighted, task.Source(), task.Target(), task.links), 1.0);
+}
+
+TEST(BlockingScaleTest, WeightedRecallMatchesUnweightedCeilingOnCora) {
+  // Cora's unweighted recall is itself slightly below 1.0 (a handful of
+  // heavily perturbed editions share no token at all), so the weighted
+  // floor is "no worse than the full index", not an absolute 1.0.
+  const MatchingTask task = GenerateCora();
+  const TokenBlockingIndex unweighted(task.Target());
+  TokenBlockingOptions options;
+  options.max_tokens_per_entity = kCoraTopTokens;
+  const TokenBlockingIndex weighted(task.Target(), {}, options);
+  const double ceiling =
+      BlockingRecall(unweighted, task.Source(), task.Target(), task.links);
+  EXPECT_DOUBLE_EQ(
+      BlockingRecall(weighted, task.Source(), task.Target(), task.links),
+      ceiling);
+  EXPECT_GE(ceiling, 0.99);
+}
+
+TEST(BlockingScaleTest, WeightedRecallOnSynthetic100k) {
+  SyntheticConfig config;
+  config.num_entities = 100000;
+  config.num_threads = 0;
+  const MatchingTask task = GenerateSynthetic(config);
+  ThreadPool pool(0);
+  TokenBlockingOptions options;
+  options.max_tokens_per_entity = 6;
+  const TokenBlockingIndex weighted(task.Target(), {}, options);
+  // Candidate volume from a 1-in-25 query sample; pairs completeness
+  // checks every one of the ~35k positive links.
+  const BlockingQuality quality = MeasureBlockingQuality(
+      weighted, task.Source(), task.Target(), task.links,
+      /*sample_every=*/25, &pool);
+  EXPECT_GE(quality.pairs_completeness, kSyntheticRecallFloor);
+  EXPECT_EQ(quality.positives_total, task.links.positives().size());
+  // The weighted index discards the overwhelming share of the cross
+  // product (the precise reduction-vs-unweighted factor is the scale
+  // bench's gate).
+  EXPECT_GE(quality.reduction_ratio, 0.9);
+}
+
+TEST(BlockingScaleTest, ShardedCandidatesBitIdenticalToSingleShard) {
+  const MatchingTask task = GenerateRestaurant(RestaurantConfig{});
+  for (const size_t max_tokens : {0ul, kRestaurantTopTokens}) {
+    TokenBlockingOptions base_options;
+    base_options.max_tokens_per_entity = max_tokens;
+    const TokenBlockingIndex single(task.Target(), {}, base_options);
+    for (const size_t shards : {1ul, 2ul, 4ul, 7ul}) {
+      for (const size_t build_threads : {1ul, 4ul}) {
+        ThreadPool pool(build_threads);
+        TokenBlockingOptions options = base_options;
+        options.num_shards = shards;
+        options.build_pool = &pool;
+        const ShardedTokenBlockingIndex sharded(task.Target(), {}, options);
+        ASSERT_EQ(sharded.NumShards(), shards);
+        EXPECT_EQ(sharded.NumTokens(), single.NumTokens());
+        EXPECT_EQ(sharded.NumPostings(), single.NumPostings());
+        // Per-shard stats sum back to the totals (each token lives in
+        // exactly one shard).
+        size_t token_sum = 0;
+        size_t posting_sum = 0;
+        for (size_t s = 0; s < shards; ++s) {
+          token_sum += sharded.ShardStats(s).tokens;
+          posting_sum += sharded.ShardStats(s).postings;
+        }
+        EXPECT_EQ(token_sum, sharded.NumTokens());
+        EXPECT_EQ(posting_sum, sharded.NumPostings());
+        for (const Entity& entity : task.Source().entities()) {
+          const auto expected =
+              single.Candidates(entity, task.Source().schema());
+          EXPECT_EQ(sharded.Candidates(entity, task.Source().schema()),
+                    expected)
+              << "shards=" << shards << " entity=" << entity.id();
+          // The per-shard contract MatchBatch's fan-out relies on: the
+          // sorted-unique union over AppendShardCandidates equals
+          // Candidates().
+          std::vector<size_t> merged;
+          for (size_t s = 0; s < shards; ++s) {
+            sharded.AppendShardCandidates(s, entity, task.Source().schema(),
+                                          merged);
+          }
+          std::sort(merged.begin(), merged.end());
+          merged.erase(std::unique(merged.begin(), merged.end()),
+                       merged.end());
+          EXPECT_EQ(merged, expected)
+              << "shards=" << shards << " entity=" << entity.id();
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockingScaleTest, ShardedWeightedLinksBitIdenticalOnRestaurantAndCora) {
+  // The acceptance gate: with a weighted-key budget whose recall
+  // matches the default index, sharded + weighted blocking must
+  // produce bit-identical links to the untouched default path — for
+  // every shard and thread count.
+  struct Case {
+    const char* label;
+    MatchingTask task;
+    LinkageRule rule;
+    size_t max_tokens;
+  };
+  Case cases[] = {
+      {"restaurant", GenerateRestaurant(RestaurantConfig{}), RestaurantRule(),
+       kRestaurantTopTokens},
+      {"cora", GenerateCora(), CoraRule(), kCoraTopTokens},
+  };
+  for (const Case& c : cases) {
+    const std::vector<GeneratedLink> base =
+        GenerateLinks(c.rule, c.task.Source(), c.task.Target(), {});
+    ASSERT_FALSE(base.empty()) << c.label;
+    for (const size_t shards : {1ul, 2ul, 4ul, 7ul}) {
+      for (const size_t threads : {1ul, 4ul}) {
+        MatchOptions options;
+        options.blocking_max_tokens = c.max_tokens;
+        options.blocking_shards = shards;
+        options.num_threads = threads;
+        ExpectSameLinks(
+            GenerateLinks(c.rule, c.task.Source(), c.task.Target(), options),
+            base,
+            std::string(c.label) + " shards=" + std::to_string(shards) +
+                " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(BlockingScaleTest, MatchBatchShardFanOutBitIdentical) {
+  const MatchingTask task = GenerateRestaurant(RestaurantConfig{});
+  const LinkageRule rule = RestaurantRule();
+  MatchOptions reference_options;
+  reference_options.num_threads = 1;
+  const auto reference = MatcherIndex::Build(task.Source(), task.Target(),
+                                             rule, reference_options);
+  const std::span<const Entity> queries(task.Source().entities());
+  const std::vector<GeneratedLink> expected = reference->MatchBatch(queries);
+  ASSERT_FALSE(expected.empty());
+  for (const size_t shards : {2ul, 4ul, 7ul}) {
+    for (const size_t threads : {1ul, 4ul}) {
+      MatchOptions options;
+      options.blocking_shards = shards;
+      options.num_threads = threads;
+      const auto index =
+          MatcherIndex::Build(task.Source(), task.Target(), rule, options);
+      const MatcherIndexStats stats = index->stats();
+      EXPECT_EQ(stats.blocking_shards, shards);
+      ASSERT_EQ(stats.blocking_shard_stats.size(), shards);
+      size_t postings = 0;
+      for (const BlockingShardStats& shard : stats.blocking_shard_stats) {
+        postings += shard.postings;
+      }
+      EXPECT_EQ(postings, stats.blocking_postings);
+      ExpectSameLinks(index->MatchBatch(queries), expected,
+                      "shards=" + std::to_string(shards) +
+                          " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace genlink

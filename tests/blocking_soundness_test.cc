@@ -9,7 +9,10 @@
 #include <string>
 #include <utility>
 
+#include "common/random.h"
+#include "datasets/noise.h"
 #include "datasets/restaurant.h"
+#include "distance/string_distances.h"
 #include "matcher/matcher.h"
 #include "rule/builder.h"
 
@@ -103,6 +106,80 @@ TEST_F(BlockingSoundnessTest, AllPropertyIndexRecallIsOne) {
   EXPECT_DOUBLE_EQ(BlockingRecall(index, task_.Source(), task_.Target(),
                                   task_.links),
                    1.0);
+}
+
+// ---------------------------------------------------------------------------
+// The Levenshtein prefilters (length + prefix masks) run before the
+// kernels inside the candidate loop. Soundness means: a rejected pair's
+// true edit distance always exceeds the bound, so skipping it is
+// indistinguishable from scoring it — ThresholdedScore maps every
+// distance > bound to similarity 0 either way.
+
+TEST(LevenshteinPrefilterTest, FuzzNeverDropsAPairWithinBound) {
+  Rng rng(20260807);
+  const double bounds[] = {0.0, 0.5, 1.0, 2.0, 3.0, 5.0, 7.5};
+  for (int iter = 0; iter < 10000; ++iter) {
+    // A base word and a mutated partner: typos keep many pairs near the
+    // bound boundary, fresh words and prefix/suffix chops exercise the
+    // far side and length mismatches.
+    std::string a = RandomWord(1 + rng.PickIndex(16), rng);
+    std::string b;
+    switch (rng.PickIndex(4)) {
+      case 0:
+        b = InjectTypos(a, 1 + rng.PickIndex(4), rng);
+        break;
+      case 1:
+        b = RandomWord(1 + rng.PickIndex(16), rng);
+        break;
+      case 2:
+        b = a.substr(rng.PickIndex(a.size() + 1));
+        break;
+      default:
+        b = a + RandomWord(1 + rng.PickIndex(6), rng);
+        break;
+    }
+    const int distance = LevenshteinEditDistanceReference(a, b);
+    for (const double bound : bounds) {
+      if (!PassesLevenshteinLengthFilter(a, b, bound)) {
+        EXPECT_GT(static_cast<double>(distance), bound)
+            << "length filter dropped \"" << a << "\" / \"" << b << "\"";
+      }
+      if (!PassesLevenshteinPrefixFilter(a, b, bound)) {
+        EXPECT_GT(static_cast<double>(distance), bound)
+            << "prefix filter dropped \"" << a << "\" / \"" << b << "\"";
+      }
+    }
+  }
+}
+
+TEST(LevenshteinPrefilterTest, FuzzBoundedDistanceStaysBitIdentical) {
+  // End-to-end through the measure: the filtered BoundedValueDistance
+  // must give the same thresholded similarity as the reference kernel
+  // for every pair and bound.
+  Rng rng(777);
+  LevenshteinDistance measure;
+  const double bounds[] = {0.0, 0.5, 1.0, 2.0, 3.0, 5.0, 7.5};
+  for (int iter = 0; iter < 10000; ++iter) {
+    std::string a = RandomWord(1 + rng.PickIndex(14), rng);
+    std::string b = rng.Bernoulli(0.5)
+                        ? InjectTypos(a, 1 + rng.PickIndex(5), rng)
+                        : RandomWord(1 + rng.PickIndex(14), rng);
+    const double distance =
+        static_cast<double>(LevenshteinEditDistanceReference(a, b));
+    for (const double bound : bounds) {
+      const double bounded = measure.BoundedValueDistance(a, b, bound);
+      if (distance <= bound) {
+        // Within the bound the exact distance must come back.
+        EXPECT_EQ(bounded, distance)
+            << "\"" << a << "\" / \"" << b << "\" bound " << bound;
+      } else {
+        // Beyond it, any value > bound is allowed (the contract
+        // ThresholdedScore relies on), but it must exceed the bound.
+        EXPECT_GT(bounded, bound)
+            << "\"" << a << "\" / \"" << b << "\" bound " << bound;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 //   genlink match   one-shot link generation over two datasets
 //   genlink query   serve queries against a prebuilt matcher index
 //   genlink eval    score a rule against reference links
+//   genlink gen     emit a synthetic matching corpus at configurable scale
 //   genlink --version / genlink <command> --help
 //
 // Datasets are CSV (first row = property names; use --id-column to name
@@ -26,6 +27,7 @@
 
 #include "api/matcher_index.h"
 #include "common/string_util.h"
+#include "datasets/synthetic.h"
 #include "eval/link_metrics.h"
 #include "gp/genlink.h"
 #include "io/artifact.h"
@@ -118,6 +120,15 @@ const std::vector<CommandSpec>& Commands() {
             "score, then smallest id)"},
            {"threads", "N", "worker threads, 0 = hardware (default 0)"},
            {"id-column", "NAME", "CSV id column (default 'id')"},
+           {"blocking-top-tokens", "K",
+            "weighted blocking: index each target entity under only its K "
+            "rarest tokens (0 = all tokens, default)"},
+           {"blocking-min-df", "N",
+            "skip blocking tokens seen in fewer than N target entities "
+            "(default 1 = keep all)"},
+           {"blocking-shards", "N",
+            "partition blocking postings across N hash shards (default 1; "
+            "links are identical for any value)"},
        },
        "match rebuilds the execution artifacts on every invocation; for\n"
        "repeated matching against the same corpus use `genlink query`"},
@@ -138,11 +149,49 @@ const std::vector<CommandSpec>& Commands() {
            {"best-match", nullptr, "keep only the best link per query"},
            {"threads", "N", "worker threads, 0 = hardware (default 0)"},
            {"id-column", "NAME", "CSV id column (default 'id')"},
+           {"blocking-top-tokens", "K",
+            "weighted blocking: index each corpus entity under only its K "
+            "rarest tokens (0 = all tokens, default)"},
+           {"blocking-min-df", "N",
+            "skip blocking tokens seen in fewer than N corpus entities "
+            "(default 1 = keep all)"},
+           {"blocking-shards", "N",
+            "partition blocking postings across N hash shards (default 1; "
+            "links are identical for any value)"},
        },
        "query builds the index once (token blocking + compiled value\n"
        "store, api/matcher_index.h), then answers each input entity with\n"
        "its matching corpus entities, streaming one CSV row per link as\n"
        "queries arrive. Pass exactly one of --artifact or --rule."},
+      {"gen",
+       "emit a synthetic matching corpus at configurable scale",
+       {
+           {"out-source", "FILE", "write the clean source side as CSV", true},
+           {"out-target", "FILE", "write the noisy target side as CSV", true},
+           {"out-links", "FILE", "write ground-truth links CSV", true},
+           {"entities", "N", "records per side (default 10000)"},
+           {"duplicate-rate", "P",
+            "probability a target record is a perturbed duplicate of its "
+            "source counterpart (default 0.35)"},
+           {"confusable-rate", "P",
+            "probability a non-duplicate shares address, city and surname "
+            "(a hard negative; default 0.1)"},
+           {"typo-rate", "P",
+            "per-text-property typo probability in duplicates (default 0.3)"},
+           {"missing-rate", "P",
+            "per-property missing-value probability in duplicates "
+            "(default 0.05)"},
+           {"seed", "N", "random seed (default 11)"},
+           {"threads", "N",
+            "generation threads, 0 = hardware (default 0); output is "
+            "byte-identical for any value"},
+       },
+       "gen writes a person-directory corpus (name, address, city, phone,\n"
+       "birth year) whose target side perturbs duplicates with typos,\n"
+       "abbreviations, case noise, phone reformatting and missing fields\n"
+       "(src/datasets/synthetic.h). Same seed => byte-identical output for\n"
+       "any --threads value. The three files feed `genlink learn`,\n"
+       "`match` and `eval` directly."},
       {"eval",
        "evaluate a rule's generated links against reference links",
        {
@@ -402,7 +451,13 @@ int RunMatch(const Args& args) {
   MatchOptions options;
   options.best_match_only = args.Has("best-match");
   if (!FlagAsDouble(args, "match", "threshold", &options.threshold) ||
-      !FlagAsCount(args, "match", "threads", 0, &options.num_threads)) {
+      !FlagAsCount(args, "match", "threads", 0, &options.num_threads) ||
+      !FlagAsCount(args, "match", "blocking-top-tokens", 0,
+                   &options.blocking_max_tokens) ||
+      !FlagAsCount(args, "match", "blocking-min-df", 1,
+                   &options.blocking_min_token_df) ||
+      !FlagAsCount(args, "match", "blocking-shards", 1,
+                   &options.blocking_shards)) {
     return 2;
   }
 
@@ -440,8 +495,15 @@ int RunQuery(const Args& args) {
   // the artifact's options once it is loaded.
   double threshold_override = 0.0;
   size_t threads_override = 0;
+  size_t top_tokens_override = 0;
+  size_t min_df_override = 1;
+  size_t shards_override = 1;
   if (!FlagAsDouble(args, "query", "threshold", &threshold_override) ||
-      !FlagAsCount(args, "query", "threads", 0, &threads_override)) {
+      !FlagAsCount(args, "query", "threads", 0, &threads_override) ||
+      !FlagAsCount(args, "query", "blocking-top-tokens", 0,
+                   &top_tokens_override) ||
+      !FlagAsCount(args, "query", "blocking-min-df", 1, &min_df_override) ||
+      !FlagAsCount(args, "query", "blocking-shards", 1, &shards_override)) {
     return 2;
   }
 
@@ -462,6 +524,15 @@ int RunQuery(const Args& args) {
   if (args.Has("best-match")) artifact.options.best_match_only = true;
   if (args.Has("threshold")) artifact.options.threshold = threshold_override;
   if (args.Has("threads")) artifact.options.num_threads = threads_override;
+  if (args.Has("blocking-top-tokens")) {
+    artifact.options.blocking_max_tokens = top_tokens_override;
+  }
+  if (args.Has("blocking-min-df")) {
+    artifact.options.blocking_min_token_df = min_df_override;
+  }
+  if (args.Has("blocking-shards")) {
+    artifact.options.blocking_shards = shards_override;
+  }
 
   // Build once; every query below is a cheap lookup against these
   // artifacts (api/matcher_index.h).
@@ -469,9 +540,12 @@ int RunQuery(const Args& args) {
   MatcherIndexStats stats = index->stats();
   std::fprintf(stderr,
                "index built over %zu entities in %.3fs "
-               "(%zu blocking tokens, %zu value plans)\n",
+               "(%zu blocking tokens, %zu postings in %zu shard%s, "
+               "%zu value plans)\n",
                stats.target_entities, stats.build_seconds,
-               stats.blocking_tokens, stats.value_plans);
+               stats.blocking_tokens, stats.blocking_postings,
+               stats.blocking_shards, stats.blocking_shards == 1 ? "" : "s",
+               stats.value_plans);
 
   // Query source: a CSV file or stdin, consumed INCREMENTALLY — each
   // record is served as soon as its line(s) arrive, so a long-running
@@ -525,6 +599,74 @@ int RunQuery(const Args& args) {
   if (!queries.status().ok()) return Fail(queries.status());
   std::fprintf(stderr, "served %zu queries, %zu links (%.0f queries/s)\n",
                served, total_links, seconds > 0.0 ? served / seconds : 0.0);
+  return 0;
+}
+
+int RunGen(const Args& args) {
+  SyntheticConfig config;
+  config.num_threads = 0;  // generation is parallel-safe; use all cores
+  size_t seed_value = config.seed;
+  if (!FlagAsCount(args, "gen", "entities", 1, &config.num_entities) ||
+      !FlagAsCount(args, "gen", "seed", 0, &seed_value) ||
+      !FlagAsCount(args, "gen", "threads", 0, &config.num_threads) ||
+      !FlagAsDouble(args, "gen", "duplicate-rate", &config.duplicate_rate) ||
+      !FlagAsDouble(args, "gen", "confusable-rate", &config.confusable_rate) ||
+      !FlagAsDouble(args, "gen", "typo-rate", &config.typo_probability) ||
+      !FlagAsDouble(args, "gen", "missing-rate",
+                    &config.missing_field_probability)) {
+    return 2;
+  }
+  config.seed = seed_value;
+
+  const MatchingTask task = GenerateSynthetic(config);
+
+  // Stream one CSV row per entity through a chunked buffer, so a 1M+
+  // corpus never materializes as one giant string.
+  const auto write_dataset = [](const Dataset& dataset,
+                                const char* path) -> Status {
+    std::FILE* out = std::fopen(path, "wb");
+    if (out == nullptr) {
+      return Status::IoError(std::string("cannot open file: ") + path);
+    }
+    const Schema& schema = dataset.schema();
+    std::vector<std::string> row;
+    row.push_back("id");
+    for (const std::string& name : schema.property_names()) row.push_back(name);
+    std::string buffer = WriteCsv({row});
+    for (const Entity& entity : dataset.entities()) {
+      row.clear();
+      row.push_back(entity.id());
+      for (PropertyId p = 0; p < schema.NumProperties(); ++p) {
+        const ValueSet& values = entity.Values(p);
+        row.push_back(values.empty() ? std::string() : values.front());
+      }
+      buffer += WriteCsv({row});
+      if (buffer.size() >= 1 << 20) {
+        std::fwrite(buffer.data(), 1, buffer.size(), out);
+        buffer.clear();
+      }
+    }
+    std::fwrite(buffer.data(), 1, buffer.size(), out);
+    if (std::fclose(out) != 0) {
+      return Status::IoError(std::string("write failed: ") + path);
+    }
+    return Status::Ok();
+  };
+
+  Status status = write_dataset(task.a, args.Get("out-source"));
+  if (!status.ok()) return Fail(status);
+  status = write_dataset(task.b, args.Get("out-target"));
+  if (!status.ok()) return Fail(status);
+  status = WriteStringToFile(args.Get("out-links"), WriteLinksCsv(task.links));
+  if (!status.ok()) return Fail(status);
+
+  std::fprintf(stderr,
+               "generated %zu + %zu entities, %zu positive / %zu negative "
+               "links (seed %llu, fingerprint %016llx)\n",
+               task.a.size(), task.b.size(), task.links.positives().size(),
+               task.links.negatives().size(),
+               static_cast<unsigned long long>(config.seed),
+               static_cast<unsigned long long>(FingerprintTask(task)));
   return 0;
 }
 
@@ -582,6 +724,7 @@ int Main(int argc, char** argv) {
   if (command == "learn") return RunLearn(args);
   if (command == "match") return RunMatch(args);
   if (command == "query") return RunQuery(args);
+  if (command == "gen") return RunGen(args);
   return RunEval(args);
 }
 
