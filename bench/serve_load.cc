@@ -1,0 +1,328 @@
+// Closed-loop load generator for the serve daemon (serve/server.h):
+// real sockets against a live ServeDaemon on 127.0.0.1, driven in two
+// phases, doubling as a CI gate (exits non-zero when any gate fails):
+//
+//   * capacity — as many closed-loop clients as worker threads; every
+//     request must succeed (200) with the exact bytes a direct
+//     MatchBatch produces.
+//   * 2x overload — twice the daemon's maximum in-flight capacity
+//     (workers + queue slots) in closed-loop clients. Admission
+//     control MUST shed (503 + Retry-After; clients back off and
+//     retry), no accepted request may fail, and the p99 of successful
+//     requests must stay inside the request deadline — the daemon
+//     degrades by turning traffic away, never by serving garbage or
+//     letting latency run away.
+//
+// After the load, the daemon is drained (the SIGTERM path) and the
+// drain must be clean: no in-flight request aborted.
+//
+// Writes BENCH_serve_load.json. The gate metrics (accepted_ok,
+// shed_happened, p99_within_deadline, links_identical, drain_clean)
+// are 0/1 and machine-independent, so tools/compare_bench_json.py can
+// hold them at ratio 1.0 across hosts; absolute throughput and
+// latency are recorded alongside for the curious.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "harness.h"
+#include "io/artifact.h"
+#include "io/csv.h"
+#include "io/link_io.h"
+#include "model/dataset.h"
+#include "rule/builder.h"
+#include "serve/http.h"
+#include "serve/server.h"
+#include "serve/serving_state.h"
+
+using namespace genlink;
+using namespace genlink::bench;
+
+namespace {
+
+Dataset MakeCorpus(size_t n) {
+  Dataset dataset("corpus");
+  PropertyId name = dataset.schema().AddProperty("name");
+  PropertyId city = dataset.schema().AddProperty("city");
+  const char* cities[] = {"berlin", "mannheim", "leipzig", "hamburg"};
+  for (size_t i = 0; i < n; ++i) {
+    Entity entity("e" + std::to_string(i));
+    entity.AddValue(name, "record number " + std::to_string(i / 2));
+    entity.AddValue(city, cities[i % 4]);
+    if (!dataset.AddEntity(std::move(entity)).ok()) std::abort();
+  }
+  return dataset;
+}
+
+LinkageRule ServeRule() {
+  auto rule = RuleBuilder()
+                  .Compare("jaccard", 0.5, Prop("name").Lower().Tokenize(),
+                           Prop("name").Lower().Tokenize())
+                  .Build();
+  if (!rule.ok()) {
+    std::fprintf(stderr, "rule construction failed: %s\n",
+                 rule.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(rule).value();
+}
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct PhaseResult {
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;
+  uint64_t mismatched = 0;
+  double wall_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+/// Runs `clients` closed-loop client threads against the daemon until
+/// `attempts` requests have been attempted. A 503 is counted as shed
+/// and retried after a short backoff; anything other than 200/503 (or
+/// a transport error) is a failure. Every 200 body is compared against
+/// its precomputed expected bytes.
+PhaseResult RunPhase(uint16_t port, size_t clients, uint64_t attempts,
+                     const std::vector<std::string>& queries,
+                     const std::vector<std::string>& expected) {
+  PhaseResult result;
+  // Signed so the post-zero fetch_subs of racing clients go negative
+  // instead of wrapping to a huge budget.
+  std::atomic<int64_t> budget{static_cast<int64_t>(attempts)};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> mismatched{0};
+  std::vector<std::vector<double>> latencies(clients);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      size_t i = c;  // deterministic per-client query rotation
+      while (budget.fetch_sub(1, std::memory_order_relaxed) > 0) {
+        const size_t q = i++ % queries.size();
+        const auto request_start = std::chrono::steady_clock::now();
+        auto response = HttpCall(port, "POST", "/match", queries[q]);
+        if (!response.ok()) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (response->status == 503) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          continue;
+        }
+        if (response->status != 200) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        latencies[c].push_back(Seconds(request_start));
+        ok.fetch_add(1, std::memory_order_relaxed);
+        if (response->body != expected[q]) {
+          mismatched.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  result.wall_seconds = Seconds(start);
+  result.ok = ok.load();
+  result.shed = shed.load();
+  result.failed = failed.load();
+  result.mismatched = mismatched.load();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    result.p50_seconds = all[all.size() / 2];
+    result.p99_seconds = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+  }
+  return result;
+}
+
+BenchRecord MakeRecord(const char* system, double seconds,
+                       std::vector<std::pair<std::string, double>> extra) {
+  BenchRecord record;
+  record.dataset = "synthetic";
+  record.system = system;
+  record.seconds = {seconds, 0.0};
+  record.extra = std::move(extra);
+  return record;
+}
+
+}  // namespace
+
+int main() {
+  const BenchScale scale = GetBenchScale();
+  const bool smoke = scale.name == "smoke";
+  const size_t corpus_size = smoke ? 120 : 400;
+  const uint64_t capacity_attempts = smoke ? 80 : 400;
+  const uint64_t overload_attempts = smoke ? 160 : 800;
+
+  ServeOptions options;
+  options.num_workers = 2;
+  options.max_queue = 4;
+  options.request_deadline = std::chrono::milliseconds(2000);
+
+  const Dataset corpus = MakeCorpus(corpus_size);
+  ServingState state(corpus, options.num_workers);
+  {
+    RuleArtifact artifact;
+    artifact.name = "serve-load";
+    artifact.rule = ServeRule();
+    if (!state.Deploy(artifact).ok()) {
+      std::fprintf(stderr, "ERROR: initial deploy failed\n");
+      return 1;
+    }
+  }
+  ServeDaemon daemon(state, options);
+  if (const Status status = daemon.Start(); !status.ok()) {
+    std::fprintf(stderr, "ERROR: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // A small rotation of query bodies with precomputed expected bytes:
+  // the load is also a continuous correctness check.
+  std::vector<std::string> queries;
+  std::vector<std::string> expected;
+  for (size_t q = 0; q < 4; ++q) {
+    std::string body = "name,city\n";
+    body += "record number " + std::to_string(q * 7) + ",berlin\n";
+    body += "record number " + std::to_string(q * 7 + 3) + ",leipzig\n";
+    std::istringstream in{body};
+    CsvEntityStream stream(in, CsvDatasetOptions{});
+    std::vector<Entity> entities;
+    Entity entity;
+    while (stream.Next(&entity)) entities.push_back(std::move(entity));
+    if (!stream.status().ok()) std::abort();
+    std::string answer{kGeneratedLinksCsvHeader};
+    for (const GeneratedLink& link :
+         state.index()->MatchBatch(entities, stream.schema())) {
+      answer += GeneratedLinkCsvRow(link);
+    }
+    queries.push_back(std::move(body));
+    expected.push_back(std::move(answer));
+  }
+
+  // --- Phase 1: capacity. One closed-loop client per worker; nothing
+  // should shed and nothing may fail.
+  const size_t capacity_clients = options.num_workers;
+  const PhaseResult capacity = RunPhase(daemon.port(), capacity_clients,
+                                        capacity_attempts, queries, expected);
+  std::printf("capacity: %zu clients, %llu ok, %llu shed, %llu failed, "
+              "%.0f req/s, p50 %.1fms p99 %.1fms\n",
+              capacity_clients, (unsigned long long)capacity.ok,
+              (unsigned long long)capacity.shed,
+              (unsigned long long)capacity.failed,
+              capacity.wall_seconds > 0.0 ? capacity.ok / capacity.wall_seconds
+                                          : 0.0,
+              capacity.p50_seconds * 1e3, capacity.p99_seconds * 1e3);
+
+  // --- Phase 2: 2x overload. Twice the daemon's maximum in-flight
+  // capacity in clients; admission control must shed, accepted
+  // requests must all succeed within the deadline.
+  const size_t overload_clients =
+      2 * (options.num_workers + options.max_queue);
+  const PhaseResult overload = RunPhase(daemon.port(), overload_clients,
+                                        overload_attempts, queries, expected);
+  std::printf("overload: %zu clients, %llu ok, %llu shed, %llu failed, "
+              "%.0f req/s, p50 %.1fms p99 %.1fms\n",
+              overload_clients, (unsigned long long)overload.ok,
+              (unsigned long long)overload.shed,
+              (unsigned long long)overload.failed,
+              overload.wall_seconds > 0.0 ? overload.ok / overload.wall_seconds
+                                          : 0.0,
+              overload.p50_seconds * 1e3, overload.p99_seconds * 1e3);
+
+  // --- Drain: the SIGTERM path must finish cleanly with zero aborts.
+  daemon.RequestShutdown();
+  const bool drain_clean = daemon.WaitForDrain();
+  std::printf("drain: %s (aborts %llu, total shed %llu)\n",
+              drain_clean ? "clean" : "ABORTED IN-FLIGHT WORK",
+              (unsigned long long)daemon.counters().drain_aborts.load(),
+              (unsigned long long)daemon.counters().shed.load());
+
+  // --- Gates.
+  const double deadline_seconds =
+      std::chrono::duration<double>(options.request_deadline).count();
+  const bool accepted_ok = capacity.failed == 0 && overload.failed == 0 &&
+                           capacity.ok > 0 && overload.ok > 0;
+  const bool links_identical =
+      capacity.mismatched == 0 && overload.mismatched == 0;
+  const bool shed_happened = overload.shed > 0;
+  const bool p99_within_deadline =
+      capacity.p99_seconds < deadline_seconds &&
+      overload.p99_seconds < deadline_seconds;
+  if (!accepted_ok) {
+    std::fprintf(stderr, "ERROR: requests failed (capacity %llu, overload "
+                         "%llu) or no request succeeded\n",
+                 (unsigned long long)capacity.failed,
+                 (unsigned long long)overload.failed);
+  }
+  if (!links_identical) {
+    std::fprintf(stderr, "ERROR: %llu responses differed from direct "
+                         "MatchBatch bytes\n",
+                 (unsigned long long)(capacity.mismatched +
+                                      overload.mismatched));
+  }
+  if (!shed_happened) {
+    std::fprintf(stderr, "ERROR: 2x overload produced no 503 sheds — "
+                         "admission control did not engage\n");
+  }
+  if (!p99_within_deadline) {
+    std::fprintf(stderr, "ERROR: p99 %.3fs exceeded the %.3fs request "
+                         "deadline — latency not bounded under overload\n",
+                 std::max(capacity.p99_seconds, overload.p99_seconds),
+                 deadline_seconds);
+  }
+
+  auto phase_extra = [&](const PhaseResult& phase, size_t clients) {
+    std::vector<std::pair<std::string, double>> extra = {
+        {"clients", static_cast<double>(clients)},
+        {"ok", static_cast<double>(phase.ok)},
+        {"shed", static_cast<double>(phase.shed)},
+        {"failed", static_cast<double>(phase.failed)},
+        {"requests_per_second",
+         phase.wall_seconds > 0.0 ? phase.ok / phase.wall_seconds : 0.0},
+        {"p50_seconds", phase.p50_seconds},
+        {"p99_seconds", phase.p99_seconds},
+        {"accepted_ok", accepted_ok ? 1.0 : 0.0},
+        {"links_identical", links_identical ? 1.0 : 0.0},
+    };
+    return extra;
+  };
+  std::vector<BenchRecord> records;
+  records.push_back(MakeRecord("serve/capacity", capacity.wall_seconds,
+                               phase_extra(capacity, capacity_clients)));
+  {
+    auto extra = phase_extra(overload, overload_clients);
+    extra.emplace_back("shed_happened", shed_happened ? 1.0 : 0.0);
+    extra.emplace_back("p99_within_deadline", p99_within_deadline ? 1.0 : 0.0);
+    extra.emplace_back("drain_clean", drain_clean ? 1.0 : 0.0);
+    records.push_back(
+        MakeRecord("serve/overload", overload.wall_seconds, std::move(extra)));
+  }
+  WriteBenchJson("serve_load", scale, records);
+
+  return accepted_ok && links_identical && shed_happened &&
+                 p99_within_deadline && drain_clean
+             ? 0
+             : 1;
+}

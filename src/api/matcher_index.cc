@@ -217,8 +217,19 @@ void MatcherIndex::CompileLocked() {
 
 std::shared_ptr<const MatcherIndex> MatcherIndex::WithRule(
     const LinkageRule& rule) const {
+  return WithRule(rule, options_);
+}
+
+std::shared_ptr<const MatcherIndex> MatcherIndex::WithRule(
+    const LinkageRule& rule, const MatchOptions& options) const {
+  MatchOptions next_options = options;
+  // Corpus-lifetime properties cannot change per generation: the pool
+  // was sized at Build, and the value store either exists for this
+  // corpus or does not (header contract).
+  next_options.num_threads = options_.num_threads;
+  next_options.use_value_store = options_.use_value_store;
   std::shared_ptr<MatcherIndex> next(
-      new MatcherIndex(corpus_, rule.Clone(), options_));
+      new MatcherIndex(corpus_, rule.Clone(), next_options));
   const auto start = std::chrono::steady_clock::now();
   {
     WriterMutexLock lock(corpus_->mutex);
@@ -284,8 +295,9 @@ double MatcherIndex::QueryNode(const SimilarityOperator& node,
 
 std::vector<GeneratedLink> MatcherIndex::MatchEntityUnlocked(
     const Entity& entity, const Schema& schema,
-    const std::vector<size_t>* candidates) const {
+    const std::vector<size_t>* candidates, const CancelToken* cancel) const {
   corpus_->mutex.AssertReaderHeld();
+  if (cancel == nullptr) cancel = options_.cancel;
   const Dataset& target = *corpus_->target;
   // A record is never its own duplicate: a self-indexed corpus (dedup)
   // and a serving-only index (queries of unknown provenance, often the
@@ -313,12 +325,29 @@ std::vector<GeneratedLink> MatcherIndex::MatchEntityUnlocked(
       links.push_back({entity.id(), eb.id(), score});
     }
   };
+  // Cancellation is polled every 64 candidates: cheap enough to be
+  // invisible on the hot path, frequent enough that one entity with a
+  // pathological candidate set cannot overstay a request deadline by
+  // more than a handful of pair scores.
+  size_t scanned = 0;
+  auto cancelled = [&] {
+    return cancel != nullptr && (++scanned & 63) == 0 && cancel->Cancelled();
+  };
   if (candidates != nullptr) {
-    for (size_t j : *candidates) consider(j);
+    for (size_t j : *candidates) {
+      if (cancelled()) break;
+      consider(j);
+    }
   } else if (blocking_ != nullptr) {
-    for (size_t j : blocking_->Candidates(entity, schema)) consider(j);
+    for (size_t j : blocking_->Candidates(entity, schema)) {
+      if (cancelled()) break;
+      consider(j);
+    }
   } else {
-    for (size_t j = 0; j < target.size(); ++j) consider(j);
+    for (size_t j = 0; j < target.size(); ++j) {
+      if (cancelled()) break;
+      consider(j);
+    }
   }
 
   std::sort(links.begin(), links.end(), [](const auto& x, const auto& y) {
@@ -342,7 +371,9 @@ std::vector<GeneratedLink> MatcherIndex::MatchEntity(
 }
 
 std::vector<GeneratedLink> MatcherIndex::MatchBatch(
-    std::span<const Entity> entities, const Schema& schema) const {
+    std::span<const Entity> entities, const Schema& schema,
+    const CancelToken* cancel) const {
+  if (cancel == nullptr) cancel = options_.cancel;
   const size_t n = entities.size();
   std::vector<std::vector<GeneratedLink>> per_entity(n);
   {
@@ -360,6 +391,9 @@ std::vector<GeneratedLink> MatcherIndex::MatchBatch(
       const size_t chunks = (n + kChunk - 1) / kChunk;
       std::vector<std::vector<size_t>> hits(shards * n);
       corpus_->pool->ParallelFor(shards * chunks, [&](size_t task) {
+        // Cooperative cancellation at chunk granularity: a fired token
+        // turns the remaining tasks into no-ops.
+        if (cancel != nullptr && cancel->Cancelled()) return;
         const size_t shard = task / chunks;
         const size_t chunk = task % chunks;
         const size_t end = std::min(n, (chunk + 1) * kChunk);
@@ -369,6 +403,7 @@ std::vector<GeneratedLink> MatcherIndex::MatchBatch(
         }
       });
       corpus_->pool->ParallelFor(n, [&](size_t i) {
+        if (cancel != nullptr && cancel->Cancelled()) return;
         std::vector<size_t> candidates;
         for (size_t shard = 0; shard < shards; ++shard) {
           const std::vector<size_t>& shard_hits = hits[shard * n + i];
@@ -378,13 +413,15 @@ std::vector<GeneratedLink> MatcherIndex::MatchBatch(
         std::sort(candidates.begin(), candidates.end());
         candidates.erase(std::unique(candidates.begin(), candidates.end()),
                          candidates.end());
-        per_entity[i] = MatchEntityUnlocked(entities[i], schema, &candidates);
+        per_entity[i] =
+            MatchEntityUnlocked(entities[i], schema, &candidates, cancel);
       });
     } else {
       corpus_->pool->ParallelFor(n, [&](size_t i) {
         // Runs on pool workers while the dispatching frame above holds
         // the reader lock for the whole parallel section.
-        per_entity[i] = MatchEntityUnlocked(entities[i], schema);
+        if (cancel != nullptr && cancel->Cancelled()) return;
+        per_entity[i] = MatchEntityUnlocked(entities[i], schema, nullptr, cancel);
       });
     }
   }
@@ -399,9 +436,11 @@ std::vector<GeneratedLink> MatcherIndex::MatchBatch(
 }
 
 std::vector<GeneratedLink> MatcherIndex::MatchBatch(
-    std::span<const Entity> entities) const {
-  return MatchBatch(entities, has_source() ? corpus_->source->schema()
-                                           : corpus_->target->schema());
+    std::span<const Entity> entities, const CancelToken* cancel) const {
+  return MatchBatch(entities,
+                    has_source() ? corpus_->source->schema()
+                                 : corpus_->target->schema(),
+                    cancel);
 }
 
 std::vector<GeneratedLink> MatcherIndex::MatchDataset(
@@ -418,6 +457,9 @@ std::vector<GeneratedLink> MatcherIndex::MatchDataset(
   const bool query_scorer = compiled_ != nullptr && !bound;
 
   corpus_->pool->ParallelFor(source.size(), [&](size_t i) {
+    // The one-shot CLI's SIGINT path: a fired token skips the
+    // remaining source entities and the partial links flush as-is.
+    if (options_.cancel != nullptr && options_.cancel->Cancelled()) return;
     const Entity& ea = source.entity(i);
     QueryValues qv;
     if (query_scorer) EvaluateQueryOps(ea, source.schema(), qv);

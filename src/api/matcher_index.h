@@ -57,6 +57,7 @@
 #include <span>
 #include <vector>
 
+#include "common/clock.h"
 #include "matcher/matcher.h"
 #include "rule/linkage_rule.h"
 
@@ -144,11 +145,20 @@ class MatcherIndex {
   /// batches. The result is the concatenation of the per-entity link
   /// lists in input order (deterministic for any thread and shard
   /// count).
+  /// When `cancel` is non-null (or MatchOptions::cancel is set), the
+  /// per-entity chunk tasks poll the token and stop scoring once it
+  /// fires: the serve daemon's per-request deadline path. A cancelled
+  /// call returns the links of the entities already scored (possibly
+  /// none) — callers observe cancel->Cancelled() and must treat such a
+  /// result as truncated. Without cancellation the result is
+  /// bit-identical whether or not a token was passed.
   std::vector<GeneratedLink> MatchBatch(std::span<const Entity> entities,
-                                        const Schema& schema) const;
+                                        const Schema& schema,
+                                        const CancelToken* cancel = nullptr) const;
 
   /// MatchBatch with the bound source dataset's schema.
-  std::vector<GeneratedLink> MatchBatch(std::span<const Entity> entities) const;
+  std::vector<GeneratedLink> MatchBatch(std::span<const Entity> entities,
+                                        const CancelToken* cancel = nullptr) const;
 
   /// The legacy full join of `source` against the indexed corpus,
   /// bit-identical to GenerateLinks(rule, source, target, options):
@@ -170,6 +180,17 @@ class MatcherIndex {
   /// synchronized). Swap atomically by publishing the returned
   /// pointer.
   std::shared_ptr<const MatcherIndex> WithRule(const LinkageRule& rule) const;
+
+  /// WithRule with new per-query options — the artifact-reload shape
+  /// (serve/serving_state.h), where a redeployed artifact may change
+  /// the threshold, best-match mode or blocking knobs along with the
+  /// rule. Corpus-lifetime properties are pinned to this index's
+  /// values: num_threads (the shared pool is built once) and
+  /// use_value_store (the store either exists for this corpus or does
+  /// not). A changed blocking configuration compiles a new index into
+  /// the shared per-corpus cache.
+  std::shared_ptr<const MatcherIndex> WithRule(const LinkageRule& rule,
+                                               const MatchOptions& options) const;
 
   /// The deployed rule / the options every query path uses.
   const LinkageRule& rule() const { return rule_; }
@@ -220,10 +241,13 @@ class MatcherIndex {
   /// `candidates` is non-null it is the precomputed sorted-unique
   /// candidate index list for `entity` (MatchBatch's per-shard fan-out
   /// merges it ahead of scoring); null means probe the blocking index
-  /// (or scan the full target when blocking is off).
+  /// (or scan the full target when blocking is off). A non-null
+  /// `cancel` is polled every few dozen candidates, bounding how long
+  /// one huge candidate set can overstay a request deadline.
   std::vector<GeneratedLink> MatchEntityUnlocked(
       const Entity& entity, const Schema& schema,
-      const std::vector<size_t>* candidates = nullptr) const;
+      const std::vector<size_t>* candidates = nullptr,
+      const CancelToken* cancel = nullptr) const;
 
   std::shared_ptr<Corpus> corpus_;
   LinkageRule rule_;

@@ -1,0 +1,19 @@
+#include "common/clock.h"
+
+namespace genlink {
+
+namespace {
+
+class RealClock final : public Clock {
+ public:
+  TimePoint Now() const override { return std::chrono::steady_clock::now(); }
+};
+
+}  // namespace
+
+const Clock* Clock::Real() {
+  static const RealClock kRealClock;
+  return &kRealClock;
+}
+
+}  // namespace genlink

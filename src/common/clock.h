@@ -1,0 +1,138 @@
+// Injectable monotonic time: the deadline/cancellation vocabulary for
+// request serving, and the seam fault-injection tests use to make
+// timeout paths deterministic.
+//
+//   * Clock      — a monotonic now() source. Clock::Real() wraps
+//     std::chrono::steady_clock (the only clock determinism policy
+//     allows to feed behavior; see tools/genlink_lint.py). Production
+//     code takes a `const Clock*` so tests can substitute a FakeClock.
+//   * FakeClock  — a manually advanced clock. Thread-safe: Advance may
+//     race Now() calls from worker threads (serve deadline tests).
+//   * Deadline   — a point in time on some Clock, or infinite. Cheap
+//     to copy, never expires when infinite.
+//   * CancelToken — cooperative cancellation: an explicit cancel flag
+//     OR an expired deadline. Long operations (MatcherIndex::MatchBatch
+//     chunks, serve request handlers) poll Cancelled() between units of
+//     work and return early with partial results; the caller decides
+//     what a truncated result means (the serve daemon answers 504).
+//
+// None of this feeds learned rules or generated links: cancellation
+// only ever truncates work whose output the caller then discards, so
+// the library's bit-identity contracts are unaffected on the
+// non-cancelled path.
+
+#ifndef GENLINK_COMMON_CLOCK_H_
+#define GENLINK_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace genlink {
+
+/// A monotonic time source. Implementations must be thread-safe.
+class Clock {
+ public:
+  using Duration = std::chrono::steady_clock::duration;
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+
+  /// The process-wide steady_clock-backed instance.
+  static const Clock* Real();
+};
+
+/// A manually advanced clock for deterministic timeout tests.
+class FakeClock final : public Clock {
+ public:
+  FakeClock() = default;
+
+  TimePoint Now() const override {
+    return TimePoint(
+        std::chrono::nanoseconds(now_ns_.load(std::memory_order_acquire)));
+  }
+
+  /// Moves time forward (never backward; monotonic by construction).
+  void Advance(Duration d) {
+    now_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count(),
+        std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<int64_t> now_ns_{0};
+};
+
+/// A point in time on a clock, or "never". Copyable and cheap; the
+/// clock must outlive the deadline.
+class Deadline {
+ public:
+  /// The infinite deadline: never expires.
+  Deadline() = default;
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `d` after `clock->Now()`.
+  static Deadline After(Clock::Duration d, const Clock* clock = Clock::Real()) {
+    Deadline deadline;
+    deadline.clock_ = clock;
+    deadline.at_ = clock->Now() + d;
+    return deadline;
+  }
+
+  bool infinite() const { return clock_ == nullptr; }
+
+  bool Expired() const { return clock_ != nullptr && clock_->Now() >= at_; }
+
+  /// Time left before expiry; zero when expired, Duration::max() when
+  /// infinite.
+  Clock::Duration Remaining() const {
+    if (clock_ == nullptr) return Clock::Duration::max();
+    const Clock::TimePoint now = clock_->Now();
+    return now >= at_ ? Clock::Duration::zero() : at_ - now;
+  }
+
+  /// The earlier of two deadlines (infinite is later than everything).
+  static Deadline Earlier(const Deadline& x, const Deadline& y) {
+    if (x.infinite()) return y;
+    if (y.infinite()) return x;
+    return x.at_ <= y.at_ ? x : y;
+  }
+
+ private:
+  const Clock* clock_ = nullptr;  // null = infinite
+  Clock::TimePoint at_{};
+};
+
+/// Cooperative cancellation: fires when RequestCancel() was called or
+/// the deadline expired. Safe to poll from any number of threads while
+/// another thread calls RequestCancel (the serve daemon's workers poll
+/// it from MatchBatch pool tasks). Not copyable — share by pointer.
+class CancelToken {
+ public:
+  /// A token that never fires.
+  CancelToken() = default;
+  /// A token that fires when `deadline` expires.
+  explicit CancelToken(Deadline deadline) : deadline_(deadline) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Lock-free (a relaxed atomic store), hence
+  /// safe from a signal handler — the CLI's SIGINT path relies on it.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed) || deadline_.Expired();
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  Deadline deadline_;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_COMMON_CLOCK_H_

@@ -1,0 +1,59 @@
+#include "common/failpoint.h"
+
+namespace genlink {
+
+std::atomic<int> Failpoints::armed_count_{0};
+
+Failpoints& Failpoints::Instance() {
+  static Failpoints* instance = new Failpoints();  // never destroyed
+  return *instance;
+}
+
+void Failpoints::Arm(std::string_view name, FailpointSpec spec) {
+  MutexLock lock(mutex_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.emplace(std::string(name), Point{}).first;
+  }
+  if (!it->second.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  it->second.spec = spec;
+  it->second.hits = 0;
+  it->second.armed = true;
+}
+
+void Failpoints::Disarm(std::string_view name) {
+  MutexLock lock(mutex_);
+  auto it = points_.find(name);
+  if (it == points_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Failpoints::DisarmAll() {
+  MutexLock lock(mutex_);
+  for (auto& [name, point] : points_) {
+    if (point.armed) armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    point.armed = false;
+  }
+  points_.clear();
+}
+
+bool Failpoints::ShouldFail(std::string_view name, int* error_code) {
+  MutexLock lock(mutex_);
+  auto it = points_.find(name);
+  if (it == points_.end() || !it->second.armed) return false;
+  Point& point = it->second;
+  const uint64_t hit = point.hits++;
+  if (hit < point.spec.skip) return false;
+  if (hit - point.spec.skip >= point.spec.count) return false;
+  if (error_code != nullptr) *error_code = point.spec.error_code;
+  return true;
+}
+
+uint64_t Failpoints::Hits(std::string_view name) const {
+  MutexLock lock(mutex_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+}  // namespace genlink

@@ -1,0 +1,116 @@
+// Deterministic fault injection: named failpoints that tests arm to
+// force error paths that real traffic only hits rarely (socket resets,
+// short reads, blocked handlers), with hit windows instead of
+// probabilities so every failure is reproducible.
+//
+//   // production code (the serve daemon's recv wrapper):
+//   int injected_errno = 0;
+//   if (GENLINK_FAILPOINT_E("serve.recv_error", &injected_errno)) {
+//     errno = injected_errno;
+//     return -1;
+//   }
+//
+//   // test code:
+//   Failpoints::Instance().Arm("serve.recv_error",
+//                              {.skip = 1, .count = 2, .error_code = ECONNRESET});
+//   ... drive three requests: the 2nd and 3rd see a reset ...
+//   Failpoints::Instance().DisarmAll();
+//
+// Cost when nothing is armed — the only state production ever runs in —
+// is one relaxed atomic load (the GENLINK_FAILPOINT* macros check the
+// global armed count before touching the registry). The armed path
+// takes a Mutex; that is fine, failpoints exist for tests. Lookups are
+// transparent (string_view keyed), so the *error paths themselves stay
+// allocation-free: a fired failpoint never forces the caller to build
+// a std::string.
+//
+// Hit counting: every evaluation of an ARMED failpoint counts as one
+// hit, whether or not it fires; `Hits(name)` exposes the counter so
+// tests can assert a site was actually reached. Windows are expressed
+// in hits: fire on hits [skip, skip + count).
+
+#ifndef GENLINK_COMMON_FAILPOINT_H_
+#define GENLINK_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace genlink {
+
+/// When an armed failpoint fires.
+struct FailpointSpec {
+  /// Hits to let through before firing.
+  uint64_t skip = 0;
+  /// Number of hits that fire after the skip window (default: forever).
+  uint64_t count = std::numeric_limits<uint64_t>::max();
+  /// Errno-style code handed back through GENLINK_FAILPOINT_E sites
+  /// (e.g. ECONNRESET for a simulated socket error). 0 when the site
+  /// does not need one.
+  int error_code = 0;
+};
+
+/// Process-wide failpoint registry. All methods are thread-safe.
+class Failpoints {
+ public:
+  static Failpoints& Instance();
+
+  /// Arms (or re-arms, resetting the hit counter of) `name`.
+  void Arm(std::string_view name, FailpointSpec spec);
+
+  /// Disarms `name`; keeps its lifetime hit counter readable.
+  void Disarm(std::string_view name);
+
+  /// Disarms everything and clears all counters (test teardown).
+  void DisarmAll();
+
+  /// Evaluates the failpoint: counts a hit when armed, returns true
+  /// when this hit falls in the armed firing window. `error_code`
+  /// (optional) receives the spec's code when firing. Never fires when
+  /// `name` is not armed.
+  bool ShouldFail(std::string_view name, int* error_code = nullptr);
+
+  /// Hits recorded for `name` since it was (last) armed; 0 when never
+  /// armed.
+  uint64_t Hits(std::string_view name) const;
+
+  /// True when at least one failpoint is armed anywhere; a single
+  /// relaxed load, the macros' fast path.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  Failpoints() = default;
+
+  struct Point {
+    FailpointSpec spec;
+    uint64_t hits = 0;
+    bool armed = false;
+  };
+
+  mutable Mutex mutex_;
+  std::map<std::string, Point, std::less<>> points_ GENLINK_GUARDED_BY(mutex_);
+
+  static std::atomic<int> armed_count_;
+};
+
+}  // namespace genlink
+
+/// True when the named failpoint is armed and fires on this hit.
+#define GENLINK_FAILPOINT(name)          \
+  (::genlink::Failpoints::AnyArmed() &&  \
+   ::genlink::Failpoints::Instance().ShouldFail(name))
+
+/// Same, delivering the armed error code into `*errp` when firing.
+#define GENLINK_FAILPOINT_E(name, errp)  \
+  (::genlink::Failpoints::AnyArmed() &&  \
+   ::genlink::Failpoints::Instance().ShouldFail(name, errp))
+
+#endif  // GENLINK_COMMON_FAILPOINT_H_

@@ -10,6 +10,7 @@
 #ifndef GENLINK_GP_GENLINK_H_
 #define GENLINK_GP_GENLINK_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 
@@ -84,6 +85,14 @@ struct GenLinkConfig {
   /// (island i sends to island i+1 mod K). 0 disables migration.
   size_t migration_interval = 5;
   size_t migration_size = 3;
+
+  /// External interrupt (may be set from a signal handler): when
+  /// non-null and true, learning finishes the current generation,
+  /// skips migration, and returns the best rule found so far with the
+  /// trajectory recorded up to that point (LearnResult::interrupted is
+  /// set). The flag is only ever *read* here; the CLI's SIGINT/SIGTERM
+  /// handling owns the write side. Null = run to completion.
+  const std::atomic<bool>* stop_requested = nullptr;
 };
 
 /// Output of one learning run.
@@ -101,6 +110,10 @@ struct LearnResult {
   /// `trajectory` for single-island runs). `trajectory` itself is the
   /// merged view: per iteration, the stats of the leading island.
   std::vector<RunTrajectory> island_trajectories;
+  /// True when the run ended because GenLinkConfig::stop_requested
+  /// fired rather than by iteration budget or stop_f_measure; the best
+  /// rule is still the best of the completed generations.
+  bool interrupted = false;
 };
 
 /// Per-iteration observer (iteration stats plus read access to the

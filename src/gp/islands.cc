@@ -439,13 +439,21 @@ Result<LearnResult> LearnIslands(const Dataset& a, const Dataset& b,
 
   record(0);
 
+  // External interrupt (GenLinkConfig::stop_requested): checked only at
+  // generation boundaries, in the serial phase, so an interrupted run
+  // still ends on a fully evaluated population.
+  auto interrupted = [&config] {
+    return config.stop_requested != nullptr &&
+           config.stop_requested->load(std::memory_order_relaxed);
+  };
+
   // --- Evolution loop (Algorithm 1 per island). Breeding runs one
   // task per island on the shared pool; evaluation is one cross-island
   // engine batch; migration happens in the serial phase between
   // generations.
   for (size_t iteration = 1;
        iteration <= config.max_iterations &&
-       !state.early_stop.load(std::memory_order_relaxed);
+       !state.early_stop.load(std::memory_order_relaxed) && !interrupted();
        ++iteration) {
     pool.ParallelForEach(num_islands, [&](size_t i) {
       Island& island = islands[i];
@@ -460,7 +468,7 @@ Result<LearnResult> LearnIslands(const Dataset& a, const Dataset& b,
         config.migration_size > 0 &&
         iteration % config.migration_interval == 0 &&
         iteration < config.max_iterations &&
-        !state.early_stop.load(std::memory_order_relaxed)) {
+        !state.early_stop.load(std::memory_order_relaxed) && !interrupted()) {
       PhaseGuard serial(state.serial_phase);
       Migrate(islands, config.migration_size, state);
     }
@@ -470,6 +478,7 @@ Result<LearnResult> LearnIslands(const Dataset& a, const Dataset& b,
   const Population& winning = islands[LeaderIndex(islands)].population;
   const Individual& best = winning[winning.BestIndex()];
   result.eval_stats = engine.stats();
+  result.interrupted = interrupted();
   result.best_rule = best.rule.Clone();
   result.trajectory.best_rule_sexpr = ToPrettySexpr(result.best_rule);
   result.trajectory.final_val_f1 =

@@ -22,6 +22,8 @@
 
 namespace genlink {
 
+class CancelToken;  // common/clock.h
+
 /// A generated link with its similarity score.
 struct GeneratedLink {
   std::string id_a;
@@ -65,6 +67,16 @@ struct MatchOptions {
   /// Links are bit-identical for any shard count (enforced by
   /// tests/blocking_scale_test.cc). 0 or 1 = single shard (default).
   size_t blocking_shards = 1;
+  /// Cooperative cancellation (common/clock.h). Not a matching knob:
+  /// never serialized into artifacts and never part of result
+  /// identity. When non-null, the full-join and batch surfaces poll it
+  /// between entities (and within large candidate scans) and return
+  /// early with whatever links were already scored — the caller must
+  /// treat the result as truncated when the token fired (the CLI's
+  /// SIGINT path and the serve daemon's per-request deadlines both
+  /// discard-or-flag on cancellation). Null = run to completion; the
+  /// non-cancelled path is bit-identical with or without a token.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Executes `rule` over all pairs of `a` x `b` and returns the links

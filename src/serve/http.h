@@ -1,0 +1,131 @@
+// Minimal HTTP/1.1 vocabulary for the serve daemon: an incremental
+// request parser with hard size limits, response serialization, and a
+// small blocking client used by tests and the closed-loop load bench.
+//
+// This is deliberately not a general HTTP implementation. It parses
+// exactly what the daemon accepts — a request line, headers, and a
+// Content-Length body — and maps every malformed or oversized input to
+// a 4xx status instead of undefined behavior:
+//
+//   * headers exceeding `max_header_bytes`  -> 431
+//   * a body exceeding `max_body_bytes`     -> 413
+//   * anything else malformed               -> 400
+//
+// The parser is incremental (feed it whatever recv returned, in any
+// split), allocation-bounded (its buffer never grows past the limits
+// above plus one read), and reusable across keep-alive requests via
+// Reset().
+
+#ifndef GENLINK_SERVE_HTTP_H_
+#define GENLINK_SERVE_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace genlink {
+
+/// A parsed request. Header names are matched case-insensitively via
+/// FindHeader; values keep their original bytes (outer whitespace
+/// trimmed).
+struct HttpRequest {
+  std::string method;  // as sent, e.g. "GET"
+  std::string target;  // as sent, e.g. "/match?id=row"
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// Case-insensitive header lookup; null when absent.
+  const std::string* FindHeader(std::string_view name) const;
+
+  /// The target without its query string ("/match?x=1" -> "/match").
+  std::string_view Path() const;
+};
+
+/// A response under construction. SerializeHttpResponse emits the
+/// status line, Content-Type, Content-Length, the extra headers, and
+/// the body.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain";
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  std::string body;
+};
+
+/// The canonical reason phrase for the codes the daemon emits
+/// ("Unknown" otherwise).
+std::string_view HttpStatusReason(int status);
+
+std::string SerializeHttpResponse(const HttpResponse& response);
+
+/// Incremental request parser. Feed it bytes as they arrive; it
+/// reports kNeedMore until a full request (headers + declared body) is
+/// buffered. After kComplete, request() is valid and Reset() prepares
+/// the parser for the next keep-alive request, carrying over any
+/// pipelined bytes already consumed.
+class HttpRequestParser {
+ public:
+  enum class State { kNeedMore, kComplete, kError };
+
+  HttpRequestParser(size_t max_header_bytes, size_t max_body_bytes)
+      : max_header_bytes_(max_header_bytes), max_body_bytes_(max_body_bytes) {}
+
+  /// Consumes `data` and returns the parse state. Once kComplete or
+  /// kError is returned, further Consume calls are no-ops until
+  /// Reset().
+  State Consume(std::string_view data);
+
+  State state() const { return state_; }
+
+  /// The HTTP status describing the parse failure (400/413/431);
+  /// meaningful only in kError.
+  int error_status() const { return error_status_; }
+
+  /// The parsed request; meaningful only in kComplete.
+  const HttpRequest& request() const { return request_; }
+
+  /// True once any byte of the current request has been consumed (used
+  /// to tell an idle keep-alive connection from a stalled request).
+  bool started() const { return started_; }
+
+  /// Prepares for the next request on the same connection, keeping
+  /// already buffered pipelined bytes.
+  void Reset();
+
+ private:
+  State Fail(int status) {
+    error_status_ = status;
+    return state_ = State::kError;
+  }
+  /// Parses the request line + headers in buffer_[0, header_end);
+  /// `body_start` is the offset just past the blank line.
+  State ParseHeaders(size_t header_end, size_t body_start);
+
+  size_t max_header_bytes_;
+  size_t max_body_bytes_;
+  State state_ = State::kNeedMore;
+  int error_status_ = 400;
+  bool started_ = false;
+  bool in_body_ = false;
+  size_t body_length_ = 0;
+  std::string buffer_;
+  HttpRequest request_;
+};
+
+/// Blocking loopback client: connects to 127.0.0.1:`port`, sends one
+/// request with `Connection: close`, and returns the parsed response.
+/// Fails with IoError on connect/read failure or when the full
+/// response does not arrive within `timeout_ms`. Test and bench
+/// utility; the daemon never calls it.
+Result<HttpResponse> HttpCall(uint16_t port, std::string_view method,
+                              std::string_view target,
+                              std::string_view body = {},
+                              std::string_view content_type = "text/csv",
+                              int timeout_ms = 10000);
+
+}  // namespace genlink
+
+#endif  // GENLINK_SERVE_HTTP_H_

@@ -1,0 +1,62 @@
+#include "serve/metrics.h"
+
+#include <bit>
+
+namespace genlink {
+
+size_t LatencyHistogram::BucketFor(uint64_t us) {
+  if (us < kLinear) return static_cast<size_t>(us);
+  // Power-of-two bucket with 16 linear sub-buckets: top 4 bits after
+  // the leading bit select the sub-bucket.
+  const int width = std::bit_width(us);  // >= 6 here
+  const size_t power = static_cast<size_t>(width) - 6;
+  const size_t sub =
+      static_cast<size_t>((us >> (width - 5)) & (kSubBuckets - 1));
+  const size_t bucket = kLinear + power * kSubBuckets + sub;
+  return bucket < kBuckets ? bucket : kBuckets - 1;
+}
+
+double LatencyHistogram::UpperBoundSeconds(size_t bucket) {
+  if (bucket < kLinear) return static_cast<double>(bucket + 1) * 1e-6;
+  const size_t power = (bucket - kLinear) / kSubBuckets;
+  const size_t sub = (bucket - kLinear) % kSubBuckets;
+  // Inverse of BucketFor: the bucket holds [base + sub*step, base +
+  // (sub+1)*step) microseconds, base = 2^(power+5), step = base/16.
+  const double base = static_cast<double>(1ull << (power + 5));
+  const double step = base / static_cast<double>(kSubBuckets);
+  return (base + step * static_cast<double>(sub + 1)) * 1e-6;
+}
+
+void LatencyHistogram::Record(std::chrono::nanoseconds latency) {
+  const int64_t us =
+      std::chrono::duration_cast<std::chrono::microseconds>(latency).count();
+  const size_t bucket = BucketFor(us < 0 ? 0 : static_cast<uint64_t>(us));
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double LatencyHistogram::PercentileSeconds(double p) const {
+  const uint64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the percentile sample, 1-based.
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return UpperBoundSeconds(i);
+  }
+  return UpperBoundSeconds(kBuckets - 1);
+}
+
+}  // namespace genlink

@@ -1,0 +1,71 @@
+// Serving metrics: lock-free counters and a fixed-bucket latency
+// histogram, cheap enough to update on every request and readable at
+// any time by /varz without pausing traffic.
+
+#ifndef GENLINK_SERVE_METRICS_H_
+#define GENLINK_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace genlink {
+
+/// A log-linear latency histogram (HdrHistogram-style): values are
+/// bucketed by their power of two with 16 linear sub-buckets each, so
+/// a recorded value is attributed with at most ~6% relative error —
+/// tight enough for the p50/p99 gates in bench/serve_load. Record is
+/// one relaxed fetch_add; concurrent Record/Percentile races only
+/// blur percentiles by in-flight samples, which is the usual contract
+/// for serving metrics.
+class LatencyHistogram {
+ public:
+  void Record(std::chrono::nanoseconds latency);
+
+  uint64_t TotalCount() const;
+
+  /// An upper bound for the `p`-th percentile (p in [0,100]) of the
+  /// recorded latencies, in seconds; 0 when nothing was recorded.
+  double PercentileSeconds(double p) const;
+
+ private:
+  // Bucket layout over microseconds: values < 32us map linearly
+  // (buckets 0..31), larger values to 16 sub-buckets per power of two.
+  static constexpr size_t kLinear = 32;
+  static constexpr size_t kSubBuckets = 16;
+  static constexpr size_t kPowers = 36;  // up to ~2^40 us (~12 days)
+  static constexpr size_t kBuckets = kLinear + kPowers * kSubBuckets;
+
+  static size_t BucketFor(uint64_t us);
+  static double UpperBoundSeconds(size_t bucket);
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/// Monotonic counters of the serve daemon; all relaxed atomics.
+struct ServeCounters {
+  /// Connections accepted from the listen socket (including ones later
+  /// shed); `shed` of them were turned away by admission control with
+  /// the canned 503.
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> shed{0};
+  /// Complete requests parsed off connections.
+  std::atomic<uint64_t> requests{0};
+  /// Responses by class.
+  std::atomic<uint64_t> responses_2xx{0};
+  std::atomic<uint64_t> responses_4xx{0};
+  std::atomic<uint64_t> responses_5xx{0};
+  /// Requests that hit a deadline: 408 (stalled read) or 504
+  /// (processing deadline). Also counted in their 4xx/5xx class.
+  std::atomic<uint64_t> deadline_hits{0};
+  /// Socket-level failures (recv/send errors, injected or real).
+  std::atomic<uint64_t> io_errors{0};
+  /// Connections torn down because the drain deadline passed with the
+  /// request still in flight. 0 across a clean SIGTERM drain.
+  std::atomic<uint64_t> drain_aborts{0};
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_SERVE_METRICS_H_

@@ -1,0 +1,165 @@
+// The `genlink serve` daemon: a small fault-tolerant HTTP/1.1 server
+// over a ServingState. Robustness-first design:
+//
+//   * Admission control — accepted connections go into a bounded
+//     queue; when it is full the listener sheds the connection with a
+//     canned, allocation-free `503 Service Unavailable` +
+//     `Retry-After` and counts it. Under overload the daemon degrades
+//     by turning traffic away fast, never by queueing without bound.
+//   * Deadlines — every request carries a Deadline from the moment its
+//     bytes are complete; the handler threads a CancelToken through
+//     MatcherIndex::MatchBatch, which polls it between entities and
+//     inside candidate scans. A request that cannot finish in time is
+//     answered `504` (processing) or `408` (stalled read) instead of
+//     holding a worker hostage.
+//   * Graceful drain — RequestShutdown() (or one byte written to
+//     shutdown_fd(), which is all a SIGTERM handler is allowed to do)
+//     stops the listener; workers finish queued and in-flight requests
+//     with deadlines clamped to the drain budget, then exit. Idle
+//     keep-alive connections are closed immediately.
+//   * Fault injection — the socket paths evaluate failpoints
+//     (common/failpoint.h: "serve.recv_error", "serve.send_error",
+//     "serve.slow_read", "serve.match_block") so tests drive error
+//     handling deterministically.
+//
+// Endpoints (docs/SERVING.md has the full table):
+//
+//   GET  /healthz  liveness + staleness one-liner
+//   GET  /varz     plain-text metrics (counters, queue depth, p50/p99)
+//   POST /match    CSV query entities in, generated-links CSV out
+//   POST /reload   re-deploy the artifact file; failure leaves the old
+//                  rule serving and reports stale
+//
+// Threading: one listener thread plus `num_workers` connection
+// handlers. All daemon state is either relaxed-atomic counters
+// (serve/metrics.h) or guarded by the queue Mutex; there are no other
+// locks, so no ordering to get wrong.
+
+#ifndef GENLINK_SERVE_SERVER_H_
+#define GENLINK_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "io/csv.h"
+#include "serve/http.h"
+#include "serve/metrics.h"
+#include "serve/serving_state.h"
+
+namespace genlink {
+
+struct ServeOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back
+  /// from port() after Start).
+  uint16_t port = 0;
+  /// Connection handler threads.
+  size_t num_workers = 2;
+  /// Accepted connections waiting for a worker before admission
+  /// control sheds new ones.
+  size_t max_queue = 16;
+  /// Processing budget per request (parse-complete to response);
+  /// exceeding it cancels the match and answers 504.
+  std::chrono::milliseconds request_deadline{2000};
+  /// Budget for a request's bytes to arrive (and keep-alive idle
+  /// limit); a started-but-stalled request is answered 408.
+  std::chrono::milliseconds read_timeout{5000};
+  /// After shutdown is requested, in-flight work past this budget is
+  /// aborted (counted in ServeCounters::drain_aborts).
+  std::chrono::milliseconds drain_deadline{5000};
+  /// Seconds advertised in the shed response's Retry-After header.
+  int retry_after_seconds = 1;
+  size_t max_header_bytes = 8192;
+  size_t max_body_bytes = 4 << 20;
+  /// How /match interprets query CSV (id column etc.).
+  CsvDatasetOptions csv;
+  /// Injectable time source for deadline tests.
+  const Clock* clock = Clock::Real();
+};
+
+class ServeDaemon {
+ public:
+  /// `state` must outlive the daemon and have a deployed index before
+  /// traffic arrives (a /match without one answers 503).
+  ServeDaemon(ServingState& state, ServeOptions options);
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Binds 127.0.0.1:port, starts the listener and workers. Fails with
+  /// IoError when the port cannot be bound.
+  Status Start();
+
+  /// The bound port (after Start).
+  uint16_t port() const { return port_; }
+
+  /// Write end of the shutdown self-pipe: writing a single byte is
+  /// async-signal-safe and triggers the same drain as
+  /// RequestShutdown(). -1 before Start.
+  int shutdown_fd() const { return shutdown_pipe_[1]; }
+
+  /// Begins the graceful drain: stop accepting, finish queued and
+  /// in-flight requests within the drain budget. Idempotent.
+  void RequestShutdown();
+
+  /// Blocks until every thread has exited (Start must have
+  /// succeeded; returns immediately otherwise). True when the drain
+  /// was clean — no in-flight request had to be aborted.
+  bool WaitForDrain();
+
+  const ServeCounters& counters() const { return counters_; }
+  const LatencyHistogram& latency() const { return latency_; }
+
+  /// The /varz body (also useful for logging after drain).
+  std::string RenderVarz() const;
+
+ private:
+  void ListenerLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+  /// Routes one parsed request. `deadline` bounds processing.
+  HttpResponse Dispatch(const HttpRequest& request, const Deadline& deadline);
+  HttpResponse HandleMatch(const HttpRequest& request,
+                           const Deadline& deadline);
+  /// Pops the next queued connection, waiting until one arrives or the
+  /// drain begins; -1 = drain begun and queue empty (worker exits).
+  int NextConnection();
+  bool Draining() const { return draining_.load(std::memory_order_acquire); }
+  /// The drain budget's deadline; infinite before shutdown.
+  Deadline DrainDeadline() const;
+  /// Writes all of `data`, polling for writability, bounded by
+  /// `deadline`. False on error/timeout.
+  bool SendAll(int fd, std::string_view data, const Deadline& deadline);
+
+  ServingState& state_;
+  ServeOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int shutdown_pipe_[2] = {-1, -1};
+  bool started_ = false;
+
+  std::thread listener_;
+  std::vector<std::thread> workers_;
+
+  mutable Mutex queue_mutex_;
+  CondVar queue_cv_;
+  std::deque<int> queue_ GENLINK_GUARDED_BY(queue_mutex_);
+  /// Set once at shutdown, before draining_ (release) so workers that
+  /// observe draining_ see it.
+  Deadline drain_deadline_ GENLINK_GUARDED_BY(queue_mutex_);
+  std::atomic<bool> draining_{false};
+
+  ServeCounters counters_;
+  LatencyHistogram latency_;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_SERVE_SERVER_H_

@@ -1,0 +1,93 @@
+#include "serve/serving_state.h"
+
+#include <utility>
+
+namespace genlink {
+
+ServingState::ServingState(const Dataset& corpus, size_t num_threads)
+    : corpus_(&corpus), num_threads_(num_threads) {}
+
+Status ServingState::Deploy(const RuleArtifact& artifact) {
+  MutexLock reload(reload_mutex_);
+  const std::shared_ptr<const MatcherIndex> old = index();
+  std::shared_ptr<const MatcherIndex> next;
+  if (old == nullptr) {
+    MatchOptions options = artifact.options;
+    options.num_threads = num_threads_;
+    next = MatcherIndex::Build(*corpus_, artifact.rule, options);
+  } else {
+    // Shares the corpus stores with the live index; WithRule pins
+    // num_threads and use_value_store to the corpus values.
+    next = old->WithRule(artifact.rule, artifact.options);
+  }
+  std::atomic_store(&index_, std::move(next));
+  MutexLock lock(mutex_);
+  ++generation_;
+  last_error_.clear();
+  rule_name_ = artifact.name;
+  return Status::Ok();
+}
+
+Status ServingState::ReloadFromFile(const std::string& path) {
+  MutexLock reload(reload_mutex_);
+  std::string resolved = path;
+  {
+    MutexLock lock(mutex_);
+    if (resolved.empty()) resolved = artifact_path_;
+    if (resolved.empty()) {
+      const Status status =
+          Status::FailedPrecondition("no artifact path to reload from");
+      ++failed_reloads_;
+      last_error_ = status.ToString();
+      return status;
+    }
+    artifact_path_ = resolved;
+  }
+  Result<RuleArtifact> artifact = LoadArtifact(resolved);
+  if (!artifact.ok()) {
+    // The corrupt/mismatched artifact never reaches the index: the
+    // previous deployment keeps serving, the state goes stale.
+    MutexLock lock(mutex_);
+    ++failed_reloads_;
+    last_error_ = "reload of '" + resolved + "' failed: " +
+                  artifact.status().ToString();
+    return Status(artifact.status().code(), last_error_);
+  }
+
+  // Same commit path as Deploy, inlined because reload_mutex_ is
+  // already held (Mutex is not recursive).
+  const std::shared_ptr<const MatcherIndex> old = index();
+  std::shared_ptr<const MatcherIndex> next;
+  if (old == nullptr) {
+    MatchOptions options = artifact->options;
+    options.num_threads = num_threads_;
+    next = MatcherIndex::Build(*corpus_, artifact->rule, options);
+  } else {
+    next = old->WithRule(artifact->rule, artifact->options);
+  }
+  std::atomic_store(&index_, std::move(next));
+  MutexLock lock(mutex_);
+  ++generation_;
+  last_error_.clear();
+  rule_name_ = artifact->name;
+  return Status::Ok();
+}
+
+std::shared_ptr<const MatcherIndex> ServingState::index() const {
+  return std::atomic_load(&index_);
+}
+
+ServingState::Snapshot ServingState::snapshot() const {
+  Snapshot snapshot;
+  const std::shared_ptr<const MatcherIndex> live = index();
+  if (live != nullptr) snapshot.build_seconds = live->stats().build_seconds;
+  MutexLock lock(mutex_);
+  snapshot.generation = generation_;
+  snapshot.failed_reloads = failed_reloads_;
+  snapshot.stale = !last_error_.empty();
+  snapshot.last_error = last_error_;
+  snapshot.rule_name = rule_name_;
+  return snapshot;
+}
+
+}  // namespace genlink

@@ -1,0 +1,161 @@
+// Units for the fault-injection vocabulary (common/clock.h,
+// common/failpoint.h): injectable clocks, deadlines, cooperative
+// cancellation, and deterministic failpoint hit windows — the seams
+// the serve daemon's robustness tests stand on.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/failpoint.h"
+
+namespace genlink {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(ClockTest, RealClockIsMonotonic) {
+  const Clock* clock = Clock::Real();
+  const Clock::TimePoint a = clock->Now();
+  const Clock::TimePoint b = clock->Now();
+  EXPECT_LE(a, b);
+}
+
+TEST(ClockTest, FakeClockAdvances) {
+  FakeClock clock;
+  const Clock::TimePoint start = clock.Now();
+  clock.Advance(milliseconds(250));
+  EXPECT_EQ(clock.Now() - start, milliseconds(250));
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.infinite());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_EQ(deadline.Remaining(), Clock::Duration::max());
+}
+
+TEST(DeadlineTest, ExpiresOnFakeClock) {
+  FakeClock clock;
+  Deadline deadline = Deadline::After(milliseconds(100), &clock);
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_EQ(deadline.Remaining(), milliseconds(100));
+  clock.Advance(milliseconds(99));
+  EXPECT_FALSE(deadline.Expired());
+  clock.Advance(milliseconds(1));
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_EQ(deadline.Remaining(), Clock::Duration::zero());
+}
+
+TEST(DeadlineTest, EarlierPicksTheTighterBudget) {
+  FakeClock clock;
+  Deadline loose = Deadline::After(milliseconds(500), &clock);
+  Deadline tight = Deadline::After(milliseconds(100), &clock);
+  Deadline infinite;
+  EXPECT_EQ(Deadline::Earlier(loose, tight).Remaining(), milliseconds(100));
+  EXPECT_EQ(Deadline::Earlier(tight, loose).Remaining(), milliseconds(100));
+  EXPECT_EQ(Deadline::Earlier(infinite, tight).Remaining(), milliseconds(100));
+  EXPECT_TRUE(Deadline::Earlier(infinite, infinite).infinite());
+}
+
+TEST(CancelTokenTest, FiresOnRequestOrDeadline) {
+  CancelToken plain;
+  EXPECT_FALSE(plain.Cancelled());
+  plain.RequestCancel();
+  EXPECT_TRUE(plain.Cancelled());
+
+  FakeClock clock;
+  CancelToken timed(Deadline::After(milliseconds(10), &clock));
+  EXPECT_FALSE(timed.Cancelled());
+  clock.Advance(milliseconds(10));
+  EXPECT_TRUE(timed.Cancelled());
+}
+
+TEST(CancelTokenTest, CrossThreadCancelIsObserved) {
+  CancelToken token;
+  std::thread canceller([&token] { token.RequestCancel(); });
+  canceller.join();
+  EXPECT_TRUE(token.Cancelled());
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::Instance().DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedNeverFires) {
+  EXPECT_FALSE(Failpoints::AnyArmed());
+  EXPECT_FALSE(GENLINK_FAILPOINT("test.nothing"));
+  EXPECT_EQ(Failpoints::Instance().Hits("test.nothing"), 0u);
+}
+
+TEST_F(FailpointTest, ArmedFiresWithinWindow) {
+  // skip=1 count=2: hits 0 pass, 1 and 2 fire, 3+ pass.
+  Failpoints::Instance().Arm("test.window",
+                             {.skip = 1, .count = 2, .error_code = 0});
+  EXPECT_TRUE(Failpoints::AnyArmed());
+  EXPECT_FALSE(GENLINK_FAILPOINT("test.window"));
+  EXPECT_TRUE(GENLINK_FAILPOINT("test.window"));
+  EXPECT_TRUE(GENLINK_FAILPOINT("test.window"));
+  EXPECT_FALSE(GENLINK_FAILPOINT("test.window"));
+  EXPECT_EQ(Failpoints::Instance().Hits("test.window"), 4u);
+}
+
+TEST_F(FailpointTest, DeliversErrorCode) {
+  Failpoints::Instance().Arm("test.errno", {.error_code = ECONNRESET});
+  int code = 0;
+  EXPECT_TRUE(GENLINK_FAILPOINT_E("test.errno", &code));
+  EXPECT_EQ(code, ECONNRESET);
+}
+
+TEST_F(FailpointTest, RearmResetsTheHitCounter) {
+  Failpoints::Instance().Arm("test.rearm", {});
+  EXPECT_TRUE(GENLINK_FAILPOINT("test.rearm"));
+  EXPECT_TRUE(GENLINK_FAILPOINT("test.rearm"));
+  EXPECT_EQ(Failpoints::Instance().Hits("test.rearm"), 2u);
+  Failpoints::Instance().Arm("test.rearm", {.skip = 1});
+  EXPECT_EQ(Failpoints::Instance().Hits("test.rearm"), 0u);
+  EXPECT_FALSE(GENLINK_FAILPOINT("test.rearm"));  // skipped again
+  EXPECT_TRUE(GENLINK_FAILPOINT("test.rearm"));
+}
+
+TEST_F(FailpointTest, DisarmStopsFiringAndAnyArmedDrops) {
+  Failpoints::Instance().Arm("test.a", {});
+  Failpoints::Instance().Arm("test.b", {});
+  Failpoints::Instance().Disarm("test.a");
+  EXPECT_FALSE(GENLINK_FAILPOINT("test.a"));
+  EXPECT_TRUE(GENLINK_FAILPOINT("test.b"));
+  EXPECT_TRUE(Failpoints::AnyArmed());
+  Failpoints::Instance().DisarmAll();
+  EXPECT_FALSE(Failpoints::AnyArmed());
+  EXPECT_FALSE(GENLINK_FAILPOINT("test.b"));
+}
+
+TEST_F(FailpointTest, ConcurrentEvaluationIsSafeAndCounted) {
+  Failpoints::Instance().Arm("test.mt", {.skip = 0, .count = 100});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> fired{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fired] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (GENLINK_FAILPOINT("test.mt")) {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(fired.load(), 100);
+  EXPECT_EQ(Failpoints::Instance().Hits("test.mt"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace genlink

@@ -23,9 +23,13 @@
 #include <vector>
 
 #include "api/matcher_index.h"
+#include "io/artifact.h"
+#include "io/csv.h"
+#include "io/link_io.h"
 #include "matcher/matcher.h"
 #include "model/dataset.h"
 #include "rule/builder.h"
+#include "serve/serving_state.h"
 
 namespace genlink {
 namespace {
@@ -177,6 +181,91 @@ TEST(StressSwapTsanTest, ServingOnlyIndexSurvivesSwapHammer) {
 
   std::shared_ptr<const MatcherIndex> last = std::atomic_load(serving.get());
   EXPECT_GE(last->stats().target_entities, 40u);
+}
+
+// The serve daemon's degradation contract under concurrency: reader
+// threads hammer ServingState::index() while a writer alternates GOOD
+// and CORRUPT artifact files through ReloadFromFile. Failed reloads
+// must never interrupt serving — every reader answer for a pinned
+// query is byte-identical to the baseline the good rule produced
+// before the hammering started (the corrupt artifact carries a
+// different rule, so any leak of a half-applied reload would change
+// the bytes).
+TEST(StressSwapTsanTest, FailingReloadNeverInterruptsServing) {
+  Dataset corpus = MakeCorpus(40);
+  const std::string good_path =
+      ::testing::TempDir() + "stress_reload_good.artifact";
+  const std::string bad_path =
+      ::testing::TempDir() + "stress_reload_bad.artifact";
+  {
+    RuleArtifact artifact;
+    artifact.name = "stress-good";
+    artifact.rule = NameRule();
+    ASSERT_TRUE(SaveArtifact(good_path, artifact).ok());
+  }
+  ASSERT_TRUE(
+      WriteStringToFile(bad_path, "genlink-artifact v99\ncorrupt\n").ok());
+
+  ServingState state(corpus, /*num_threads=*/2);
+  ASSERT_TRUE(state.ReloadFromFile(good_path).ok());
+  const std::string baseline = WriteGeneratedLinksCsv(
+      state.index()->MatchEntity(corpus.entity(0), corpus.schema()));
+  ASSERT_NE(baseline.find("e1"), std::string::npos);  // query has a twin
+
+  constexpr int kReaders = 3;
+  constexpr int kReloads = 24;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> queries{0};
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::shared_ptr<const MatcherIndex> index = state.index();
+        const std::string answer = WriteGeneratedLinksCsv(
+            index->MatchEntity(corpus.entity(0), corpus.schema()));
+        if (answer != baseline) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writer: every odd push is the corrupt artifact and must fail
+  // without touching the live index; every even push re-deploys the
+  // same good rule (a real swap racing the readers).
+  uint64_t failed_pushes = 0;
+  for (int reload = 1; reload <= kReloads; ++reload) {
+    if (reload % 2 == 1) {
+      EXPECT_FALSE(state.ReloadFromFile(bad_path).ok());
+      ++failed_pushes;
+      EXPECT_TRUE(state.snapshot().stale);
+    } else {
+      EXPECT_TRUE(state.ReloadFromFile(good_path).ok());
+      EXPECT_FALSE(state.snapshot().stale);
+    }
+    // Make the reloads overlap query traffic instead of finishing
+    // before the readers get scheduled.
+    const size_t target = static_cast<size_t>(reload) * kReaders;
+    while (queries.load(std::memory_order_relaxed) < target) {
+      std::this_thread::yield();
+    }
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(state.snapshot().failed_reloads, failed_pushes);
+  EXPECT_GE(queries.load(), static_cast<size_t>(kReloads) * kReaders);
+  // The state is healthy after the last good push and still answers
+  // the baseline bytes.
+  EXPECT_FALSE(state.snapshot().stale);
+  EXPECT_EQ(WriteGeneratedLinksCsv(
+                state.index()->MatchEntity(corpus.entity(0), corpus.schema())),
+            baseline);
 }
 
 }  // namespace

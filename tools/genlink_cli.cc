@@ -3,9 +3,17 @@
 //   genlink learn   learn a linkage rule from labelled reference links
 //   genlink match   one-shot link generation over two datasets
 //   genlink query   serve queries against a prebuilt matcher index
+//   genlink serve   HTTP daemon over a prebuilt matcher index
 //   genlink eval    score a rule against reference links
 //   genlink gen     emit a synthetic matching corpus at configurable scale
 //   genlink --version / genlink <command> --help
+//
+// Error and signal discipline: every failure exits 2 with a Status
+// naming the flag/file that caused it; SIGINT/SIGTERM interrupt the
+// long-running commands cooperatively (learn finishes the current
+// generation, match/query/gen flush partial output), report what was
+// kept, and exit 128+signal. `serve` instead drains gracefully and
+// exits 0 (docs/SERVING.md).
 //
 // Datasets are CSV (first row = property names; use --id-column to name
 // the id column) or N-Triples (*.nt). Reference links are CSV
@@ -16,7 +24,11 @@
 // which `query` loads to serve entities read from stdin or a CSV file
 // — the build-once / query-many path of api/matcher_index.h.
 
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,6 +38,7 @@
 #include <vector>
 
 #include "api/matcher_index.h"
+#include "common/clock.h"
 #include "common/string_util.h"
 #include "datasets/synthetic.h"
 #include "eval/link_metrics.h"
@@ -38,6 +51,8 @@
 #include "rule/parse.h"
 #include "rule/serialize.h"
 #include "rule/xml.h"
+#include "serve/server.h"
+#include "serve/serving_state.h"
 
 // Kept in sync with the CMake project version by tools/CMakeLists.txt.
 #ifndef GENLINK_VERSION
@@ -46,6 +61,46 @@
 
 namespace genlink {
 namespace {
+
+/// ---- SIGINT/SIGTERM: cooperative interruption. The handler only
+/// performs async-signal-safe work — relaxed atomic stores and one
+/// write() to the serve daemon's self-pipe. Each command polls the
+/// flag (or threads g_cancel through the library's cancellation
+/// points), flushes partial output, and exits 128+signal; `serve`
+/// drains instead and exits 0.
+std::atomic<bool> g_interrupted{false};
+std::atomic<int> g_signal{0};
+std::atomic<int> g_serve_shutdown_fd{-1};
+CancelToken g_cancel;
+
+void HandleSignal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  g_interrupted.store(true, std::memory_order_relaxed);
+  g_cancel.RequestCancel();
+  const int fd = g_serve_shutdown_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+void InstallSignalHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = HandleSignal;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+/// The CLI's exit code after an interrupt (128+signal, shell style).
+int InterruptExitCode() {
+  return 128 + g_signal.load(std::memory_order_relaxed);
+}
+
+const char* SignalName() {
+  return g_signal.load(std::memory_order_relaxed) == SIGTERM ? "SIGTERM"
+                                                             : "SIGINT";
+}
 
 struct Args {
   std::string command;
@@ -163,6 +218,38 @@ const std::vector<CommandSpec>& Commands() {
        "store, api/matcher_index.h), then answers each input entity with\n"
        "its matching corpus entities, streaming one CSV row per link as\n"
        "queries arrive. Pass exactly one of --artifact or --rule."},
+      {"serve",
+       "HTTP daemon over a prebuilt matcher index (deadlines, admission "
+       "control, hot reload)",
+       {
+           {"target", "FILE", "indexed corpus dataset (.csv or .nt)", true},
+           {"artifact", "FILE",
+            "deployment artifact from `learn --save-artifact`; also the "
+            "file POST /reload re-reads", true},
+           {"port", "N",
+            "TCP port on 127.0.0.1 (default 0 = ephemeral; the bound port "
+            "is printed and written to --port-file)"},
+           {"port-file", "FILE",
+            "write the bound port as a decimal string (for scripts)"},
+           {"workers", "N", "connection handler threads (default 2)"},
+           {"max-queue", "N",
+            "accepted connections waiting for a worker before new ones "
+            "are shed with 503 (default 16)"},
+           {"request-deadline-ms", "N",
+            "per-request processing budget; exceeded => 504 (default 2000)"},
+           {"read-timeout-ms", "N",
+            "budget for a request's bytes to arrive; stalled => 408 "
+            "(default 5000)"},
+           {"drain-deadline-ms", "N",
+            "after SIGTERM, budget to finish in-flight requests "
+            "(default 5000)"},
+           {"threads", "N", "matcher worker threads, 0 = hardware (default 0)"},
+           {"id-column", "NAME", "CSV id column of query bodies (default 'id')"},
+       },
+       "serve answers GET /healthz, GET /varz, POST /match (CSV entities\n"
+       "in, links CSV out) and POST /reload on 127.0.0.1. Overloaded\n"
+       "connections get an immediate 503 + Retry-After; SIGTERM drains\n"
+       "in-flight requests and exits 0. See docs/SERVING.md."},
       {"gen",
        "emit a synthetic matching corpus at configurable scale",
        {
@@ -322,9 +409,21 @@ Result<LinkageRule> LoadRule(const std::string& path) {
   return ParseRule(*content);
 }
 
+/// Every subcommand failure exits 2 — the same code as a flag parse
+/// error, so scripts can distinguish "bad invocation or input" (2)
+/// from an interrupt (128+signal).
 int Fail(const Status& status) {
-  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  std::fprintf(stderr, "genlink: error: %s\n", status.ToString().c_str());
+  return 2;
+}
+
+/// Fail naming the flag and file the status came from:
+///   genlink match: --rule bad.xml: ParseError: ...
+int FailFlagFile(const char* command, const char* flag, const char* path,
+                 const Status& status) {
+  std::fprintf(stderr, "genlink %s: --%s %s: %s\n", command, flag, path,
+               status.ToString().c_str());
+  return 2;
 }
 
 /// Parses an optional numeric flag. Returns false (after an error
@@ -378,13 +477,22 @@ int RunLearn(const Args& args) {
   }
   const uint64_t seed = seed_value;
   match_options.num_threads = config.num_threads;
+  // SIGINT/SIGTERM stop learning at the next generation boundary; the
+  // best rule so far is still written below.
+  config.stop_requested = &g_interrupted;
 
   auto a = LoadDataset(args.Get("source"), args.Get("id-column", "id"), "source");
-  if (!a.ok()) return Fail(a.status());
+  if (!a.ok()) {
+    return FailFlagFile("learn", "source", args.Get("source"), a.status());
+  }
   auto b = LoadDataset(args.Get("target"), args.Get("id-column", "id"), "target");
-  if (!b.ok()) return Fail(b.status());
+  if (!b.ok()) {
+    return FailFlagFile("learn", "target", args.Get("target"), b.status());
+  }
   auto links = LoadLinks(args.Get("links"));
-  if (!links.ok()) return Fail(links.status());
+  if (!links.ok()) {
+    return FailFlagFile("learn", "links", args.Get("links"), links.status());
+  }
 
   if (links->negatives().empty()) {
     std::fprintf(stderr,
@@ -402,6 +510,12 @@ int RunLearn(const Args& args) {
   if (!result.ok()) return Fail(result.status());
 
   const IterationStats& final_stats = result->trajectory.iterations.back();
+  if (result->interrupted) {
+    std::fprintf(stderr,
+                 "interrupted by %s after %zu iterations; writing the best "
+                 "rule so far\n",
+                 SignalName(), final_stats.iteration);
+  }
   std::fprintf(stderr,
                "learned in %zu iterations (%.1fs): train F1 %.3f, val F1 %.3f\n",
                final_stats.iteration, final_stats.seconds, final_stats.train_f1,
@@ -411,10 +525,11 @@ int RunLearn(const Args& args) {
   const char* out = args.Get("out");
   if (out != nullptr) {
     Status status = WriteStringToFile(out, xml);
-    if (!status.ok()) return Fail(status);
+    if (!status.ok()) return FailFlagFile("learn", "out", out, status);
     std::fprintf(stderr, "rule written to %s\n", out);
   } else {
     std::fputs(xml.c_str(), stdout);
+    std::fflush(stdout);
   }
 
   // learn --save-artifact: bundle the learned rule with the options it
@@ -426,7 +541,9 @@ int RunLearn(const Args& args) {
     artifact.rule = result->best_rule.Clone();
     artifact.options = match_options;
     Status status = SaveArtifact(artifact_out, artifact);
-    if (!status.ok()) return Fail(status);
+    if (!status.ok()) {
+      return FailFlagFile("learn", "save-artifact", artifact_out, status);
+    }
     std::fprintf(stderr, "artifact written to %s\n", artifact_out);
   }
 
@@ -434,17 +551,17 @@ int RunLearn(const Args& args) {
   // the FULL datasets (not just the labelled pairs) through the
   // value-store matcher path and the links are written out.
   const char* match_out = args.Get("match");
-  if (match_out != nullptr) {
+  if (match_out != nullptr && !g_interrupted.load(std::memory_order_relaxed)) {
     auto generated = GenerateLinks(result->best_rule, *a, *b, match_options);
     std::string serialized = EndsWith(match_out, ".nt")
                                  ? WriteGeneratedLinksNt(generated)
                                  : WriteGeneratedLinksCsv(generated);
     Status status = WriteStringToFile(match_out, serialized);
-    if (!status.ok()) return Fail(status);
+    if (!status.ok()) return FailFlagFile("learn", "match", match_out, status);
     std::fprintf(stderr, "matched full datasets: %zu links written to %s\n",
                  generated.size(), match_out);
   }
-  return 0;
+  return result->interrupted ? InterruptExitCode() : 0;
 }
 
 int RunMatch(const Args& args) {
@@ -462,22 +579,39 @@ int RunMatch(const Args& args) {
   }
 
   auto a = LoadDataset(args.Get("source"), args.Get("id-column", "id"), "source");
-  if (!a.ok()) return Fail(a.status());
+  if (!a.ok()) {
+    return FailFlagFile("match", "source", args.Get("source"), a.status());
+  }
   auto b = LoadDataset(args.Get("target"), args.Get("id-column", "id"), "target");
-  if (!b.ok()) return Fail(b.status());
+  if (!b.ok()) {
+    return FailFlagFile("match", "target", args.Get("target"), b.status());
+  }
   auto rule = LoadRule(args.Get("rule"));
-  if (!rule.ok()) return Fail(rule.status());
+  if (!rule.ok()) {
+    return FailFlagFile("match", "rule", args.Get("rule"), rule.status());
+  }
 
+  // SIGINT/SIGTERM cancel the join between entities; the links scored
+  // so far are still flushed below, marked as partial on stderr.
+  options.cancel = &g_cancel;
   auto links = GenerateLinks(*rule, *a, *b, options);
-  std::fprintf(stderr, "generated %zu links\n", links.size());
+  const bool interrupted = g_interrupted.load(std::memory_order_relaxed);
+  std::fprintf(stderr, "generated %zu links%s\n", links.size(),
+               interrupted ? " (PARTIAL: interrupted)" : "");
 
   std::string csv = WriteGeneratedLinksCsv(links);
   const char* out = args.Get("out");
   if (out != nullptr) {
     Status status = WriteStringToFile(out, csv);
-    if (!status.ok()) return Fail(status);
+    if (!status.ok()) return FailFlagFile("match", "out", out, status);
   } else {
     std::fputs(csv.c_str(), stdout);
+    std::fflush(stdout);
+  }
+  if (interrupted) {
+    std::fprintf(stderr, "interrupted by %s; partial links written\n",
+                 SignalName());
+    return InterruptExitCode();
   }
   return 0;
 }
@@ -509,16 +643,22 @@ int RunQuery(const Args& args) {
 
   auto target =
       LoadDataset(args.Get("target"), args.Get("id-column", "id"), "target");
-  if (!target.ok()) return Fail(target.status());
+  if (!target.ok()) {
+    return FailFlagFile("query", "target", args.Get("target"), target.status());
+  }
 
   RuleArtifact artifact;
   if (artifact_path != nullptr) {
     auto loaded = LoadArtifact(artifact_path);
-    if (!loaded.ok()) return Fail(loaded.status());
+    if (!loaded.ok()) {
+      return FailFlagFile("query", "artifact", artifact_path, loaded.status());
+    }
     artifact = std::move(*loaded);
   } else {
     auto rule = LoadRule(rule_path);
-    if (!rule.ok()) return Fail(rule.status());
+    if (!rule.ok()) {
+      return FailFlagFile("query", "rule", rule_path, rule.status());
+    }
     artifact.rule = std::move(*rule);
   }
   if (args.Has("best-match")) artifact.options.best_match_only = true;
@@ -556,22 +696,26 @@ int RunQuery(const Args& args) {
   if (const char* entities_path = args.Get("entities")) {
     entities_file.open(entities_path, std::ios::binary);
     if (!entities_file) {
-      return Fail(Status::IoError(std::string("cannot open file: ") +
-                                  entities_path));
+      return FailFlagFile("query", "entities", entities_path,
+                          Status::IoError("cannot open file"));
     }
     in = &entities_file;
   }
   CsvDatasetOptions csv_options;
   csv_options.id_column = args.Get("id-column", "id");
   CsvEntityStream queries(*in, csv_options);
-  if (!queries.status().ok()) return Fail(queries.status());
+  if (!queries.status().ok()) {
+    return FailFlagFile("query", "entities", args.Get("entities", "<stdin>"),
+                        queries.status());
+  }
 
   std::FILE* out = stdout;
   const char* out_path = args.Get("out");
   if (out_path != nullptr) {
     out = std::fopen(out_path, "wb");
     if (out == nullptr) {
-      return Fail(Status::IoError(std::string("cannot open file: ") + out_path));
+      return FailFlagFile("query", "out", out_path,
+                          Status::IoError("cannot open file"));
     }
   }
 
@@ -582,7 +726,8 @@ int RunQuery(const Args& args) {
   size_t total_links = 0;
   const auto start = std::chrono::steady_clock::now();
   Entity entity;
-  while (queries.Next(&entity)) {
+  while (!g_interrupted.load(std::memory_order_relaxed) &&
+         queries.Next(&entity)) {
     auto links = index->MatchEntity(entity, queries.schema());
     for (const GeneratedLink& link : links) {
       const std::string row = GeneratedLinkCsvRow(link);
@@ -596,10 +741,95 @@ int RunQuery(const Args& args) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   if (out != stdout) std::fclose(out);
-  if (!queries.status().ok()) return Fail(queries.status());
+  if (!queries.status().ok()) {
+    return FailFlagFile("query", "entities", args.Get("entities", "<stdin>"),
+                        queries.status());
+  }
   std::fprintf(stderr, "served %zu queries, %zu links (%.0f queries/s)\n",
                served, total_links, seconds > 0.0 ? served / seconds : 0.0);
+  if (g_interrupted.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "interrupted by %s; answers so far were flushed\n",
+                 SignalName());
+    return InterruptExitCode();
+  }
   return 0;
+}
+
+int RunServe(const Args& args) {
+  size_t port = 0;
+  size_t workers = 2;
+  size_t max_queue = 16;
+  size_t request_deadline_ms = 2000;
+  size_t read_timeout_ms = 5000;
+  size_t drain_deadline_ms = 5000;
+  size_t threads = 0;
+  if (!FlagAsCount(args, "serve", "port", 0, &port) ||
+      !FlagAsCount(args, "serve", "workers", 1, &workers) ||
+      !FlagAsCount(args, "serve", "max-queue", 0, &max_queue) ||
+      !FlagAsCount(args, "serve", "request-deadline-ms", 1,
+                   &request_deadline_ms) ||
+      !FlagAsCount(args, "serve", "read-timeout-ms", 1, &read_timeout_ms) ||
+      !FlagAsCount(args, "serve", "drain-deadline-ms", 1, &drain_deadline_ms) ||
+      !FlagAsCount(args, "serve", "threads", 0, &threads)) {
+    return 2;
+  }
+  if (port > 65535) {
+    std::fprintf(stderr, "genlink serve: flag '--port' expects <= 65535\n");
+    return 2;
+  }
+
+  auto target =
+      LoadDataset(args.Get("target"), args.Get("id-column", "id"), "target");
+  if (!target.ok()) {
+    return FailFlagFile("serve", "target", args.Get("target"), target.status());
+  }
+
+  ServingState state(*target, threads);
+  const char* artifact_path = args.Get("artifact");
+  // The initial deploy takes the same failure-checked path as a live
+  // reload; at startup a bad artifact is fatal (there is nothing older
+  // to keep serving).
+  Status deployed = state.ReloadFromFile(artifact_path);
+  if (!deployed.ok()) {
+    return FailFlagFile("serve", "artifact", artifact_path, deployed);
+  }
+
+  ServeOptions options;
+  options.port = static_cast<uint16_t>(port);
+  options.num_workers = workers;
+  options.max_queue = max_queue;
+  options.request_deadline = std::chrono::milliseconds(request_deadline_ms);
+  options.read_timeout = std::chrono::milliseconds(read_timeout_ms);
+  options.drain_deadline = std::chrono::milliseconds(drain_deadline_ms);
+  options.csv.id_column = args.Get("id-column", "id");
+
+  ServeDaemon daemon(state, options);
+  Status started = daemon.Start();
+  if (!started.ok()) return Fail(started);
+
+  if (const char* port_file = args.Get("port-file")) {
+    Status status =
+        WriteStringToFile(port_file, std::to_string(daemon.port()) + "\n");
+    if (!status.ok()) {
+      return FailFlagFile("serve", "port-file", port_file, status);
+    }
+  }
+  // SIGINT/SIGTERM reach the daemon through its self-pipe (the handler
+  // may only write() a byte) and begin the graceful drain.
+  g_serve_shutdown_fd.store(daemon.shutdown_fd(), std::memory_order_relaxed);
+  std::fprintf(stderr,
+               "serving on 127.0.0.1:%u (%zu workers, queue %zu, "
+               "deadline %zums); SIGTERM drains\n",
+               daemon.port(), workers, max_queue, request_deadline_ms);
+  std::fflush(stderr);
+
+  const bool clean = daemon.WaitForDrain();
+  g_serve_shutdown_fd.store(-1, std::memory_order_relaxed);
+  std::fprintf(stderr, "drained %s\n%s", clean ? "cleanly" : "WITH ABORTS",
+               daemon.RenderVarz().c_str());
+  // A drained daemon exits 0: SIGTERM is the *intended* way to stop
+  // serving, not an error (docs/SERVING.md).
+  return clean ? 0 : 1;
 }
 
 int RunGen(const Args& args) {
@@ -634,6 +864,9 @@ int RunGen(const Args& args) {
     for (const std::string& name : schema.property_names()) row.push_back(name);
     std::string buffer = WriteCsv({row});
     for (const Entity& entity : dataset.entities()) {
+      // SIGINT/SIGTERM: stop between rows; whatever is buffered is
+      // flushed below so the file ends on a complete CSV record.
+      if (g_interrupted.load(std::memory_order_relaxed)) break;
       row.clear();
       row.push_back(entity.id());
       for (PropertyId p = 0; p < schema.NumProperties(); ++p) {
@@ -654,11 +887,24 @@ int RunGen(const Args& args) {
   };
 
   Status status = write_dataset(task.a, args.Get("out-source"));
-  if (!status.ok()) return Fail(status);
+  if (!status.ok()) {
+    return FailFlagFile("gen", "out-source", args.Get("out-source"), status);
+  }
   status = write_dataset(task.b, args.Get("out-target"));
-  if (!status.ok()) return Fail(status);
+  if (!status.ok()) {
+    return FailFlagFile("gen", "out-target", args.Get("out-target"), status);
+  }
   status = WriteStringToFile(args.Get("out-links"), WriteLinksCsv(task.links));
-  if (!status.ok()) return Fail(status);
+  if (!status.ok()) {
+    return FailFlagFile("gen", "out-links", args.Get("out-links"), status);
+  }
+  if (g_interrupted.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "interrupted by %s; partial datasets were flushed (links "
+                 "file is complete)\n",
+                 SignalName());
+    return InterruptExitCode();
+  }
 
   std::fprintf(stderr,
                "generated %zu + %zu entities, %zu positive / %zu negative "
@@ -672,13 +918,21 @@ int RunGen(const Args& args) {
 
 int RunEval(const Args& args) {
   auto a = LoadDataset(args.Get("source"), args.Get("id-column", "id"), "source");
-  if (!a.ok()) return Fail(a.status());
+  if (!a.ok()) {
+    return FailFlagFile("eval", "source", args.Get("source"), a.status());
+  }
   auto b = LoadDataset(args.Get("target"), args.Get("id-column", "id"), "target");
-  if (!b.ok()) return Fail(b.status());
+  if (!b.ok()) {
+    return FailFlagFile("eval", "target", args.Get("target"), b.status());
+  }
   auto rule = LoadRule(args.Get("rule"));
-  if (!rule.ok()) return Fail(rule.status());
+  if (!rule.ok()) {
+    return FailFlagFile("eval", "rule", args.Get("rule"), rule.status());
+  }
   auto links = LoadLinks(args.Get("links"));
-  if (!links.ok()) return Fail(links.status());
+  if (!links.ok()) {
+    return FailFlagFile("eval", "links", args.Get("links"), links.status());
+  }
 
   auto generated = GenerateLinks(*rule, *a, *b);
   LinkSetMetrics metrics = EvaluateLinkSet(generated, *links);
@@ -721,9 +975,11 @@ int Main(int argc, char** argv) {
   args.command = spec->name;
   const int parse_exit = ParseFlags(*spec, argc, argv, args);
   if (parse_exit >= 0) return parse_exit;
+  InstallSignalHandlers();
   if (command == "learn") return RunLearn(args);
   if (command == "match") return RunMatch(args);
   if (command == "query") return RunQuery(args);
+  if (command == "serve") return RunServe(args);
   if (command == "gen") return RunGen(args);
   return RunEval(args);
 }
