@@ -1,0 +1,261 @@
+// Cold-start latency: serving a corpus from the mmap-able v2 artifact
+// (io/corpus_artifact.h) against re-parsing CSV and rebuilding the
+// execution artifacts from scratch — the cost `genlink serve --index`
+// removes from every process start and every horizontal-scale-out.
+//
+// Measures, on the synthetic person-directory corpus (100k entities at
+// default scale, 5k in smoke):
+//   * fresh path: read + parse CSV, MatcherIndex::Build (value-store
+//     plans, token-blocking postings) — what `serve --target` pays;
+//   * one-time `genlink index` cost: WriteCorpusArtifact wall time and
+//     artifact size;
+//   * mapped path: MappedCorpus::Load (with checksum verification) +
+//     MatcherIndex::Build over the mapping — what `serve --index` pays.
+//
+// Doubles as a CI gate, exiting non-zero when either fails:
+//   * bit-identity — the mapped index must answer a query sample
+//     exactly as the freshly built one (ids, scores, order), pinning
+//     the artifact's value ids/interning order to a fresh build
+//     (extra.links_identical, held at 1.0);
+//   * cold-start speedup — the mapped path must stay >= 20x faster
+//     than the fresh path (>= 5x in smoke, where the corpus is small
+//     enough that constant costs dominate); the measured ratio is
+//     tracked machine-independently as extra.coldstart_speedup in
+//     BENCH_coldstart.json.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/matcher_index.h"
+#include "datasets/synthetic.h"
+#include "harness.h"
+#include "io/corpus_artifact.h"
+#include "io/csv.h"
+#include "matcher/matcher.h"
+#include "rule/builder.h"
+
+using namespace genlink;
+using namespace genlink::bench;
+
+namespace {
+
+LinkageRule PersonRule() {
+  auto rule = RuleBuilder()
+                  .Aggregate("max")
+                  .Compare("levenshtein", 2.0, Prop("name").Lower(),
+                           Prop("name").Lower())
+                  .Compare("levenshtein", 1.0, Prop("phone"), Prop("phone"))
+                  .End()
+                  .Build();
+  if (!rule.ok()) {
+    std::fprintf(stderr, "rule construction failed: %s\n",
+                 rule.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(rule).value();
+}
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string DatasetToCsv(const Dataset& dataset) {
+  const Schema& schema = dataset.schema();
+  std::vector<std::string> row;
+  row.push_back("id");
+  for (const std::string& name : schema.property_names()) row.push_back(name);
+  std::string csv = WriteCsv({row});
+  for (const Entity& entity : dataset.entities()) {
+    row.clear();
+    row.push_back(entity.id());
+    for (PropertyId p = 0; p < schema.NumProperties(); ++p) {
+      const ValueSet& values = entity.Values(p);
+      row.push_back(values.empty() ? std::string() : values.front());
+    }
+    csv += WriteCsv({row});
+  }
+  return csv;
+}
+
+bool SameLinks(const std::vector<GeneratedLink>& x,
+               const std::vector<GeneratedLink>& y) {
+  if (x.size() != y.size()) return false;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i].id_a != y[i].id_a || x[i].id_b != y[i].id_b ||
+        x[i].score != y[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BenchRecord MakeRecord(const char* system, double data_scale, size_t reps,
+                       double seconds,
+                       std::vector<std::pair<std::string, double>> extra) {
+  BenchRecord record;
+  record.dataset = "synthetic-person";
+  record.system = system;
+  record.data_scale = data_scale;
+  record.runs = reps;
+  record.seconds = {seconds, 0.0};
+  record.extra = std::move(extra);
+  return record;
+}
+
+}  // namespace
+
+int main() {
+  const BenchScale scale = GetBenchScale();
+  const bool smoke = scale.name == "smoke";
+  const double required_speedup = smoke ? 5.0 : 20.0;
+  SyntheticConfig config;
+  config.num_entities = smoke ? 5000 : 100000;
+  config.num_threads = 0;
+  const MatchingTask task = GenerateSynthetic(config);
+  const LinkageRule rule = PersonRule();
+  const size_t reps = 3;
+
+  MatchOptions options;
+  options.num_threads = 1;
+
+  // The corpus as `serve --target` would read it, staged on disk.
+  const std::string csv_path = "coldstart_corpus.csv";
+  const std::string index_path = "coldstart_corpus.glidx";
+  {
+    const Status staged = WriteStringToFile(csv_path, DatasetToCsv(task.b));
+    if (!staged.ok()) {
+      std::fprintf(stderr, "cannot stage corpus: %s\n",
+                   staged.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Fresh path: parse + build, everything from bytes. Best of reps.
+  // The last rep's corpus outlives the loop: the bit-identity sample
+  // below queries an index built over it.
+  double fresh_seconds = 0.0;
+  std::optional<Dataset> kept;
+  std::shared_ptr<const MatcherIndex> fresh_index;
+  for (size_t r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    auto content = ReadFileToString(csv_path);
+    if (!content.ok()) {
+      std::fprintf(stderr, "read failed: %s\n",
+                   content.status().ToString().c_str());
+      return 1;
+    }
+    CsvDatasetOptions csv_options;
+    csv_options.id_column = "id";
+    auto corpus = ReadCsvDataset(*content, "corpus", csv_options);
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "parse failed: %s\n",
+                   corpus.status().ToString().c_str());
+      return 1;
+    }
+    fresh_index.reset();
+    kept.emplace(std::move(*corpus));
+    fresh_index = MatcherIndex::Build(*kept, rule, options);
+    const double elapsed = Seconds(start);
+    if (r == 0 || elapsed < fresh_seconds) fresh_seconds = elapsed;
+  }
+  std::printf("coldstart: %zu entities, fresh parse+build %.4fs\n",
+              task.b.size(), fresh_seconds);
+
+  // One-time index cost (`genlink index`). Indexes the CSV-parsed
+  // corpus — the exact dataset the fresh path serves — so the
+  // bit-identity gate compares like with like.
+  CorpusArtifactStats stats;
+  const auto write_start = std::chrono::steady_clock::now();
+  const Status written =
+      WriteCorpusArtifact(index_path, *kept, rule, options, nullptr, &stats);
+  const double write_seconds = Seconds(write_start);
+  if (!written.ok()) {
+    std::fprintf(stderr, "index write failed: %s\n",
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("coldstart: index written in %.4fs (%.1f MiB, %llu tokens)\n",
+              write_seconds,
+              static_cast<double>(stats.file_bytes) / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(stats.num_tokens));
+
+  // Mapped path: load (checksum verified) + build. Best of reps.
+  double mapped_seconds = 0.0;
+  std::shared_ptr<const MatcherIndex> mapped_index;
+  for (size_t r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    auto mapped = MappedCorpus::Load(index_path);
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   mapped.status().ToString().c_str());
+      return 1;
+    }
+    auto index = MatcherIndex::Build(*mapped, rule, options);
+    if (!index.ok()) {
+      std::fprintf(stderr, "mapped build failed: %s\n",
+                   index.status().ToString().c_str());
+      return 1;
+    }
+    const double elapsed = Seconds(start);
+    if (r == 0 || elapsed < mapped_seconds) mapped_seconds = elapsed;
+    mapped_index = std::move(*index);
+  }
+  const double speedup =
+      mapped_seconds > 0.0 ? fresh_seconds / mapped_seconds : 0.0;
+  std::printf("coldstart: mapped load+build %.4fs (%.1fx faster)\n",
+              mapped_seconds, speedup);
+
+  // Bit-identity over a query sample: every source entity in the
+  // sample must get exactly the same links from both indexes.
+  const size_t sample =
+      task.a.size() < size_t{500} ? task.a.size() : size_t{500};
+  std::vector<Entity> queries(task.a.entities().begin(),
+                              task.a.entities().begin() + sample);
+  const auto fresh_links = fresh_index->MatchBatch(queries, task.a.schema());
+  const auto mapped_links = mapped_index->MatchBatch(queries, task.a.schema());
+  const bool identical = SameLinks(fresh_links, mapped_links);
+  std::printf("coldstart: %zu sample queries -> %zu links, identical=%d\n",
+              sample, fresh_links.size(), identical ? 1 : 0);
+
+  std::vector<BenchRecord> records;
+  records.push_back(MakeRecord(
+      "coldstart/fresh-parse-build", config.num_entities, reps, fresh_seconds,
+      {{"entities", static_cast<double>(task.b.size())}}));
+  records.push_back(MakeRecord(
+      "coldstart/index-write", config.num_entities, 1, write_seconds,
+      {{"file_mib", static_cast<double>(stats.file_bytes) / (1024.0 * 1024.0)},
+       {"tokens", static_cast<double>(stats.num_tokens)}}));
+  records.push_back(MakeRecord(
+      "coldstart/mapped-load-build", config.num_entities, reps, mapped_seconds,
+      {{"coldstart_speedup", speedup},
+       {"links_identical", identical ? 1.0 : 0.0},
+       {"sample_links", static_cast<double>(fresh_links.size())}}));
+  WriteBenchJson("coldstart", scale, records);
+
+  std::remove(csv_path.c_str());
+  std::remove(index_path.c_str());
+
+  int exit_code = 0;
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: mapped index diverged from the fresh build on the "
+                 "query sample\n");
+    exit_code = 1;
+  }
+  if (fresh_links.empty()) {
+    std::fprintf(stderr, "FAIL: query sample produced no links\n");
+    exit_code = 1;
+  }
+  if (speedup < required_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: cold-start speedup %.1fx below the %.0fx gate\n",
+                 speedup, required_speedup);
+    exit_code = 1;
+  }
+  return exit_code;
+}

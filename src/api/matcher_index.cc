@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "distance/distance_measure.h"
 #include "eval/value_store.h"
+#include "io/corpus_artifact.h"
 #include "matcher/blocking.h"
 #include "rule/rule_hash.h"
 
@@ -73,7 +74,11 @@ double Elapsed(std::chrono::steady_clock::time_point start) {
 // check in debug builds, zero-cost in release).
 struct MatcherIndex::Corpus {
   const Dataset* source = nullptr;  // null for serving-only builds
-  const Dataset* target = nullptr;
+  const Dataset* target = nullptr;  // null for mapped-corpus builds
+  /// Zero-copy corpus (io/corpus_artifact.h); when set, `target` and
+  /// `store` are null and the mapped file is both the entity table and
+  /// the value store. Immutable, so none of its state needs the mutex.
+  std::shared_ptr<const MappedCorpus> mapped;
   mutable WriterPriorityMutex mutex;
   /// Null when use_value_store is off. The pointer itself is set once
   /// at Build before the corpus is shared; the pointee is guarded.
@@ -87,6 +92,19 @@ struct MatcherIndex::Corpus {
   std::map<BlockingKey, std::shared_ptr<const BlockingIndex>> blocking_cache
       GENLINK_GUARDED_BY(mutex);
   std::unique_ptr<ThreadPool> pool;
+
+  // Target-side accessors every query path uses, so the dataset-backed
+  // and mapped shapes read identically.
+  size_t target_size() const {
+    return mapped != nullptr ? mapped->size() : target->size();
+  }
+  std::string_view target_id(size_t index) const {
+    return mapped != nullptr ? mapped->entity_id(index)
+                             : std::string_view(target->entity(index).id());
+  }
+  const Schema& target_schema() const {
+    return mapped != nullptr ? mapped->schema() : target->schema();
+  }
 };
 
 /// Source-side values of one query entity: each distinct value subtree
@@ -151,11 +169,44 @@ std::shared_ptr<const MatcherIndex> MatcherIndex::Build(
   return index;
 }
 
-void MatcherIndex::CompileLocked() {
+Result<std::shared_ptr<const MatcherIndex>> MatcherIndex::Build(
+    std::shared_ptr<const MappedCorpus> corpus, const LinkageRule& rule,
+    const MatchOptions& options) {
+  if (corpus == nullptr) {
+    return Status::InvalidArgument("MatcherIndex::Build: null mapped corpus");
+  }
+  if (rule.empty()) {
+    return Status::InvalidArgument(
+        "MatcherIndex::Build: a mapped corpus cannot serve the empty rule "
+        "(there is nothing to score)");
+  }
+  if (!options.use_value_store) {
+    return Status::InvalidArgument(
+        "MatcherIndex::Build: a mapped corpus IS the value store; "
+        "use_value_store=false is not servable from an artifact");
+  }
+  auto shared = std::make_shared<Corpus>();
+  shared->mapped = std::move(corpus);
+  shared->pool = std::make_unique<ThreadPool>(options.num_threads);
+  std::shared_ptr<MatcherIndex> index(
+      new MatcherIndex(shared, rule.Clone(), options));
+  const auto start = std::chrono::steady_clock::now();
+  {
+    WriterMutexLock lock(shared->mutex);
+    GENLINK_RETURN_IF_ERROR(index->CompileLocked());
+  }
+  index->build_seconds_ = Elapsed(start);
+  return std::shared_ptr<const MatcherIndex>(std::move(index));
+}
+
+Status MatcherIndex::CompileLocked() {
   Corpus& corpus = *corpus_;
   // Declared in the header, where Corpus is incomplete, so the writer
   // requirement is asserted rather than spelled as GENLINK_REQUIRES.
   corpus.mutex.AssertWriterHeld();
+  query_ready_ = false;
+  reader_ = nullptr;
+  if (corpus.mapped != nullptr) return CompileMappedLocked();
   if (options_.use_blocking) {
     std::vector<std::string> properties = TargetProperties(rule_);
     const size_t shards = std::max<size_t>(1, options_.blocking_shards);
@@ -178,7 +229,7 @@ void MatcherIndex::CompileLocked() {
     }
     blocking_ = slot;
   }
-  if (corpus.store == nullptr || rule_.empty()) return;
+  if (corpus.store == nullptr || rule_.empty()) return Status::Ok();
 
   // Full-join scoring over store-resident pairs. Compiles both sides'
   // value subtrees into the shared store; a WithRule generation only
@@ -213,6 +264,78 @@ void MatcherIndex::CompileLocked() {
     query_sites_.push_back(
         {info.comparisons[k].op, it->second, target_plans[k]});
   }
+  reader_ = corpus.store.get();
+  query_ready_ = true;
+  return Status::Ok();
+}
+
+Status MatcherIndex::CompileMappedLocked() {
+  const MappedCorpus& mapped = *corpus_->mapped;
+  if (options_.use_blocking) {
+    // The artifact carries exactly one blocking configuration; serving
+    // a different one would need the original dataset. Refuse with the
+    // mismatch named instead of silently scanning or re-indexing.
+    if (!mapped.has_blocking()) {
+      return Status::FailedPrecondition(
+          "corpus artifact '" + mapped.path() +
+          "' carries no blocking postings; re-run `genlink index` or "
+          "disable blocking");
+    }
+    const std::vector<std::string> properties = TargetProperties(rule_);
+    const size_t shards = std::max<size_t>(1, options_.blocking_shards);
+    if (properties != mapped.blocking_properties()) {
+      return Status::FailedPrecondition(
+          "corpus artifact '" + mapped.path() +
+          "' indexes different target properties than this rule reads; "
+          "re-run `genlink index` with the new rule");
+    }
+    if (options_.blocking_max_tokens != mapped.blocking_max_tokens() ||
+        options_.blocking_min_token_df != mapped.blocking_min_token_df() ||
+        shards != mapped.blocking_shards()) {
+      return Status::FailedPrecondition(
+          "corpus artifact '" + mapped.path() +
+          "' was indexed with different blocking knobs (max_tokens=" +
+          std::to_string(mapped.blocking_max_tokens()) + ", min_df=" +
+          std::to_string(mapped.blocking_min_token_df()) + ", shards=" +
+          std::to_string(mapped.blocking_shards()) +
+          "); re-run `genlink index` with the requested options");
+    }
+    // Aliasing shared_ptr: the BlockingIndex lives inside the mapped
+    // corpus, so the corpus keeps it (and the mapping) alive.
+    blocking_ = std::shared_ptr<const BlockingIndex>(corpus_->mapped,
+                                                     mapped.blocking());
+  }
+
+  // Query scorer over precomputed plans: every target-side value
+  // subtree must resolve to a plan the artifact carries. The directory
+  // is keyed by the cross-process-stable hash (rule/rule_hash.h) — the
+  // in-process ValueOperatorHash mixes function-instance pointers and
+  // would never match a file written by another process. A miss means
+  // the artifact predates this rule.
+  const RuleHashInfo info = AnalyzeRule(rule_);
+  query_ops_.clear();
+  query_sites_.clear();
+  query_sites_.reserve(info.comparisons.size());
+  std::unordered_map<uint64_t, uint32_t> slot_by_hash;
+  for (const ComparisonSite& site : info.comparisons) {
+    const std::optional<PlanId> plan =
+        mapped.FindPlan(ValueReader::Side::kTarget,
+                        StableValueOperatorHash(*site.op->target()));
+    if (!plan.has_value()) {
+      return Status::FailedPrecondition(
+          "corpus artifact '" + mapped.path() +
+          "' has no precomputed value plan for a target-side subtree of "
+          "this rule; re-run `genlink index` with the new rule");
+    }
+    const ValueOperator* source_op = site.op->source();
+    auto [it, inserted] = slot_by_hash.try_emplace(
+        ValueOperatorHash(*source_op), static_cast<uint32_t>(query_ops_.size()));
+    if (inserted) query_ops_.push_back(source_op);
+    query_sites_.push_back({site.op, it->second, *plan});
+  }
+  reader_ = &mapped;
+  query_ready_ = true;
+  return Status::Ok();
 }
 
 std::shared_ptr<const MatcherIndex> MatcherIndex::WithRule(
@@ -222,21 +345,33 @@ std::shared_ptr<const MatcherIndex> MatcherIndex::WithRule(
 
 std::shared_ptr<const MatcherIndex> MatcherIndex::WithRule(
     const LinkageRule& rule, const MatchOptions& options) const {
+  // Infallible over a dataset-backed corpus (header contract); over a
+  // mapped corpus, failures need TryWithRule — here they surface as a
+  // null index rather than silently serving the wrong rule.
+  return TryWithRule(rule, options).value_or(nullptr);
+}
+
+Result<std::shared_ptr<const MatcherIndex>> MatcherIndex::TryWithRule(
+    const LinkageRule& rule, const MatchOptions& options) const {
   MatchOptions next_options = options;
   // Corpus-lifetime properties cannot change per generation: the pool
   // was sized at Build, and the value store either exists for this
   // corpus or does not (header contract).
   next_options.num_threads = options_.num_threads;
   next_options.use_value_store = options_.use_value_store;
+  if (corpus_->mapped != nullptr && rule.empty()) {
+    return Status::InvalidArgument(
+        "TryWithRule: a mapped corpus cannot serve the empty rule");
+  }
   std::shared_ptr<MatcherIndex> next(
       new MatcherIndex(corpus_, rule.Clone(), next_options));
   const auto start = std::chrono::steady_clock::now();
   {
     WriterMutexLock lock(corpus_->mutex);
-    next->CompileLocked();
+    GENLINK_RETURN_IF_ERROR(next->CompileLocked());
   }
   next->build_seconds_ = Elapsed(start);
-  return next;
+  return std::shared_ptr<const MatcherIndex>(std::move(next));
 }
 
 void MatcherIndex::EvaluateQueryOps(const Entity& entity, const Schema& schema,
@@ -264,8 +399,8 @@ double MatcherIndex::QueryNode(const SimilarityOperator& node,
     const ComparisonOperator& cmp = *site.op;
     const std::vector<std::string_view>& source_views =
         qv.views[site.source_slot];
-    const std::span<const ValueId> target_values = corpus_->store->Values(
-        ValueStore::Side::kTarget, site.target_plan, target_index);
+    const std::span<const ValueId> target_values = reader_->Values(
+        ValueReader::Side::kTarget, site.target_plan, target_index);
     double distance;
     if (source_views.empty() || target_values.empty()) {
       // PairDistance's empty-side convention: similarity 0.
@@ -274,7 +409,7 @@ double MatcherIndex::QueryNode(const SimilarityOperator& node,
       thread_local std::vector<std::string_view> scratch;
       scratch.clear();
       for (ValueId id : target_values) {
-        scratch.push_back(corpus_->store->View(id));
+        scratch.push_back(reader_->View(id));
       }
       // As in CompiledRule::EvalNode, the comparison threshold doubles
       // as the distance bound; DistanceViews is bit-identical to the
@@ -298,31 +433,35 @@ std::vector<GeneratedLink> MatcherIndex::MatchEntityUnlocked(
     const std::vector<size_t>* candidates, const CancelToken* cancel) const {
   corpus_->mutex.AssertReaderHeld();
   if (cancel == nullptr) cancel = options_.cancel;
-  const Dataset& target = *corpus_->target;
   // A record is never its own duplicate: a self-indexed corpus (dedup)
   // and a serving-only index (queries of unknown provenance, often the
   // corpus itself — the `genlink query` shape) both skip the candidate
   // carrying the query's own id. Only a two-dataset index keeps
   // equal-id candidates, preserving bit-identity with the full join
-  // (contract in the header).
+  // (contract in the header). A mapped corpus has no source and takes
+  // the serving-only branch.
   const bool skip_own_id =
       corpus_->source == nullptr || corpus_->source == corpus_->target;
   QueryValues qv;
-  if (compiled_ != nullptr) EvaluateQueryOps(entity, schema, qv);
+  if (query_ready_) EvaluateQueryOps(entity, schema, qv);
 
   std::vector<GeneratedLink> links;
   auto consider = [&](size_t j) {
-    const Entity& eb = target.entity(j);
-    if (skip_own_id && eb.id() == entity.id()) return;
+    const std::string_view id_b = corpus_->target_id(j);
+    if (skip_own_id && id_b == entity.id()) return;
     double score;
-    if (compiled_ != nullptr) {
+    if (query_ready_) {
       size_t next_site = 0;
       score = QueryNode(*rule_.root(), qv, j, next_site);
     } else {
-      score = rule_.Evaluate(entity, eb, schema, target.schema());
+      // Raw-evaluation fallback (value store off or empty rule). Only
+      // reachable with a dataset-backed corpus: mapped builds always
+      // compile a query scorer (Build contract).
+      score = rule_.Evaluate(entity, corpus_->target->entity(j), schema,
+                             corpus_->target->schema());
     }
     if (score >= options_.threshold) {
-      links.push_back({entity.id(), eb.id(), score});
+      links.push_back({entity.id(), std::string(id_b), score});
     }
   };
   // Cancellation is polled every 64 candidates: cheap enough to be
@@ -344,7 +483,7 @@ std::vector<GeneratedLink> MatcherIndex::MatchEntityUnlocked(
       consider(j);
     }
   } else {
-    for (size_t j = 0; j < target.size(); ++j) {
+    for (size_t j = 0; j < corpus_->target_size(); ++j) {
       if (cancelled()) break;
       consider(j);
     }
@@ -367,7 +506,7 @@ std::vector<GeneratedLink> MatcherIndex::MatchEntity(
 std::vector<GeneratedLink> MatcherIndex::MatchEntity(
     const Entity& entity) const {
   return MatchEntity(entity, has_source() ? corpus_->source->schema()
-                                          : corpus_->target->schema());
+                                          : corpus_->target_schema());
 }
 
 std::vector<GeneratedLink> MatcherIndex::MatchBatch(
@@ -439,7 +578,7 @@ std::vector<GeneratedLink> MatcherIndex::MatchBatch(
     std::span<const Entity> entities, const CancelToken* cancel) const {
   return MatchBatch(entities,
                     has_source() ? corpus_->source->schema()
-                                 : corpus_->target->schema(),
+                                 : corpus_->target_schema(),
                     cancel);
 }
 
@@ -448,13 +587,13 @@ std::vector<GeneratedLink> MatcherIndex::MatchDataset(
   std::vector<GeneratedLink> links;
   Mutex links_mutex;
   ReaderMutexLock lock(corpus_->mutex);
-  const Dataset& target = *corpus_->target;
-  const bool self_join = &source == &target;
+  const bool self_join =
+      corpus_->target != nullptr && &source == corpus_->target;
   // Store-resident scoring needs the store's source-side plans, which
   // only the bound source dataset has; any other dataset goes through
   // the (bit-identical) query scorer.
   const bool bound = compiled_ != nullptr && &source == corpus_->source;
-  const bool query_scorer = compiled_ != nullptr && !bound;
+  const bool query_scorer = query_ready_ && !bound;
 
   corpus_->pool->ParallelFor(source.size(), [&](size_t i) {
     // The one-shot CLI's SIGINT path: a fired token skips the
@@ -465,8 +604,8 @@ std::vector<GeneratedLink> MatcherIndex::MatchDataset(
     if (query_scorer) EvaluateQueryOps(ea, source.schema(), qv);
     std::vector<GeneratedLink> local;
     auto consider = [&](size_t j) {
-      const Entity& eb = target.entity(j);
-      if (self_join && ea.id() >= eb.id()) return;  // dedup: each pair once
+      const std::string_view id_b = corpus_->target_id(j);
+      if (self_join && ea.id() >= id_b) return;  // dedup: each pair once
       double score;
       if (bound) {
         score = compiled_->Score(i, j);
@@ -474,16 +613,19 @@ std::vector<GeneratedLink> MatcherIndex::MatchDataset(
         size_t next_site = 0;
         score = QueryNode(*rule_.root(), qv, j, next_site);
       } else {
-        score = rule_.Evaluate(ea, eb, source.schema(), target.schema());
+        // Raw fallback; never reached for a mapped corpus (which always
+        // compiles the query scorer).
+        score = rule_.Evaluate(ea, corpus_->target->entity(j), source.schema(),
+                               corpus_->target->schema());
       }
       if (score >= options_.threshold) {
-        local.push_back({ea.id(), eb.id(), score});
+        local.push_back({ea.id(), std::string(id_b), score});
       }
     };
     if (blocking_ != nullptr) {
       for (size_t j : blocking_->Candidates(ea, source.schema())) consider(j);
     } else {
-      for (size_t j = 0; j < target.size(); ++j) consider(j);
+      for (size_t j = 0; j < corpus_->target_size(); ++j) consider(j);
     }
     if (options_.best_match_only && local.size() > 1) KeepBestTarget(local);
     if (!local.empty()) {
@@ -505,10 +647,12 @@ const Dataset& MatcherIndex::target() const { return *corpus_->target; }
 
 bool MatcherIndex::has_source() const { return corpus_->source != nullptr; }
 
+bool MatcherIndex::is_mapped() const { return corpus_->mapped != nullptr; }
+
 MatcherIndexStats MatcherIndex::stats() const {
   ReaderMutexLock lock(corpus_->mutex);
   MatcherIndexStats stats;
-  stats.target_entities = corpus_->target->size();
+  stats.target_entities = corpus_->target_size();
   if (blocking_ != nullptr) {
     stats.blocking_tokens = blocking_->NumTokens();
     stats.blocking_postings = blocking_->NumPostings();
@@ -518,7 +662,10 @@ MatcherIndexStats MatcherIndex::stats() const {
       stats.blocking_shard_stats.push_back(blocking_->ShardStats(s));
     }
   }
-  if (corpus_->store != nullptr) {
+  if (corpus_->mapped != nullptr) {
+    stats.value_plans = corpus_->mapped->num_plans();
+    stats.store_bytes = corpus_->mapped->file_bytes();
+  } else if (corpus_->store != nullptr) {
     stats.value_plans = corpus_->store->stats().plans_compiled;
     stats.store_bytes = corpus_->store->ApproxBytes();
   }

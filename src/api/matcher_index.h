@@ -58,12 +58,15 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/status.h"
 #include "matcher/matcher.h"
 #include "rule/linkage_rule.h"
 
 namespace genlink {
 
 class CompiledRule;
+class MappedCorpus;
+class ValueReader;
 class ValueStore;
 class ThreadPool;
 
@@ -113,6 +116,22 @@ class MatcherIndex {
   /// source and returns empty here.
   static std::shared_ptr<const MatcherIndex> Build(
       const Dataset& target, const LinkageRule& rule,
+      const MatchOptions& options = {});
+
+  /// Zero-copy serving build over a mapped v2 corpus artifact
+  /// (io/corpus_artifact.h): the same serving surface as the
+  /// serving-only Build, but value spans and blocking postings are read
+  /// straight from the mapping — nothing is parsed, interned or
+  /// re-indexed, so cold start is bounded by Load() validation, not by
+  /// corpus size. Queries are bit-identical to a fresh Build over the
+  /// dataset the artifact was written from. Fails with a named Status
+  /// when the rule needs a value plan the artifact did not precompute,
+  /// or when options request a blocking configuration (properties,
+  /// max-tokens, min-df, shards) the artifact does not carry — re-run
+  /// `genlink index`. The rule must be non-empty and use_value_store
+  /// must stay on (a mapped corpus IS the value store).
+  static Result<std::shared_ptr<const MatcherIndex>> Build(
+      std::shared_ptr<const MappedCorpus> corpus, const LinkageRule& rule,
       const MatchOptions& options = {});
 
   ~MatcherIndex();
@@ -192,14 +211,26 @@ class MatcherIndex {
   std::shared_ptr<const MatcherIndex> WithRule(const LinkageRule& rule,
                                                const MatchOptions& options) const;
 
+  /// WithRule that surfaces compile failures instead of asserting they
+  /// cannot happen: over a mapped corpus a new rule may need value
+  /// plans or a blocking configuration the artifact does not carry, and
+  /// the caller (serve/serving_state.cc) must keep the old index
+  /// serving on that error. Over a dataset-backed corpus this never
+  /// fails and is equivalent to WithRule.
+  Result<std::shared_ptr<const MatcherIndex>> TryWithRule(
+      const LinkageRule& rule, const MatchOptions& options) const;
+
   /// The deployed rule / the options every query path uses.
   const LinkageRule& rule() const { return rule_; }
   const MatchOptions& options() const { return options_; }
 
-  /// The indexed (target) dataset.
+  /// The indexed (target) dataset. Requires a dataset-backed corpus
+  /// (!is_mapped()); a mapped corpus has no Dataset to return.
   const Dataset& target() const;
   /// True when a source dataset is bound (two-dataset Build).
   bool has_source() const;
+  /// True when this index serves a mapped corpus artifact.
+  bool is_mapped() const;
 
   MatcherIndexStats stats() const;
 
@@ -225,8 +256,14 @@ class MatcherIndex {
                MatchOptions options);
 
   /// Compiles rule_ against the corpus (value plans, blocking index,
-  /// query sites). Must run under the corpus write lock.
-  void CompileLocked();
+  /// query sites). Must run under the corpus write lock. Never fails
+  /// for a dataset-backed corpus; for a mapped corpus it fails when the
+  /// artifact lacks a needed value plan or the requested blocking
+  /// configuration.
+  Status CompileLocked();
+  /// The mapped-corpus arm of CompileLocked: resolves plans from the
+  /// artifact and borrows its blocking postings instead of building.
+  Status CompileMappedLocked();
 
   /// Pre-evaluated source-side values of one query entity.
   struct QueryValues;
@@ -268,6 +305,15 @@ class MatcherIndex {
   /// scorer, in pre-order. Empty when the value store is off.
   std::vector<const ValueOperator*> query_ops_;
   std::vector<QuerySite> query_sites_;
+
+  /// The target-side read surface the query scorer consumes — the
+  /// corpus value store or the mapped corpus. Set by CompileLocked;
+  /// null when the value store is off.
+  const ValueReader* reader_ = nullptr;
+  /// True when query_sites_/reader_ are usable (replaces the old
+  /// `compiled_ != nullptr` gate: a mapped corpus compiles the query
+  /// scorer without a CompiledRule).
+  bool query_ready_ = false;
 
   double build_seconds_ = 0.0;
 };

@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string_view>
 #include <unordered_map>
@@ -81,12 +82,48 @@ class StringPool {
   std::unordered_map<std::string_view, ValueId> ids_; // keys view into blocks_
 };
 
-/// Interned per-entity values of two entity sides (the paper's A and B)
-/// under compiled transform plans, sharing one string pool.
-class ValueStore {
+/// The read half of the value store: per-entity value spans, sorted
+/// token-id spans and pooled string views under compiled plans, with
+/// plan lookup by structural hash. This is the surface the query
+/// scorer (api/matcher_index.cc) consumes, abstracted so it can be
+/// served either by the in-memory ValueStore or by a zero-copy
+/// MappedCorpus over a v2 corpus artifact (io/corpus_artifact.h) —
+/// both sides of that split return bit-identical spans for the same
+/// logical corpus. Implementations are safe for concurrent reads.
+class ValueReader {
  public:
   enum class Side { kSource, kTarget };
 
+  virtual ~ValueReader() = default;
+
+  /// Interned values of one entity under a plan, in evaluation order.
+  virtual std::span<const ValueId> Values(Side side, PlanId plan,
+                                          size_t entity_index) const = 0;
+  /// Strictly increasing distinct ids of the same values, with
+  /// multiplicities (the token-set representation).
+  virtual std::span<const ValueId> SortedIds(Side side, PlanId plan,
+                                             size_t entity_index) const = 0;
+  virtual std::span<const uint32_t> SortedCounts(Side side, PlanId plan,
+                                                 size_t entity_index) const = 0;
+
+  /// The pooled bytes of an interned value id.
+  virtual std::string_view View(ValueId id) const = 0;
+
+  virtual size_t num_entities(Side side) const = 0;
+
+  /// The plan compiled for a value subtree with the given structural
+  /// hash (rule/rule_hash.h ValueOperatorHash), or nullopt when no such
+  /// subtree was compiled — for a mapped corpus: was not precomputed
+  /// into the artifact.
+  virtual std::optional<PlanId> FindPlan(Side side, uint64_t hash) const = 0;
+};
+
+/// Interned per-entity values of two entity sides (the paper's A and B)
+/// under compiled transform plans, sharing one string pool. `final`:
+/// the engine's hot paths call the span accessors through concrete
+/// references, which keeps them devirtualizable.
+class ValueStore final : public ValueReader {
+ public:
   /// The entity pointers are copied; the entities and schemas must
   /// outlive the store.
   ValueStore(std::span<const Entity* const> source_entities,
@@ -115,17 +152,21 @@ class ValueStore {
   void CompileBatch(Side side, std::span<const ValueOperator* const> ops,
                     std::span<PlanId> plans, ThreadPool* pool = nullptr);
 
-  /// Interned values of one entity under a plan, in evaluation order.
   std::span<const ValueId> Values(Side side, PlanId plan,
-                                  size_t entity_index) const;
-  /// Strictly increasing distinct ids of the same values, with
-  /// multiplicities (the token-set representation).
+                                  size_t entity_index) const override;
   std::span<const ValueId> SortedIds(Side side, PlanId plan,
-                                     size_t entity_index) const;
+                                     size_t entity_index) const override;
   std::span<const uint32_t> SortedCounts(Side side, PlanId plan,
-                                         size_t entity_index) const;
+                                         size_t entity_index) const override;
 
-  std::string_view View(ValueId id) const { return pool_.View(id); }
+  std::string_view View(ValueId id) const override { return pool_.View(id); }
+
+  std::optional<PlanId> FindPlan(Side side, uint64_t hash) const override {
+    const auto& by_hash = side_of(side).plan_by_hash;
+    const auto it = by_hash.find(hash);
+    if (it == by_hash.end()) return std::nullopt;
+    return it->second;
+  }
 
   /// Raw distance of one entity pair under a compiled comparison —
   /// exactly what DistanceMeasure::Distance returns on the entities'
@@ -137,9 +178,14 @@ class ValueStore {
                       size_t target_entity,
                       double bound = kInfiniteDistance) const;
 
-  size_t num_entities(Side side) const {
+  size_t num_entities(Side side) const override {
     return side_of(side).entities.size();
   }
+  /// Distinct interned strings (ids are [0, NumStrings()); the corpus
+  /// artifact writer serializes the pool by id).
+  size_t NumStrings() const { return pool_.size(); }
+  /// Plans materialized on `side` so far.
+  size_t NumPlans(Side side) const { return side_of(side).plans.size(); }
   const ValueStoreStats& stats() const { return stats_; }
 
   /// Pool bytes + plan array bytes (the eviction trigger of the

@@ -1,8 +1,10 @@
 #include "io/artifact.h"
 
+#include <unordered_set>
 #include <utility>
 
 #include "common/string_util.h"
+#include "io/atomic_write.h"
 #include "io/csv.h"
 #include "rule/parse.h"
 #include "rule/serialize.h"
@@ -61,6 +63,11 @@ Result<RuleArtifact> ReadRuleArtifact(std::string_view text) {
   size_t pos = 0;
   bool saw_magic = false;
   bool saw_separator = false;
+  // Each header key may appear at most once: silently letting a later
+  // `threshold:` override an earlier one would deploy a rule under
+  // options nobody reviewed, so duplicates are rejected with the same
+  // strictness as unknown keys. Keys are views into `text` (stable).
+  std::unordered_set<std::string_view> seen_keys;
   while (pos <= text.size()) {
     const size_t eol = text.find('\n', pos);
     std::string_view line = TrimView(
@@ -94,6 +101,10 @@ Result<RuleArtifact> ReadRuleArtifact(std::string_view text) {
     }
     const std::string_view key = TrimView(line.substr(0, colon));
     const std::string_view value = TrimView(line.substr(colon + 1));
+    if (!seen_keys.insert(key).second) {
+      return Status::ParseError("artifact: duplicate header key '" +
+                                std::string(key) + "'");
+    }
     if (key == "name") {
       artifact.name = std::string(value);
     } else if (key == "threshold") {
@@ -139,7 +150,10 @@ Result<RuleArtifact> ReadRuleArtifact(std::string_view text) {
 
 Status SaveArtifact(const std::string& path, const RuleArtifact& artifact,
                     ArtifactRuleFormat format) {
-  return WriteStringToFile(path, WriteRuleArtifact(artifact, format));
+  // Crash-safe: staged in a same-directory temp file and renamed over
+  // `path`, so a crash or full disk mid-save can never leave a torn
+  // artifact where a serving process reloads from (io/atomic_write.h).
+  return WriteFileAtomic(path, WriteRuleArtifact(artifact, format));
 }
 
 Result<RuleArtifact> LoadArtifact(const std::string& path) {

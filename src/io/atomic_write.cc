@@ -1,0 +1,168 @@
+#include "io/atomic_write.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace genlink {
+namespace {
+
+std::string ErrnoMessage(const char* what, const std::string& path, int err) {
+  return std::string(what) + " '" + path + "': " + std::strerror(err);
+}
+
+/// Full write with EINTR/short-write handling.
+Status WriteAll(int fd, const char* data, size_t size, const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("cannot write", path, errno));
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// Best-effort directory fsync so the rename survives a crash; failure
+/// (e.g. a filesystem that refuses O_DIRECTORY fsync) is not an error —
+/// the data file itself is already durable.
+void SyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Result<AtomicFileWriter> AtomicFileWriter::Create(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("atomic write: empty path");
+  const std::string temp = path + ".tmp." + std::to_string(::getpid());
+  const int fd =
+      ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot create temp file", temp, errno));
+  }
+  return AtomicFileWriter(path, temp, fd);
+}
+
+AtomicFileWriter::AtomicFileWriter(AtomicFileWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      temp_path_(std::move(other.temp_path_)),
+      fd_(other.fd_),
+      bytes_(other.bytes_) {
+  other.fd_ = -1;
+}
+
+AtomicFileWriter& AtomicFileWriter::operator=(AtomicFileWriter&& other) noexcept {
+  if (this != &other) {
+    Abort();
+    path_ = std::move(other.path_);
+    temp_path_ = std::move(other.temp_path_);
+    fd_ = other.fd_;
+    bytes_ = other.bytes_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+AtomicFileWriter::~AtomicFileWriter() { Abort(); }
+
+Status AtomicFileWriter::Append(std::string_view bytes) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("atomic write: writer already finished");
+  }
+  int injected = 0;
+  if (GENLINK_FAILPOINT_E("io.write_error", &injected)) {
+    return Status::IoError(
+        ErrnoMessage("cannot write", temp_path_,
+                     injected != 0 ? injected : ENOSPC));
+  }
+  GENLINK_RETURN_IF_ERROR(WriteAll(fd_, bytes.data(), bytes.size(), temp_path_));
+  bytes_ += bytes.size();
+  return Status::Ok();
+}
+
+Status AtomicFileWriter::PatchAt(uint64_t offset, std::string_view bytes) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("atomic write: writer already finished");
+  }
+  if (offset + bytes.size() > bytes_) {
+    return Status::OutOfRange("atomic write: patch beyond written bytes");
+  }
+  int injected = 0;
+  if (GENLINK_FAILPOINT_E("io.write_error", &injected)) {
+    return Status::IoError(
+        ErrnoMessage("cannot write", temp_path_,
+                     injected != 0 ? injected : ENOSPC));
+  }
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::pwrite(fd_, bytes.data() + done, bytes.size() - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("cannot write", temp_path_, errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status AtomicFileWriter::Commit() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("atomic write: writer already finished");
+  }
+  int injected = 0;
+  if (GENLINK_FAILPOINT_E("io.write_error", &injected)) {
+    Abort();
+    return Status::IoError(
+        ErrnoMessage("cannot sync", temp_path_, injected != 0 ? injected : EIO));
+  }
+  if (::fsync(fd_) != 0) {
+    const int err = errno;
+    Abort();
+    return Status::IoError(ErrnoMessage("cannot sync", temp_path_, err));
+  }
+  if (::close(fd_) != 0) {
+    const int err = errno;
+    fd_ = -1;
+    ::unlink(temp_path_.c_str());
+    return Status::IoError(ErrnoMessage("cannot close", temp_path_, err));
+  }
+  fd_ = -1;
+  if (::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(temp_path_.c_str());
+    return Status::IoError(
+        ErrnoMessage("cannot publish temp file to", path_, err));
+  }
+  SyncParentDirectory(path_);
+  return Status::Ok();
+}
+
+void AtomicFileWriter::Abort() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+  ::unlink(temp_path_.c_str());
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view content) {
+  auto writer = AtomicFileWriter::Create(path);
+  if (!writer.ok()) return writer.status();
+  GENLINK_RETURN_IF_ERROR(writer->Append(content));
+  return writer->Commit();
+}
+
+}  // namespace genlink

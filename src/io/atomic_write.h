@@ -1,0 +1,84 @@
+// Crash-safe file replacement: content is staged in a same-directory
+// temp file, fsync'd, and renamed over the destination, so the live
+// path never holds a torn write. Either the old file survives intact
+// (any failure before the rename — crash, full disk, injected error)
+// or the new content is fully there; readers can never observe a
+// partially written artifact at the published path.
+//
+// Two surfaces:
+//
+//   * WriteFileAtomic — one-shot replacement of small text artifacts
+//     (io/artifact.h SaveArtifact).
+//   * AtomicFileWriter — streaming writer for large binary artifacts
+//     (io/corpus_artifact.h), with PatchAt for formats whose header
+//     carries a checksum over the payload that follows it.
+//
+// Fault injection: every write syscall site evaluates the
+// `io.write_error` failpoint (common/failpoint.h), so tests drive the
+// torn-write leg deterministically and assert the destination
+// survives. A failed or abandoned writer unlinks its temp file.
+
+#ifndef GENLINK_IO_ATOMIC_WRITE_H_
+#define GENLINK_IO_ATOMIC_WRITE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace genlink {
+
+/// Streams bytes into `<path>.tmp.<pid>` and publishes them to `path`
+/// only on Commit(). Move-only; destroying an uncommitted writer
+/// removes the temp file and leaves `path` untouched.
+class AtomicFileWriter {
+ public:
+  /// Opens the temp file next to `path` (same directory, so the final
+  /// rename cannot cross filesystems).
+  static Result<AtomicFileWriter> Create(const std::string& path);
+
+  AtomicFileWriter(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter& operator=(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+  ~AtomicFileWriter();
+
+  /// Appends `bytes` at the current end of the temp file.
+  Status Append(std::string_view bytes);
+
+  /// Overwrites previously appended bytes at `offset` without moving
+  /// the append position — the header-patch step of formats that write
+  /// a placeholder header first and a payload checksum last.
+  /// `offset + bytes.size()` must not extend the file.
+  Status PatchAt(uint64_t offset, std::string_view bytes);
+
+  /// Flushes, fsyncs, closes and atomically renames the temp file over
+  /// the destination (then best-effort fsyncs the directory so the
+  /// rename itself survives a crash). On error the temp file is
+  /// removed and the destination is left as it was.
+  Status Commit();
+
+  /// Removes the temp file without touching the destination. Safe to
+  /// call on a moved-from or already finished writer.
+  void Abort();
+
+  /// Bytes appended so far (PatchAt does not move this).
+  uint64_t bytes_written() const { return bytes_; }
+
+ private:
+  AtomicFileWriter(std::string path, std::string temp_path, int fd)
+      : path_(std::move(path)), temp_path_(std::move(temp_path)), fd_(fd) {}
+
+  std::string path_;
+  std::string temp_path_;
+  int fd_ = -1;
+  uint64_t bytes_ = 0;
+};
+
+/// One-shot crash-safe replacement of `path` with `content`.
+Status WriteFileAtomic(const std::string& path, std::string_view content);
+
+}  // namespace genlink
+
+#endif  // GENLINK_IO_ATOMIC_WRITE_H_

@@ -1,0 +1,53 @@
+// Read-only memory-mapped files: the zero-copy substrate of the v2
+// corpus artifact (io/corpus_artifact.h). A MappedFile owns one
+// private read-only mapping of a whole file; N processes mapping the
+// same artifact share one page-cache copy, and nothing is parsed or
+// copied at open time — cold start is bounded by page faults, not by
+// file size.
+
+#ifndef GENLINK_IO_MMAP_FILE_H_
+#define GENLINK_IO_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace genlink {
+
+/// A read-only mapping of an entire file. Move-only; the mapping (and
+/// every view into it) lives until destruction.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Fails with a named IoError when the file
+  /// cannot be opened, stat'd or mapped. An empty file maps to an
+  /// empty view (no mapping is created).
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const char* data() const { return static_cast<const char*>(data_); }
+  size_t size() const { return size_; }
+  std::string_view view() const { return std::string_view(data(), size_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile(std::string path, void* data, size_t size)
+      : path_(std::move(path)), data_(data), size_(size) {}
+
+  void Reset();
+
+  std::string path_;
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace genlink
+
+#endif  // GENLINK_IO_MMAP_FILE_H_

@@ -175,10 +175,21 @@ void ProbePostings(
 }
 
 size_t TokenShard(const std::string& token, size_t num_shards) {
-  return HashBytes(token) % num_shards;
+  return BlockingTokenShard(token, num_shards);
 }
 
 }  // namespace
+
+std::vector<std::vector<std::string>> ComputeBlockingKeys(
+    const Dataset& dataset, const std::vector<std::string>& properties,
+    const TokenBlockingOptions& options) {
+  return ComputeEntityKeys(dataset, ResolveProperties(dataset, properties),
+                           options);
+}
+
+size_t BlockingTokenShard(std::string_view token, size_t num_shards) {
+  return HashBytes(token) % num_shards;
+}
 
 TokenBlockingIndex::TokenBlockingIndex(const Dataset& dataset,
                                        const std::vector<std::string>& properties,

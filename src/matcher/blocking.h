@@ -165,6 +165,22 @@ class ShardedTokenBlockingIndex : public BlockingIndex {
   std::vector<Shard> shards_;
 };
 
+/// The blocking keys of every entity of `dataset` over `properties`
+/// (all properties when empty): lowercased alnum tokens, deduplicated
+/// per entity and, with weighted options, pruned to the rarest
+/// `max_tokens_per_entity` tokens with df >= min_token_df — exactly the
+/// postings both index classes build from, which is what lets the
+/// corpus artifact writer (io/corpus_artifact.cc) serialize postings
+/// bit-identical to a fresh TokenBlockingIndex build.
+std::vector<std::vector<std::string>> ComputeBlockingKeys(
+    const Dataset& dataset, const std::vector<std::string>& properties,
+    const TokenBlockingOptions& options);
+
+/// Deterministic shard of `token` under `num_shards` — the partition
+/// the sharded index and the mapped postings agree on. `num_shards`
+/// must be >= 1.
+size_t BlockingTokenShard(std::string_view token, size_t num_shards);
+
 /// Extracts the source-side / target-side property names a rule reads
 /// (from its property operators).
 std::vector<std::string> SourceProperties(const LinkageRule& rule);

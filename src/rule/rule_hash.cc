@@ -93,9 +93,76 @@ uint64_t HashSimilarityOp(const SimilarityOperator& op,
   return h;
 }
 
+// ---- Cross-process-stable family (corpus artifacts). Functions are
+// identified by registered name only — correct exactly for rules that
+// round-trip through serialization, where the name is the complete
+// identity. Fresh domain tags keep this family disjoint from the
+// in-process one above.
+constexpr uint64_t kStableTagProperty = 0x2545F4914F6CDD1DULL;
+constexpr uint64_t kStableTagTransform = 0x9E6C63D0876A9A47ULL;
+constexpr uint64_t kStableTagComparison = 0xBF58476D1CE4E5B9ULL;
+constexpr uint64_t kStableTagAggregation = 0x94D049BB133111EBULL;
+
+uint64_t StableHashValueOp(const ValueOperator& op) {
+  switch (op.kind()) {
+    case OperatorKind::kProperty: {
+      const auto& prop = static_cast<const PropertyOperator&>(op);
+      return HashCombine(kStableTagProperty, HashBytes(prop.property()));
+    }
+    case OperatorKind::kTransform: {
+      const auto& transform = static_cast<const TransformOperator&>(op);
+      uint64_t h = HashCombine(kStableTagTransform,
+                               HashBytes(transform.function()->name()));
+      h = HashCombine(h, transform.inputs().size());
+      for (const auto& input : transform.inputs()) {
+        h = HashCombine(h, StableHashValueOp(*input));
+      }
+      return h;
+    }
+    default:
+      return 0;  // unreachable: value operators are property or transform
+  }
+}
+
+uint64_t StableHashSimilarityOp(const SimilarityOperator& op) {
+  switch (op.kind()) {
+    case OperatorKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonOperator&>(op);
+      uint64_t h = HashCombine(kStableTagComparison,
+                               HashBytes(cmp.measure()->name()));
+      h = HashCombine(h, StableHashValueOp(*cmp.source()));
+      h = HashCombine(h, StableHashValueOp(*cmp.target()));
+      h = HashCombine(h, HashDouble(cmp.threshold()));
+      return HashCombine(h, HashDouble(cmp.weight()));
+    }
+    case OperatorKind::kAggregation: {
+      const auto& agg = static_cast<const AggregationOperator&>(op);
+      uint64_t h = HashCombine(kStableTagAggregation,
+                               HashBytes(agg.function()->name()));
+      h = HashCombine(h, HashDouble(agg.weight()));
+      h = HashCombine(h, agg.operands().size());
+      for (const auto& operand : agg.operands()) {
+        h = HashCombine(h, StableHashSimilarityOp(*operand));
+      }
+      return h;
+    }
+    default:
+      return 0;  // unreachable
+  }
+}
+
 }  // namespace
 
 uint64_t ValueOperatorHash(const ValueOperator& op) { return HashValueOp(op); }
+
+uint64_t StableValueOperatorHash(const ValueOperator& op) {
+  return StableHashValueOp(op);
+}
+
+uint64_t StableRuleHash(const LinkageRule& rule) {
+  if (rule.empty()) return 0;
+  return StableHashSimilarityOp(*rule.root());
+}
 
 uint64_t ComparisonSignature(const ComparisonOperator& op) {
   uint64_t h = HashFunctionIdentity(kTagSignature, op.measure());

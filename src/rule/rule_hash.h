@@ -69,6 +69,22 @@ uint64_t ComparisonSignature(const ComparisonOperator& op);
 /// covers property names and transformation identity (by instance).
 uint64_t ValueOperatorHash(const ValueOperator& op);
 
+/// Cross-process-stable variant of ValueOperatorHash: transformation
+/// functions are identified by registered name instead of instance, so
+/// two processes parsing the same serialized rule compute the same
+/// hash. This is the on-disk plan-directory key of corpus artifacts
+/// (io/corpus_artifact.h); it must only key rules that round-trip
+/// through serialization, where the name IS the full function identity.
+/// A distinct domain-separation tag family guarantees the stable and
+/// in-process hashes never collide with each other.
+uint64_t StableValueOperatorHash(const ValueOperator& op);
+
+/// Cross-process-stable whole-rule hash (0 for the empty rule), the
+/// provenance stamp written into corpus artifacts. Same name-based
+/// function identity as StableValueOperatorHash; thresholds and
+/// weights included.
+uint64_t StableRuleHash(const LinkageRule& rule);
+
 /// Computes the canonical hash and collects all comparison sites.
 RuleHashInfo AnalyzeRule(const LinkageRule& rule);
 

@@ -2,29 +2,61 @@
 
 #include <utility>
 
+#include "io/corpus_artifact.h"
+
 namespace genlink {
 
 ServingState::ServingState(const Dataset& corpus, size_t num_threads)
     : corpus_(&corpus), num_threads_(num_threads) {}
 
-Status ServingState::Deploy(const RuleArtifact& artifact) {
-  MutexLock reload(reload_mutex_);
+ServingState::ServingState(std::shared_ptr<const MappedCorpus> corpus,
+                           size_t num_threads)
+    : mapped_(std::move(corpus)), num_threads_(num_threads) {}
+
+Status ServingState::DeployLocked(const RuleArtifact& artifact) {
   const std::shared_ptr<const MatcherIndex> old = index();
   std::shared_ptr<const MatcherIndex> next;
   if (old == nullptr) {
     MatchOptions options = artifact.options;
     options.num_threads = num_threads_;
-    next = MatcherIndex::Build(*corpus_, artifact.rule, options);
+    if (mapped_ != nullptr) {
+      Result<std::shared_ptr<const MatcherIndex>> built =
+          MatcherIndex::Build(mapped_, artifact.rule, options);
+      if (!built.ok()) return built.status();
+      next = std::move(built).value();
+    } else {
+      next = MatcherIndex::Build(*corpus_, artifact.rule, options);
+    }
   } else {
-    // Shares the corpus stores with the live index; WithRule pins
-    // num_threads and use_value_store to the corpus values.
-    next = old->WithRule(artifact.rule, artifact.options);
+    // Shares the corpus stores with the live index; TryWithRule pins
+    // num_threads and use_value_store to the corpus values and surfaces
+    // mapped-corpus compile failures (plan or blocking config missing
+    // from the artifact) without touching the published index.
+    Result<std::shared_ptr<const MatcherIndex>> rebuilt =
+        old->TryWithRule(artifact.rule, artifact.options);
+    if (!rebuilt.ok()) return rebuilt.status();
+    next = std::move(rebuilt).value();
   }
   std::atomic_store(&index_, std::move(next));
   MutexLock lock(mutex_);
   ++generation_;
   last_error_.clear();
   rule_name_ = artifact.name;
+  return Status::Ok();
+}
+
+Status ServingState::Deploy(const RuleArtifact& artifact) {
+  MutexLock reload(reload_mutex_);
+  const Status status = DeployLocked(artifact);
+  if (!status.ok()) {
+    // The undeployable rule never reaches the index: the previous
+    // deployment keeps serving, the state goes stale.
+    MutexLock lock(mutex_);
+    ++failed_reloads_;
+    last_error_ =
+        "deploy of '" + artifact.name + "' failed: " + status.ToString();
+    return Status(status.code(), last_error_);
+  }
   return Status::Ok();
 }
 
@@ -54,22 +86,16 @@ Status ServingState::ReloadFromFile(const std::string& path) {
     return Status(artifact.status().code(), last_error_);
   }
 
-  // Same commit path as Deploy, inlined because reload_mutex_ is
-  // already held (Mutex is not recursive).
-  const std::shared_ptr<const MatcherIndex> old = index();
-  std::shared_ptr<const MatcherIndex> next;
-  if (old == nullptr) {
-    MatchOptions options = artifact->options;
-    options.num_threads = num_threads_;
-    next = MatcherIndex::Build(*corpus_, artifact->rule, options);
-  } else {
-    next = old->WithRule(artifact->rule, artifact->options);
+  // Same commit path as Deploy (reload_mutex_ is already held; Mutex is
+  // not recursive).
+  const Status status = DeployLocked(*artifact);
+  if (!status.ok()) {
+    MutexLock lock(mutex_);
+    ++failed_reloads_;
+    last_error_ =
+        "reload of '" + resolved + "' failed: " + status.ToString();
+    return Status(status.code(), last_error_);
   }
-  std::atomic_store(&index_, std::move(next));
-  MutexLock lock(mutex_);
-  ++generation_;
-  last_error_.clear();
-  rule_name_ = artifact->name;
   return Status::Ok();
 }
 

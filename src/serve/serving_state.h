@@ -33,6 +33,8 @@
 
 namespace genlink {
 
+class MappedCorpus;
+
 /// Owns the serving index for one corpus. Thread-safe: index() may be
 /// called from any number of request threads while one thread reloads.
 class ServingState {
@@ -41,6 +43,15 @@ class ServingState {
   /// every deployed index uses (0 = hardware concurrency); artifacts
   /// do not carry one (io/artifact.h).
   explicit ServingState(const Dataset& corpus, size_t num_threads = 0);
+
+  /// Serves a mapped v2 corpus artifact (io/corpus_artifact.h) instead
+  /// of an in-memory dataset: deployments build zero-copy indexes over
+  /// the mapping. A rule the artifact has no precomputed plans (or
+  /// blocking configuration) for fails the deploy through the same
+  /// graceful-degradation path as a corrupt artifact — the previous
+  /// index keeps serving and the state reports stale.
+  explicit ServingState(std::shared_ptr<const MappedCorpus> corpus,
+                        size_t num_threads = 0);
 
   /// Deploys `artifact`: the first call builds the corpus index, later
   /// calls compile the new rule against the shared corpus stores
@@ -76,7 +87,17 @@ class ServingState {
   Snapshot snapshot() const;
 
  private:
-  const Dataset* corpus_;
+  /// The Deploy/ReloadFromFile commit path: builds (or rebuilds via
+  /// TryWithRule) the index and publishes it. Returns the compile
+  /// failure without touching the published index; callers record the
+  /// failure. reload_mutex_ must be held.
+  Status DeployLocked(const RuleArtifact& artifact)
+      GENLINK_REQUIRES(reload_mutex_);
+
+  /// Exactly one of corpus_ / mapped_ is set (dataset-backed vs
+  /// mapped-artifact serving).
+  const Dataset* corpus_ = nullptr;
+  std::shared_ptr<const MappedCorpus> mapped_;
   size_t num_threads_;
 
   /// Serializes Deploy/ReloadFromFile against each other; never held

@@ -2,6 +2,7 @@
 //
 //   genlink learn   learn a linkage rule from labelled reference links
 //   genlink match   one-shot link generation over two datasets
+//   genlink index   precompute a corpus into a mmap-able v2 index artifact
 //   genlink query   serve queries against a prebuilt matcher index
 //   genlink serve   HTTP daemon over a prebuilt matcher index
 //   genlink eval    score a rule against reference links
@@ -34,16 +35,20 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "api/matcher_index.h"
 #include "common/clock.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "datasets/synthetic.h"
 #include "eval/link_metrics.h"
 #include "gp/genlink.h"
 #include "io/artifact.h"
+#include "io/corpus_artifact.h"
 #include "io/csv.h"
 #include "io/link_io.h"
 #include "io/ntriples.h"
@@ -187,10 +192,44 @@ const std::vector<CommandSpec>& Commands() {
        },
        "match rebuilds the execution artifacts on every invocation; for\n"
        "repeated matching against the same corpus use `genlink query`"},
+      {"index",
+       "precompute a corpus into a zero-copy v2 index artifact "
+       "(mmap-able, crash-safe write)",
+       {
+           {"target", "FILE", "corpus dataset to index (.csv or .nt)", true},
+           {"out", "FILE", "write the corpus index artifact", true},
+           {"artifact", "FILE",
+            "deployment artifact from `learn --save-artifact` whose rule "
+            "and options define the precomputed plans"},
+           {"rule", "FILE",
+            "bare rule (.xml or .rule) with default options instead of "
+            "--artifact"},
+           {"threads", "N", "plan-evaluation threads, 0 = hardware (default 0)"},
+           {"id-column", "NAME", "CSV id column (default 'id')"},
+           {"blocking-top-tokens", "K",
+            "weighted blocking: index each corpus entity under only its K "
+            "rarest tokens (0 = all tokens, default)"},
+           {"blocking-min-df", "N",
+            "skip blocking tokens seen in fewer than N corpus entities "
+            "(default 1 = keep all)"},
+           {"blocking-shards", "N",
+            "partition blocking postings across N hash shards (default 1; "
+            "links are identical for any value)"},
+       },
+       "index precomputes the rule's target-side value plans and the\n"
+       "token-blocking postings into one flat binary file that `query\n"
+       "--index` and `serve --index` mmap for millisecond cold starts\n"
+       "(docs/ARTIFACTS.md). The file is written atomically: a crash\n"
+       "mid-write never clobbers an existing artifact. Pass exactly one\n"
+       "of --artifact or --rule; the blocking flags must match the ones\n"
+       "the corpus will be served under."},
       {"query",
        "serve entity queries against a prebuilt matcher index",
        {
-           {"target", "FILE", "indexed corpus dataset (.csv or .nt)", true},
+           {"target", "FILE", "indexed corpus dataset (.csv or .nt)"},
+           {"index", "FILE",
+            "mmap a v2 corpus artifact from `genlink index` instead of "
+            "--target (zero-copy cold start)"},
            {"artifact", "FILE",
             "deployment artifact from `learn --save-artifact` (rule + "
             "options)"},
@@ -217,12 +256,17 @@ const std::vector<CommandSpec>& Commands() {
        "query builds the index once (token blocking + compiled value\n"
        "store, api/matcher_index.h), then answers each input entity with\n"
        "its matching corpus entities, streaming one CSV row per link as\n"
-       "queries arrive. Pass exactly one of --artifact or --rule."},
+       "queries arrive. Pass exactly one of --artifact or --rule, and\n"
+       "exactly one of --target (parse + build) or --index (mmap a\n"
+       "precomputed `genlink index` artifact, docs/ARTIFACTS.md)."},
       {"serve",
        "HTTP daemon over a prebuilt matcher index (deadlines, admission "
        "control, hot reload)",
        {
-           {"target", "FILE", "indexed corpus dataset (.csv or .nt)", true},
+           {"target", "FILE", "indexed corpus dataset (.csv or .nt)"},
+           {"index", "FILE",
+            "mmap a v2 corpus artifact from `genlink index` instead of "
+            "--target (zero-copy cold start)"},
            {"artifact", "FILE",
             "deployment artifact from `learn --save-artifact`; also the "
             "file POST /reload re-reads", true},
@@ -249,7 +293,8 @@ const std::vector<CommandSpec>& Commands() {
        "serve answers GET /healthz, GET /varz, POST /match (CSV entities\n"
        "in, links CSV out) and POST /reload on 127.0.0.1. Overloaded\n"
        "connections get an immediate 503 + Retry-After; SIGTERM drains\n"
-       "in-flight requests and exits 0. See docs/SERVING.md."},
+       "in-flight requests and exits 0. Pass exactly one of --target or\n"
+       "--index. See docs/SERVING.md."},
       {"gen",
        "emit a synthetic matching corpus at configurable scale",
        {
@@ -616,12 +661,94 @@ int RunMatch(const Args& args) {
   return 0;
 }
 
+int RunIndex(const Args& args) {
+  const char* artifact_path = args.Get("artifact");
+  const char* rule_path = args.Get("rule");
+  if ((artifact_path == nullptr) == (rule_path == nullptr)) {
+    std::fprintf(stderr,
+                 "genlink index: pass exactly one of --artifact or --rule\n"
+                 "(run 'genlink index --help' for usage)\n");
+    return 2;
+  }
+  size_t threads = 0;
+  size_t top_tokens = 0;
+  size_t min_df = 1;
+  size_t shards = 1;
+  if (!FlagAsCount(args, "index", "threads", 0, &threads) ||
+      !FlagAsCount(args, "index", "blocking-top-tokens", 0, &top_tokens) ||
+      !FlagAsCount(args, "index", "blocking-min-df", 1, &min_df) ||
+      !FlagAsCount(args, "index", "blocking-shards", 1, &shards)) {
+    return 2;
+  }
+
+  auto target =
+      LoadDataset(args.Get("target"), args.Get("id-column", "id"), "target");
+  if (!target.ok()) {
+    return FailFlagFile("index", "target", args.Get("target"), target.status());
+  }
+
+  RuleArtifact artifact;
+  if (artifact_path != nullptr) {
+    auto loaded = LoadArtifact(artifact_path);
+    if (!loaded.ok()) {
+      return FailFlagFile("index", "artifact", artifact_path, loaded.status());
+    }
+    artifact = std::move(*loaded);
+  } else {
+    auto rule = LoadRule(rule_path);
+    if (!rule.ok()) {
+      return FailFlagFile("index", "rule", rule_path, rule.status());
+    }
+    artifact.rule = std::move(*rule);
+  }
+  // The blocking knobs are baked into the artifact; `query --index` /
+  // `serve --index` refuse to serve under different ones.
+  if (args.Has("blocking-top-tokens")) {
+    artifact.options.blocking_max_tokens = top_tokens;
+  }
+  if (args.Has("blocking-min-df")) {
+    artifact.options.blocking_min_token_df = min_df;
+  }
+  if (args.Has("blocking-shards")) artifact.options.blocking_shards = shards;
+
+  const char* out = args.Get("out");
+  ThreadPool pool(threads);
+  CorpusArtifactStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  Status written =
+      WriteCorpusArtifact(out, *target, artifact.rule, artifact.options, &pool,
+                          &stats);
+  if (!written.ok()) return FailFlagFile("index", "out", out, written);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::fprintf(stderr,
+               "indexed %llu entities in %.3fs: %llu strings, %llu value "
+               "plans, %llu blocking tokens, %llu postings "
+               "(%.1f MiB) -> %s\n",
+               static_cast<unsigned long long>(stats.num_entities), seconds,
+               static_cast<unsigned long long>(stats.num_strings),
+               static_cast<unsigned long long>(stats.num_plans),
+               static_cast<unsigned long long>(stats.num_tokens),
+               static_cast<unsigned long long>(stats.num_postings),
+               static_cast<double>(stats.file_bytes) / (1024.0 * 1024.0), out);
+  return 0;
+}
+
 int RunQuery(const Args& args) {
   const char* artifact_path = args.Get("artifact");
   const char* rule_path = args.Get("rule");
   if ((artifact_path == nullptr) == (rule_path == nullptr)) {
     std::fprintf(stderr,
                  "genlink query: pass exactly one of --artifact or --rule\n"
+                 "(run 'genlink query --help' for usage)\n");
+    return 2;
+  }
+  const char* target_path = args.Get("target");
+  const char* index_path = args.Get("index");
+  if ((target_path == nullptr) == (index_path == nullptr)) {
+    std::fprintf(stderr,
+                 "genlink query: pass exactly one of --target or --index\n"
                  "(run 'genlink query --help' for usage)\n");
     return 2;
   }
@@ -641,10 +768,23 @@ int RunQuery(const Args& args) {
     return 2;
   }
 
-  auto target =
-      LoadDataset(args.Get("target"), args.Get("id-column", "id"), "target");
-  if (!target.ok()) {
-    return FailFlagFile("query", "target", args.Get("target"), target.status());
+  // Exactly one of these two corpus sources is populated; the mapped
+  // corpus (and with it every span the index serves) stays alive for
+  // the whole query loop via the shared_ptr.
+  std::optional<Dataset> target;
+  std::shared_ptr<const MappedCorpus> mapped;
+  if (target_path != nullptr) {
+    auto loaded = LoadDataset(target_path, args.Get("id-column", "id"), "target");
+    if (!loaded.ok()) {
+      return FailFlagFile("query", "target", target_path, loaded.status());
+    }
+    target.emplace(std::move(*loaded));
+  } else {
+    auto loaded = MappedCorpus::Load(index_path);
+    if (!loaded.ok()) {
+      return FailFlagFile("query", "index", index_path, loaded.status());
+    }
+    mapped = std::move(*loaded);
   }
 
   RuleArtifact artifact;
@@ -675,8 +815,19 @@ int RunQuery(const Args& args) {
   }
 
   // Build once; every query below is a cheap lookup against these
-  // artifacts (api/matcher_index.h).
-  auto index = MatcherIndex::Build(*target, artifact.rule, artifact.options);
+  // artifacts (api/matcher_index.h). The mapped build fails with a
+  // named error when the artifact lacks the rule's plans or was indexed
+  // under different blocking knobs — re-run `genlink index`.
+  std::shared_ptr<const MatcherIndex> index;
+  if (mapped != nullptr) {
+    auto built = MatcherIndex::Build(mapped, artifact.rule, artifact.options);
+    if (!built.ok()) {
+      return FailFlagFile("query", "index", index_path, built.status());
+    }
+    index = std::move(*built);
+  } else {
+    index = MatcherIndex::Build(*target, artifact.rule, artifact.options);
+  }
   MatcherIndexStats stats = index->stats();
   std::fprintf(stderr,
                "index built over %zu entities in %.3fs "
@@ -777,19 +928,42 @@ int RunServe(const Args& args) {
     std::fprintf(stderr, "genlink serve: flag '--port' expects <= 65535\n");
     return 2;
   }
-
-  auto target =
-      LoadDataset(args.Get("target"), args.Get("id-column", "id"), "target");
-  if (!target.ok()) {
-    return FailFlagFile("serve", "target", args.Get("target"), target.status());
+  const char* target_path = args.Get("target");
+  const char* index_path = args.Get("index");
+  if ((target_path == nullptr) == (index_path == nullptr)) {
+    std::fprintf(stderr,
+                 "genlink serve: pass exactly one of --target or --index\n"
+                 "(run 'genlink serve --help' for usage)\n");
+    return 2;
   }
 
-  ServingState state(*target, threads);
+  // The corpus behind the daemon: an in-memory dataset (parsed here)
+  // or a mapped v2 artifact (zero-copy; the shared_ptr keeps the
+  // mapping alive for the daemon's lifetime). ServingState is not
+  // movable (it owns mutexes), so it is emplaced once the corpus is
+  // known.
+  std::optional<Dataset> target;
+  std::optional<ServingState> state;
+  if (target_path != nullptr) {
+    auto loaded = LoadDataset(target_path, args.Get("id-column", "id"), "target");
+    if (!loaded.ok()) {
+      return FailFlagFile("serve", "target", target_path, loaded.status());
+    }
+    target.emplace(std::move(*loaded));
+    state.emplace(*target, threads);
+  } else {
+    auto loaded = MappedCorpus::Load(index_path);
+    if (!loaded.ok()) {
+      return FailFlagFile("serve", "index", index_path, loaded.status());
+    }
+    state.emplace(std::move(*loaded), threads);
+  }
+
   const char* artifact_path = args.Get("artifact");
   // The initial deploy takes the same failure-checked path as a live
   // reload; at startup a bad artifact is fatal (there is nothing older
   // to keep serving).
-  Status deployed = state.ReloadFromFile(artifact_path);
+  Status deployed = state->ReloadFromFile(artifact_path);
   if (!deployed.ok()) {
     return FailFlagFile("serve", "artifact", artifact_path, deployed);
   }
@@ -803,7 +977,7 @@ int RunServe(const Args& args) {
   options.drain_deadline = std::chrono::milliseconds(drain_deadline_ms);
   options.csv.id_column = args.Get("id-column", "id");
 
-  ServeDaemon daemon(state, options);
+  ServeDaemon daemon(*state, options);
   Status started = daemon.Start();
   if (!started.ok()) return Fail(started);
 
@@ -978,6 +1152,7 @@ int Main(int argc, char** argv) {
   InstallSignalHandlers();
   if (command == "learn") return RunLearn(args);
   if (command == "match") return RunMatch(args);
+  if (command == "index") return RunIndex(args);
   if (command == "query") return RunQuery(args);
   if (command == "serve") return RunServe(args);
   if (command == "gen") return RunGen(args);
