@@ -430,7 +430,8 @@ double MatcherIndex::QueryNode(const SimilarityOperator& node,
 
 std::vector<GeneratedLink> MatcherIndex::MatchEntityUnlocked(
     const Entity& entity, const Schema& schema,
-    const std::vector<size_t>* candidates, const CancelToken* cancel) const {
+    const std::vector<size_t>* candidates, const CancelToken* cancel,
+    const uint8_t* dead) const {
   corpus_->mutex.AssertReaderHeld();
   if (cancel == nullptr) cancel = options_.cancel;
   // A record is never its own duplicate: a self-indexed corpus (dedup)
@@ -447,6 +448,7 @@ std::vector<GeneratedLink> MatcherIndex::MatchEntityUnlocked(
 
   std::vector<GeneratedLink> links;
   auto consider = [&](size_t j) {
+    if (dead != nullptr && dead[j] != 0) return;
     const std::string_view id_b = corpus_->target_id(j);
     if (skip_own_id && id_b == entity.id()) return;
     double score;
@@ -501,6 +503,14 @@ std::vector<GeneratedLink> MatcherIndex::MatchEntity(
     const Entity& entity, const Schema& schema) const {
   ReaderMutexLock lock(corpus_->mutex);
   return MatchEntityUnlocked(entity, schema);
+}
+
+std::vector<GeneratedLink> MatcherIndex::MatchEntityMasked(
+    const Entity& entity, const Schema& schema, const uint8_t* dead,
+    const CancelToken* cancel) const {
+  ReaderMutexLock lock(corpus_->mutex);
+  return MatchEntityUnlocked(entity, schema, /*candidates=*/nullptr, cancel,
+                             dead);
 }
 
 std::vector<GeneratedLink> MatcherIndex::MatchEntity(

@@ -53,6 +53,7 @@
 #ifndef GENLINK_API_MATCHER_INDEX_H_
 #define GENLINK_API_MATCHER_INDEX_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -155,6 +156,20 @@ class MatcherIndex {
   /// MatchEntity with the bound source dataset's schema (the target
   /// schema for a serving-only index).
   std::vector<GeneratedLink> MatchEntity(const Entity& entity) const;
+
+  /// MatchEntity with a per-slot dead mask: a candidate j with
+  /// `dead[j] != 0` is skipped before scoring, as if the corpus never
+  /// contained it. `dead` must cover every target slot and outlive the
+  /// call; nullptr behaves exactly like MatchEntity. This is the live
+  /// corpus layer's tombstone surface (live/live_corpus.h): the base
+  /// side of `base ⊎ delta − tombstones` is this index with the
+  /// snapshot's tombstone bitmap. The mask only ever hides rows, so
+  /// every returned link would also be returned unmasked — ordering and
+  /// scores are unchanged. Thread-safe; concurrent calls may pass
+  /// different masks.
+  std::vector<GeneratedLink> MatchEntityMasked(
+      const Entity& entity, const Schema& schema, const uint8_t* dead,
+      const CancelToken* cancel = nullptr) const;
 
   /// MatchEntity for every entity of `entities`, scored in parallel
   /// chunks on the corpus pool. With a sharded blocking index
@@ -280,11 +295,13 @@ class MatcherIndex {
   /// merges it ahead of scoring); null means probe the blocking index
   /// (or scan the full target when blocking is off). A non-null
   /// `cancel` is polled every few dozen candidates, bounding how long
-  /// one huge candidate set can overstay a request deadline.
+  /// one huge candidate set can overstay a request deadline. A non-null
+  /// `dead` is the MatchEntityMasked tombstone mask.
   std::vector<GeneratedLink> MatchEntityUnlocked(
       const Entity& entity, const Schema& schema,
       const std::vector<size_t>* candidates = nullptr,
-      const CancelToken* cancel = nullptr) const;
+      const CancelToken* cancel = nullptr,
+      const uint8_t* dead = nullptr) const;
 
   std::shared_ptr<Corpus> corpus_;
   LinkageRule rule_;

@@ -149,6 +149,11 @@ void FillSlot(const SyntheticConfig& config, size_t index, Slot& slot) {
   slot.b = CleanRecord(other);
 }
 
+/// The person-directory property columns, shared by the corpus and the
+/// delta stream.
+constexpr std::string_view kProperties[5] = {"name", "address", "city",
+                                             "phone", "birth"};
+
 void AddRecord(Dataset& dataset, std::string id, const Record& r,
                const PropertyId ids[5]) {
   Entity entity(std::move(id));
@@ -171,8 +176,6 @@ MatchingTask GenerateSynthetic(const SyntheticConfig& config) {
 
   PropertyId a_ids[5];
   PropertyId b_ids[5];
-  static constexpr std::string_view kProperties[5] = {"name", "address", "city",
-                                                      "phone", "birth"};
   for (size_t k = 0; k < 5; ++k) {
     a_ids[k] = task.a.schema().AddProperty(kProperties[k]);
     b_ids[k] = task.b.schema().AddProperty(kProperties[k]);
@@ -206,6 +209,91 @@ MatchingTask GenerateSynthetic(const SyntheticConfig& config) {
                                               task.links.positives().size());
   }
   return task;
+}
+
+SyntheticDeltas GenerateSyntheticDeltas(const SyntheticDeltaConfig& config) {
+  SyntheticDeltas deltas;
+  PropertyId ids[5];
+  for (size_t k = 0; k < 5; ++k) {
+    ids[k] = deltas.schema.AddProperty(kProperties[k]);
+  }
+  deltas.ops.reserve(config.num_deltas);
+
+  const auto record_entity = [&ids](std::string id, const Record& r) {
+    Entity entity(std::move(id));
+    if (!r.name.empty()) entity.AddValue(ids[0], r.name);
+    if (!r.address.empty()) entity.AddValue(ids[1], r.address);
+    if (!r.city.empty()) entity.AddValue(ids[2], r.city);
+    if (!r.phone.empty()) entity.AddValue(ids[3], r.phone);
+    if (!r.birth.empty()) entity.AddValue(ids[4], r.birth);
+    return entity;
+  };
+
+  // One serial Rng stream drives the whole op sequence: op kinds and
+  // target picks depend on the evolving alive set, so there is nothing
+  // to parallelize — and nothing platform-dependent to leak in.
+  Rng rng(HashCombine(config.seed, 0x64656c746173ULL));  // "deltas"
+  std::vector<std::string> alive;
+  alive.reserve(config.base.num_entities + config.num_deltas);
+  for (size_t i = 0; i < config.base.num_entities; ++i) {
+    alive.push_back("b" + std::to_string(i));
+  }
+  size_t new_ids = 0;
+
+  for (size_t j = 0; j < config.num_deltas; ++j) {
+    SyntheticDelta op;
+    if (!alive.empty() && rng.Bernoulli(config.delete_rate)) {
+      const size_t pick = rng.PickIndex(alive.size());
+      op.remove = true;
+      op.entity = Entity(alive[pick]);
+      alive[pick] = std::move(alive.back());
+      alive.pop_back();
+    } else if (alive.empty() || rng.Bernoulli(config.new_entity_rate)) {
+      std::string id = "u" + std::to_string(new_ids++);
+      op.entity = record_entity(id, CleanRecord(RandomPerson(rng)));
+      alive.push_back(std::move(id));
+    } else {
+      const std::string id = alive[rng.PickIndex(alive.size())];
+      Record updated;
+      if (id.front() == 'b') {
+        // Rebuild the person this slot was drawn from (the stream
+        // FillSlot seeds the same way), then apply a fresh round of
+        // noise from the delta stream: the update shares blocking
+        // tokens with the record it replaces.
+        Rng origin(HashCombine(
+            config.base.seed,
+            static_cast<uint64_t>(std::stoull(id.substr(1)))));
+        updated = PerturbedRecord(RandomPerson(origin), config.base, rng);
+      } else {
+        updated = CleanRecord(RandomPerson(rng));
+      }
+      op.entity = record_entity(id, updated);
+    }
+    deltas.ops.push_back(std::move(op));
+  }
+  return deltas;
+}
+
+uint64_t FingerprintDeltas(const SyntheticDeltas& deltas) {
+  uint64_t h = HashBytes("synthetic-deltas");
+  const Schema& schema = deltas.schema;
+  h = HashCombine(h, schema.NumProperties());
+  for (PropertyId p = 0; p < schema.NumProperties(); ++p) {
+    h = HashCombine(h, HashBytes(schema.PropertyName(p)));
+  }
+  h = HashCombine(h, deltas.ops.size());
+  for (const SyntheticDelta& op : deltas.ops) {
+    h = HashCombine(h, op.remove ? 1 : 0);
+    h = HashCombine(h, HashBytes(op.entity.id()));
+    for (PropertyId p = 0; p < schema.NumProperties(); ++p) {
+      const ValueSet& values = op.entity.Values(p);
+      h = HashCombine(h, values.size());
+      for (const std::string& value : values) {
+        h = HashCombine(h, HashBytes(value));
+      }
+    }
+  }
+  return h;
 }
 
 uint64_t FingerprintTask(const MatchingTask& task) {

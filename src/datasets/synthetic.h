@@ -25,8 +25,11 @@
 #define GENLINK_DATASETS_SYNTHETIC_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "datasets/matching_task.h"
+#include "model/entity.h"
+#include "model/schema.h"
 
 namespace genlink {
 
@@ -73,6 +76,50 @@ MatchingTask GenerateSynthetic(const SyntheticConfig& config = {});
 /// Byte-stable across processes and platforms; the determinism tests
 /// pin generator output with it.
 uint64_t FingerprintTask(const MatchingTask& task);
+
+/// Knobs of the streaming delta generator (GenerateSyntheticDeltas).
+struct SyntheticDeltaConfig {
+  /// The corpus the deltas mutate: the B side of GenerateSynthetic(base)
+  /// — ids b0..b<n-1>, person-directory schema. Updates of a b<i> id
+  /// regenerate the person behind that index and re-perturb it, so an
+  /// update shares blocking tokens with the record it replaces, like a
+  /// real-world correction.
+  SyntheticConfig base;
+  /// Mutations in the stream.
+  size_t num_deltas = 1000;
+  /// Probability a delta removes a live entity. Removes always target
+  /// an id that is live at that point of the stream, so any contiguous
+  /// batching of the stream passes LiveCorpus::ApplyBatch validation.
+  double delete_rate = 0.2;
+  /// Probability an upsert introduces a brand-new entity ("u<k>" ids)
+  /// instead of rewriting an existing one.
+  double new_entity_rate = 0.25;
+  uint64_t seed = 29;
+};
+
+/// One streaming mutation: an upsert of `entity`, or — when `remove` is
+/// set — a removal of the entity with `entity.id()` (values unused).
+struct SyntheticDelta {
+  bool remove = false;
+  Entity entity;
+};
+
+/// A deterministic update/delete stream against the synthetic B-side
+/// corpus. `schema` names the property columns the upsert values are
+/// stored under (the synthetic person-directory schema).
+struct SyntheticDeltas {
+  Schema schema;
+  std::vector<SyntheticDelta> ops;
+};
+
+/// Generates the delta stream. Deterministic in (config) only — same
+/// config, same ops, byte for byte, across processes and platforms;
+/// tests/synthetic_corpus_test.cc pins a golden fingerprint.
+SyntheticDeltas GenerateSyntheticDeltas(const SyntheticDeltaConfig& config = {});
+
+/// Order-sensitive 64-bit fingerprint of a delta stream: schema
+/// property names, then every op's kind, id and values.
+uint64_t FingerprintDeltas(const SyntheticDeltas& deltas);
 
 }  // namespace genlink
 

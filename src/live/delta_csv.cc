@@ -1,0 +1,86 @@
+#include "live/delta_csv.h"
+
+#include <utility>
+
+#include "io/csv.h"
+
+namespace genlink {
+
+Result<DeltaBatch> ReadDeltaCsv(std::string_view text) {
+  Result<std::vector<std::vector<std::string>>> rows = ParseCsv(text);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) return Status::ParseError("delta CSV: missing header");
+  const std::vector<std::string>& header = (*rows)[0];
+  if (header.size() < 2 || header[0] != "op" || header[1] != "id") {
+    return Status::ParseError(
+        "delta CSV: header must start with 'op,id' (got '" +
+        (header.empty() ? std::string() : header[0]) + ",...')");
+  }
+  DeltaBatch batch;
+  for (size_t c = 2; c < header.size(); ++c) {
+    batch.schema.AddProperty(header[c]);
+  }
+  batch.ops.reserve(rows->size() - 1);
+  for (size_t r = 1; r < rows->size(); ++r) {
+    const std::vector<std::string>& row = (*rows)[r];
+    // A blank line parses as one empty field; skip it like
+    // CsvEntityStream does.
+    if (row.size() == 1 && row[0].empty()) continue;
+    const std::string where = "delta CSV row " + std::to_string(r + 1);
+    if (row.size() > header.size()) {
+      return Status::ParseError(where + ": wider than the header");
+    }
+    if (row.size() < 2 || row[1].empty()) {
+      return Status::ParseError(where + ": missing id");
+    }
+    LiveOp op;
+    if (row[0] == "upsert") {
+      op.kind = LiveOp::Kind::kUpsert;
+      Entity entity(row[1]);
+      for (size_t c = 2; c < row.size(); ++c) {
+        if (!row[c].empty()) {
+          entity.AddValue(static_cast<PropertyId>(c - 2), row[c]);
+        }
+      }
+      op.entity = std::move(entity);
+    } else if (row[0] == "delete") {
+      op.kind = LiveOp::Kind::kRemove;
+      op.id = row[1];
+    } else {
+      return Status::ParseError(where + ": unknown op '" + row[0] +
+                                "' (expected 'upsert' or 'delete')");
+    }
+    batch.ops.push_back(std::move(op));
+  }
+  return batch;
+}
+
+std::string WriteDeltaCsv(const Schema& schema, std::span<const LiveOp> ops) {
+  std::string out;
+  std::vector<std::string> row;
+  row.push_back("op");
+  row.push_back("id");
+  for (PropertyId p = 0; p < schema.NumProperties(); ++p) {
+    row.push_back(schema.PropertyName(p));
+  }
+  out += WriteCsv({row});
+  for (const LiveOp& op : ops) {
+    row.clear();
+    if (op.kind == LiveOp::Kind::kRemove) {
+      row.push_back("delete");
+      row.push_back(op.id);
+      row.resize(2 + schema.NumProperties());
+    } else {
+      row.push_back("upsert");
+      row.push_back(op.entity.id());
+      for (PropertyId p = 0; p < schema.NumProperties(); ++p) {
+        const ValueSet& values = op.entity.Values(p);
+        row.push_back(values.empty() ? std::string() : values.front());
+      }
+    }
+    out += WriteCsv({row});
+  }
+  return out;
+}
+
+}  // namespace genlink

@@ -1,0 +1,47 @@
+// Delta CSV: the on-disk interchange format for streaming mutation
+// batches. `genlink gen --out-deltas` writes it, `genlink apply
+// --deltas` (and the serve daemon's test tooling) reads it back into
+// LiveOps for LiveCorpus::ApplyBatch.
+//
+// Layout: RFC 4180 CSV (io/csv.h quoting rules). The header is
+// `op,id,<property>...`; each following row is one mutation in stream
+// order. `op` is "upsert" (the property cells hold the entity's new
+// values; an empty cell is a missing value) or "delete" (the property
+// cells are ignored and written empty). Rows shorter than the header
+// are padded with missing values; longer rows are a parse error.
+
+#ifndef GENLINK_LIVE_DELTA_CSV_H_
+#define GENLINK_LIVE_DELTA_CSV_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "live/live_corpus.h"
+#include "model/schema.h"
+
+namespace genlink {
+
+/// A parsed delta file: the header's property columns (everything after
+/// `op,id`) as a schema, plus one LiveOp per row, in file order. Feed
+/// contiguous chunks straight into LiveCorpus::ApplyBatch(ops, schema).
+struct DeltaBatch {
+  Schema schema;
+  std::vector<LiveOp> ops;
+};
+
+/// Parses delta CSV text. ParseError on a malformed header ("op" and
+/// "id" must be the first two columns), an unknown op keyword, a
+/// missing id, or a row wider than the header.
+Result<DeltaBatch> ReadDeltaCsv(std::string_view text);
+
+/// Serializes `ops` (upsert values under `schema`) as delta CSV,
+/// inverse of ReadDeltaCsv. Multi-valued properties write their first
+/// value (the synthetic generator only emits single-valued records).
+std::string WriteDeltaCsv(const Schema& schema, std::span<const LiveOp> ops);
+
+}  // namespace genlink
+
+#endif  // GENLINK_LIVE_DELTA_CSV_H_

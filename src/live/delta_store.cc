@@ -1,0 +1,41 @@
+#include "live/delta_store.h"
+
+namespace genlink {
+
+size_t DeltaLog::Append(DeltaEntry entry) {
+  const size_t slot = count_;
+  if (slot % kChunkCapacity == 0) {
+    chunks_.push_back(std::make_shared<Chunk>());
+  }
+  chunks_.back()->entries[slot % kChunkCapacity] = std::move(entry);
+  ++count_;
+  return slot;
+}
+
+DeltaLog::View DeltaLog::MakeView() const {
+  View view;
+  view.chunks.assign(chunks_.begin(), chunks_.end());
+  view.count = count_;
+  return view;
+}
+
+size_t ApproxDeltaEntryBytes(const DeltaEntry& entry) {
+  size_t bytes = sizeof(DeltaEntry) + entry.entity.id().size();
+  for (size_t p = 0; p < entry.entity.NumPropertySlots(); ++p) {
+    for (const std::string& value : entry.entity.Values(p)) {
+      bytes += sizeof(std::string) + value.size();
+    }
+  }
+  for (const ValueSet& values : entry.site_values) {
+    bytes += sizeof(ValueSet);
+    for (const std::string& value : values) {
+      bytes += sizeof(std::string) + value.size();
+    }
+  }
+  for (const std::string& token : entry.tokens) {
+    bytes += sizeof(std::string) + token.size();
+  }
+  return bytes;
+}
+
+}  // namespace genlink

@@ -36,15 +36,15 @@ std::vector<std::string> CollectSideProperties(const LinkageRule& rule,
 }
 
 std::vector<PropertyId> ResolveProperties(
-    const Dataset& dataset, const std::vector<std::string>& properties) {
+    const Schema& schema, const std::vector<std::string>& properties) {
   std::vector<PropertyId> out;
   if (properties.empty()) {
-    for (PropertyId p = 0; p < dataset.schema().NumProperties(); ++p) {
+    for (PropertyId p = 0; p < schema.NumProperties(); ++p) {
       out.push_back(p);
     }
   } else {
     for (const auto& name : properties) {
-      if (auto id = dataset.schema().FindProperty(name)) {
+      if (auto id = schema.FindProperty(name)) {
         out.push_back(*id);
       }
     }
@@ -183,8 +183,16 @@ size_t TokenShard(const std::string& token, size_t num_shards) {
 std::vector<std::vector<std::string>> ComputeBlockingKeys(
     const Dataset& dataset, const std::vector<std::string>& properties,
     const TokenBlockingOptions& options) {
-  return ComputeEntityKeys(dataset, ResolveProperties(dataset, properties),
+  return ComputeEntityKeys(dataset, ResolveProperties(dataset.schema(), properties),
                            options);
+}
+
+std::vector<std::string> EntityBlockingKeys(
+    const Entity& entity, const Schema& schema,
+    const std::vector<std::string>& properties) {
+  std::vector<std::string> out;
+  AppendEntityTokens(entity, ResolveProperties(schema, properties), out);
+  return out;
 }
 
 size_t BlockingTokenShard(std::string_view token, size_t num_shards) {
@@ -195,7 +203,7 @@ TokenBlockingIndex::TokenBlockingIndex(const Dataset& dataset,
                                        const std::vector<std::string>& properties,
                                        const TokenBlockingOptions& options)
     : dataset_(&dataset) {
-  const std::vector<PropertyId> resolved = ResolveProperties(dataset, properties);
+  const std::vector<PropertyId> resolved = ResolveProperties(dataset.schema(), properties);
   std::vector<std::vector<std::string>> keys =
       ComputeEntityKeys(dataset, resolved, options);
   for (size_t i = 0; i < keys.size(); ++i) {
@@ -234,7 +242,7 @@ ShardedTokenBlockingIndex::ShardedTokenBlockingIndex(
     : dataset_(&dataset) {
   const size_t num_shards = std::max<size_t>(1, options.num_shards);
   shards_.resize(num_shards);
-  const std::vector<PropertyId> resolved = ResolveProperties(dataset, properties);
+  const std::vector<PropertyId> resolved = ResolveProperties(dataset.schema(), properties);
   // Tokenize (and df-rank) once, then partition: shard s owns exactly
   // the tokens with hash % N == s, so shard builds touch disjoint state
   // and can run in parallel with no synchronization.

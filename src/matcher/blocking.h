@@ -176,6 +176,19 @@ std::vector<std::vector<std::string>> ComputeBlockingKeys(
     const Dataset& dataset, const std::vector<std::string>& properties,
     const TokenBlockingOptions& options);
 
+/// The blocking keys of ONE entity (whose properties live in `schema`)
+/// over `properties` (all schema properties when empty): lowercased
+/// alnum tokens, deduplicated, in first-seen order — exactly the row
+/// ComputeBlockingKeys would produce for this entity under the default
+/// (unweighted) options. Only valid for the df-independent
+/// configuration: weighted key selection needs corpus-wide document
+/// frequencies, which a single entity cannot supply. The live corpus
+/// layer (live/live_corpus.h) indexes delta entities with this, which
+/// is what keeps its candidate sets bit-identical to a fresh build.
+std::vector<std::string> EntityBlockingKeys(
+    const Entity& entity, const Schema& schema,
+    const std::vector<std::string>& properties);
+
 /// Deterministic shard of `token` under `num_shards` — the partition
 /// the sharded index and the mapped postings agree on. `num_shards`
 /// must be >= 1.

@@ -16,6 +16,7 @@
 
 #include "common/failpoint.h"
 #include "io/link_io.h"
+#include "live/live_corpus.h"
 
 namespace genlink {
 
@@ -28,6 +29,22 @@ HttpResponse TextResponse(int status, std::string body) {
   response.status = status;
   response.body = std::move(body);
   return response;
+}
+
+/// Maps a library Status onto the closest HTTP status for the live
+/// mutation endpoints.
+int HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    default:
+      return 500;
+  }
 }
 
 bool HeaderEquals(const std::string& value, std::string_view expected) {
@@ -325,6 +342,7 @@ HttpResponse ServeDaemon::Dispatch(const HttpRequest& request,
     const ServingState::Snapshot snapshot = state_.snapshot();
     std::string body = "ok generation=" + std::to_string(snapshot.generation) +
                        " stale=" + (snapshot.stale ? "1" : "0");
+    if (snapshot.live_mode) body += " epoch=" + std::to_string(snapshot.epoch);
     if (Draining()) body += " draining=1";
     body += '\n';
     return TextResponse(200, std::move(body));
@@ -349,6 +367,18 @@ HttpResponse ServeDaemon::Dispatch(const HttpRequest& request,
     if (request.method != "POST") return TextResponse(405, "POST only\n");
     return HandleMatch(request, deadline);
   }
+  if (path == "/upsert") {
+    if (request.method != "POST") return TextResponse(405, "POST only\n");
+    return HandleUpsert(request);
+  }
+  if (path == "/delete") {
+    if (request.method != "POST") return TextResponse(405, "POST only\n");
+    return HandleDelete(request);
+  }
+  if (path == "/compact") {
+    if (request.method != "POST") return TextResponse(405, "POST only\n");
+    return HandleCompact(request);
+  }
   return TextResponse(404, "no such endpoint\n");
 }
 
@@ -361,8 +391,10 @@ HttpResponse ServeDaemon::HandleMatch(const HttpRequest& request,
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 
-  const std::shared_ptr<const MatcherIndex> index = state_.index();
-  if (index == nullptr) {
+  const std::shared_ptr<LiveCorpus> live = state_.live();
+  const std::shared_ptr<const MatcherIndex> index =
+      live == nullptr ? state_.index() : nullptr;
+  if (live == nullptr && index == nullptr) {
     return TextResponse(503, "no rule deployed\n");
   }
   std::istringstream in{request.body};
@@ -378,7 +410,9 @@ HttpResponse ServeDaemon::HandleMatch(const HttpRequest& request,
   }
 
   const std::vector<GeneratedLink> links =
-      index->MatchBatch(entities, queries.schema(), &cancel);
+      live != nullptr
+          ? live->MatchBatch(entities, queries.schema(), &cancel)
+          : index->MatchBatch(entities, queries.schema(), &cancel);
   if (cancel.Cancelled()) {
     // The result is truncated — never serve partial links.
     counters_.deadline_hits.fetch_add(1, std::memory_order_relaxed);
@@ -393,6 +427,88 @@ HttpResponse ServeDaemon::HandleMatch(const HttpRequest& request,
     response.body += GeneratedLinkCsvRow(link);
   }
   return response;
+}
+
+HttpResponse ServeDaemon::HandleUpsert(const HttpRequest& request) {
+  const std::shared_ptr<LiveCorpus> live = state_.live();
+  if (live == nullptr) {
+    return TextResponse(404, "live updates are off (start with --live)\n");
+  }
+  std::istringstream in{request.body};
+  CsvEntityStream entities(in, options_.csv);
+  if (!entities.status().ok()) {
+    return TextResponse(400, entities.status().ToString() + "\n");
+  }
+  std::vector<LiveOp> ops;
+  Entity entity;
+  while (entities.Next(&entity)) {
+    LiveOp op;
+    op.kind = LiveOp::Kind::kUpsert;
+    op.entity = std::move(entity);
+    ops.push_back(std::move(op));
+  }
+  if (!entities.status().ok()) {
+    return TextResponse(400, entities.status().ToString() + "\n");
+  }
+  if (ops.empty()) return TextResponse(400, "no entities in body\n");
+  const Status status = live->ApplyBatch(ops, entities.schema());
+  if (!status.ok()) {
+    return TextResponse(HttpStatusFor(status), status.ToString() + "\n");
+  }
+  return TextResponse(200, "upserted " + std::to_string(ops.size()) +
+                               " epoch=" + std::to_string(live->epoch()) +
+                               "\n");
+}
+
+HttpResponse ServeDaemon::HandleDelete(const HttpRequest& request) {
+  const std::shared_ptr<LiveCorpus> live = state_.live();
+  if (live == nullptr) {
+    return TextResponse(404, "live updates are off (start with --live)\n");
+  }
+  std::vector<LiveOp> ops;
+  std::string_view body = request.body;
+  while (!body.empty()) {
+    const size_t eol = body.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? body : body.substr(0, eol);
+    body = eol == std::string_view::npos ? std::string_view()
+                                         : body.substr(eol + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    LiveOp op;
+    op.kind = LiveOp::Kind::kRemove;
+    op.id = std::string(line);
+    ops.push_back(std::move(op));
+  }
+  if (ops.empty()) return TextResponse(400, "no entity ids in body\n");
+  const Status status = live->ApplyBatch(ops, live->schema());
+  if (!status.ok()) {
+    return TextResponse(HttpStatusFor(status), status.ToString() + "\n");
+  }
+  return TextResponse(200, "deleted " + std::to_string(ops.size()) +
+                               " epoch=" + std::to_string(live->epoch()) +
+                               "\n");
+}
+
+HttpResponse ServeDaemon::HandleCompact(const HttpRequest& request) {
+  const std::shared_ptr<LiveCorpus> live = state_.live();
+  if (live == nullptr) {
+    return TextResponse(404, "live updates are off (start with --live)\n");
+  }
+  // A non-empty body names an artifact path to persist the compacted
+  // corpus at (the `genlink index` output, reloadable with --index).
+  std::string_view path = request.body;
+  while (!path.empty() &&
+         (path.back() == '\n' || path.back() == '\r' || path.back() == ' ')) {
+    path.remove_suffix(1);
+  }
+  const Status status = path.empty() ? live->Compact()
+                                     : live->CompactTo(std::string(path));
+  if (!status.ok()) {
+    return TextResponse(HttpStatusFor(status), status.ToString() + "\n");
+  }
+  return TextResponse(
+      200, "compacted epoch=" + std::to_string(live->epoch()) + "\n");
 }
 
 bool ServeDaemon::SendAll(int fd, std::string_view data,
@@ -458,6 +574,25 @@ std::string ServeDaemon::RenderVarz() const {
          std::to_string(latency_.PercentileSeconds(50)) + "\n";
   out += "serve_latency_p99_seconds " +
          std::to_string(latency_.PercentileSeconds(99)) + "\n";
+  if (const std::shared_ptr<LiveCorpus> live = state_.live();
+      live != nullptr) {
+    const LiveCorpusStats stats = live->stats();
+    out += "live_epoch " + std::to_string(stats.epoch) + "\n";
+    out += "live_entities " + std::to_string(stats.live_entities) + "\n";
+    out += "live_base_entities " + std::to_string(stats.base_entities) + "\n";
+    out += "live_delta_entities " + std::to_string(stats.delta_entities) +
+           "\n";
+    out += "live_delta_log_entries " +
+           std::to_string(stats.delta_log_entries) + "\n";
+    out += "live_tombstones " + std::to_string(stats.tombstones) + "\n";
+    out += "live_delta_store_bytes " +
+           std::to_string(stats.delta_store_bytes) + "\n";
+    out += "live_upserts " + std::to_string(stats.upserts) + "\n";
+    out += "live_removes " + std::to_string(stats.removes) + "\n";
+    out += "live_compactions " + std::to_string(stats.compactions) + "\n";
+    out += "live_last_compact_seconds " +
+           std::to_string(stats.last_compact_seconds) + "\n";
+  }
   return out;
 }
 

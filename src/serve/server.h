@@ -24,11 +24,19 @@
 //
 // Endpoints (docs/SERVING.md has the full table):
 //
-//   GET  /healthz  liveness + staleness one-liner
-//   GET  /varz     plain-text metrics (counters, queue depth, p50/p99)
+//   GET  /healthz  liveness + staleness one-liner (live mode appends
+//                  the corpus epoch)
+//   GET  /varz     plain-text metrics (counters, queue depth, p50/p99;
+//                  live mode adds live_* corpus counters)
 //   POST /match    CSV query entities in, generated-links CSV out
 //   POST /reload   re-deploy the artifact file; failure leaves the old
 //                  rule serving and reports stale
+//   POST /upsert   live mode: CSV entities in, applied as one atomic
+//                  batch publishing one epoch (404 outside live mode)
+//   POST /delete   live mode: newline-separated entity ids to tombstone
+//   POST /compact  live mode: rewrite base+delta into a fresh corpus;
+//                  a non-empty body is a path to also persist a v2
+//                  corpus artifact there (crash-safe)
 //
 // Threading: one listener thread plus `num_workers` connection
 // handlers. All daemon state is either relaxed-atomic counters
@@ -128,6 +136,12 @@ class ServeDaemon {
   HttpResponse Dispatch(const HttpRequest& request, const Deadline& deadline);
   HttpResponse HandleMatch(const HttpRequest& request,
                            const Deadline& deadline);
+  /// Live-mode mutation endpoints. Mutations are not deadline-bounded
+  /// (a half-applied batch is worse than a slow response; ApplyBatch is
+  /// atomic per batch); queries racing them never block.
+  HttpResponse HandleUpsert(const HttpRequest& request);
+  HttpResponse HandleDelete(const HttpRequest& request);
+  HttpResponse HandleCompact(const HttpRequest& request);
   /// Pops the next queued connection, waiting until one arrives or the
   /// drain begins; -1 = drain begun and queue empty (worker exits).
   int NextConnection();

@@ -6,14 +6,48 @@
 
 namespace genlink {
 
-ServingState::ServingState(const Dataset& corpus, size_t num_threads)
-    : corpus_(&corpus), num_threads_(num_threads) {}
+ServingState::ServingState(const Dataset& corpus, size_t num_threads,
+                           std::optional<LiveCorpusOptions> live)
+    : corpus_(&corpus), num_threads_(num_threads),
+      live_options_(std::move(live)) {}
 
 ServingState::ServingState(std::shared_ptr<const MappedCorpus> corpus,
-                           size_t num_threads)
-    : mapped_(std::move(corpus)), num_threads_(num_threads) {}
+                           size_t num_threads,
+                           std::optional<LiveCorpusOptions> live)
+    : mapped_(std::move(corpus)), num_threads_(num_threads),
+      live_options_(std::move(live)) {}
 
 Status ServingState::DeployLocked(const RuleArtifact& artifact) {
+  if (live_options_.has_value()) {
+    // Live mode: the first deploy builds the live corpus, later deploys
+    // hot-swap the rule in place. DeployRule has the same
+    // graceful-degradation contract as TryWithRule — on failure the old
+    // rule keeps serving untouched.
+    const std::shared_ptr<LiveCorpus> current = live();
+    if (current == nullptr) {
+      MatchOptions options = artifact.options;
+      options.num_threads = num_threads_;
+      Result<std::unique_ptr<LiveCorpus>> built =
+          mapped_ != nullptr
+              ? LiveCorpus::Create(mapped_, artifact.rule, options,
+                                   *live_options_)
+              : LiveCorpus::Create(*corpus_, artifact.rule, options,
+                                   *live_options_);
+      if (!built.ok()) return built.status();
+      std::atomic_store(&live_,
+                        std::shared_ptr<LiveCorpus>(std::move(built).value()));
+    } else {
+      const Status redeployed =
+          current->DeployRule(artifact.rule, artifact.options);
+      if (!redeployed.ok()) return redeployed;
+    }
+    MutexLock lock(mutex_);
+    ++generation_;
+    last_error_.clear();
+    rule_name_ = artifact.name;
+    return Status::Ok();
+  }
+
   const std::shared_ptr<const MatcherIndex> old = index();
   std::shared_ptr<const MatcherIndex> next;
   if (old == nullptr) {
@@ -103,10 +137,21 @@ std::shared_ptr<const MatcherIndex> ServingState::index() const {
   return std::atomic_load(&index_);
 }
 
+std::shared_ptr<LiveCorpus> ServingState::live() const {
+  return std::atomic_load(&live_);
+}
+
 ServingState::Snapshot ServingState::snapshot() const {
   Snapshot snapshot;
-  const std::shared_ptr<const MatcherIndex> live = index();
-  if (live != nullptr) snapshot.build_seconds = live->stats().build_seconds;
+  const std::shared_ptr<const MatcherIndex> live_index = index();
+  if (live_index != nullptr) {
+    snapshot.build_seconds = live_index->stats().build_seconds;
+  }
+  snapshot.live_mode = live_options_.has_value();
+  if (const std::shared_ptr<LiveCorpus> live_corpus = live();
+      live_corpus != nullptr) {
+    snapshot.epoch = live_corpus->epoch();
+  }
   MutexLock lock(mutex_);
   snapshot.generation = generation_;
   snapshot.failed_reloads = failed_reloads_;

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "api/matcher_index.h"
@@ -29,6 +30,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "io/artifact.h"
+#include "live/live_corpus.h"
 #include "model/dataset.h"
 
 namespace genlink {
@@ -41,17 +43,26 @@ class ServingState {
  public:
   /// `corpus` must outlive the state. `num_threads` is the pool size
   /// every deployed index uses (0 = hardware concurrency); artifacts
-  /// do not carry one (io/artifact.h).
-  explicit ServingState(const Dataset& corpus, size_t num_threads = 0);
+  /// do not carry one (io/artifact.h). A non-nullopt `live` turns on
+  /// live mode: the first Deploy builds a LiveCorpus instead of a
+  /// MatcherIndex, later deploys hot-swap the rule via DeployRule, and
+  /// the daemon's /upsert, /delete and /compact endpoints mutate the
+  /// corpus between queries (docs/STREAMING.md). index() stays null in
+  /// live mode; query through live().
+  explicit ServingState(const Dataset& corpus, size_t num_threads = 0,
+                        std::optional<LiveCorpusOptions> live = std::nullopt);
 
   /// Serves a mapped v2 corpus artifact (io/corpus_artifact.h) instead
   /// of an in-memory dataset: deployments build zero-copy indexes over
   /// the mapping. A rule the artifact has no precomputed plans (or
   /// blocking configuration) for fails the deploy through the same
   /// graceful-degradation path as a corrupt artifact — the previous
-  /// index keeps serving and the state reports stale.
+  /// index keeps serving and the state reports stale. Live mode over a
+  /// mapped corpus serves upserts/removes but cannot compact
+  /// (live/live_corpus.h).
   explicit ServingState(std::shared_ptr<const MappedCorpus> corpus,
-                        size_t num_threads = 0);
+                        size_t num_threads = 0,
+                        std::optional<LiveCorpusOptions> live = std::nullopt);
 
   /// Deploys `artifact`: the first call builds the corpus index, later
   /// calls compile the new rule against the shared corpus stores
@@ -65,10 +76,15 @@ class ServingState {
   /// parse — leaves the previous deployment serving.
   Status ReloadFromFile(const std::string& path);
 
-  /// The serving index; null until the first successful Deploy.
-  /// Lock-free read (atomic shared_ptr load) — never blocked by a
-  /// concurrent reload.
+  /// The serving index; null until the first successful Deploy, and
+  /// always null in live mode (query through live()). Lock-free read
+  /// (atomic shared_ptr load) — never blocked by a concurrent reload.
   std::shared_ptr<const MatcherIndex> index() const;
+
+  /// The live corpus; null outside live mode and until the first
+  /// successful Deploy. Lock-free read. The LiveCorpus is internally
+  /// thread-safe: handlers may query and mutate it concurrently.
+  std::shared_ptr<LiveCorpus> live() const;
 
   struct Snapshot {
     /// Successful deployments so far (1 = the initial artifact).
@@ -83,6 +99,11 @@ class ServingState {
     std::string rule_name;
     /// Compile seconds of the live index (incremental for reloads).
     double build_seconds = 0.0;
+    /// True when the state was constructed in live mode.
+    bool live_mode = false;
+    /// Epoch of the live corpus's published snapshot (0 outside live
+    /// mode and before the first deploy).
+    uint64_t epoch = 0;
   };
   Snapshot snapshot() const;
 
@@ -99,6 +120,8 @@ class ServingState {
   const Dataset* corpus_ = nullptr;
   std::shared_ptr<const MappedCorpus> mapped_;
   size_t num_threads_;
+  /// Live mode: set at construction, immutable afterwards.
+  std::optional<LiveCorpusOptions> live_options_;
 
   /// Serializes Deploy/ReloadFromFile against each other; never held
   /// while answering index()/snapshot(), so a slow compile cannot
@@ -109,6 +132,10 @@ class ServingState {
   /// Published with std::atomic_store under mutex_; read anywhere with
   /// std::atomic_load.
   std::shared_ptr<const MatcherIndex> index_;
+  /// The live-mode counterpart of index_: created by the first
+  /// successful Deploy, then mutated in place (LiveCorpus serializes
+  /// its own writers and publishes epoch snapshots internally).
+  std::shared_ptr<LiveCorpus> live_;
   uint64_t generation_ GENLINK_GUARDED_BY(mutex_) = 0;
   uint64_t failed_reloads_ GENLINK_GUARDED_BY(mutex_) = 0;
   std::string last_error_ GENLINK_GUARDED_BY(mutex_);

@@ -1,0 +1,146 @@
+// Concurrency stress of the live corpus (live/live_corpus.h), written
+// for the TSan CI leg: one writer hammers Upsert/Remove/ApplyBatch/
+// Compact/DeployRule while reader threads query MatchEntity/MatchBatch
+// and poll stats() — readers must never block on the writer (they read
+// the published snapshot) and every access must be TSan-clean. The
+// test asserts liveness invariants (non-empty snapshots, monotone
+// epochs, internally consistent links) rather than exact links; the
+// bit-identity gate is tests/live_corpus_test.cc.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datasets/restaurant.h"
+#include "live/live_corpus.h"
+#include "rule/builder.h"
+
+namespace genlink {
+namespace {
+
+LinkageRule NameAddressRule() {
+  auto rule = RuleBuilder()
+                  .Aggregate("min")
+                  .Compare("jaccard", 0.8, Prop("name").Lower().Tokenize(),
+                           Prop("name").Lower().Tokenize())
+                  .Compare("levenshtein", 3.0, Prop("address").Lower(),
+                           Prop("address").Lower())
+                  .End()
+                  .Build();
+  EXPECT_TRUE(rule.ok());
+  return std::move(rule).value();
+}
+
+TEST(LiveStressTsanTest, ReadersNeverBlockWhileWriterMutates) {
+  const MatchingTask task = GenerateRestaurant({.num_entities = 200});
+  const LinkageRule rule = NameAddressRule();
+  MatchOptions options;
+  options.num_threads = 2;
+  LiveCorpusOptions live_options;
+  live_options.compact_delta_threshold = 32;  // exercise auto-compaction
+  auto created = LiveCorpus::Create(task.Target(), rule, options, live_options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  LiveCorpus& live = **created;
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> mutations{0};
+
+  // Writer: random upserts/removes/batches with periodic explicit
+  // compactions and one mid-run rule redeploy.
+  std::thread writer([&] {
+    Rng rng(99);
+    size_t fresh = 0;
+    std::vector<std::string> removable;
+    for (int i = 0; i < 400; ++i) {
+      const double dice = rng.Uniform01();
+      if (dice < 0.5) {
+        Entity entity = task.Target().entity(rng.PickIndex(task.Target().size()));
+        entity.set_id("stress_" + std::to_string(fresh++));
+        ASSERT_TRUE(live.Upsert(entity, live.schema()).ok());
+        removable.push_back(entity.id());
+      } else if (dice < 0.75 && !removable.empty()) {
+        const size_t pick = rng.PickIndex(removable.size());
+        ASSERT_TRUE(live.Remove(removable[pick]).ok());
+        removable.erase(removable.begin() + pick);
+      } else if (dice < 0.9) {
+        std::vector<LiveOp> batch(2);
+        batch[0].kind = LiveOp::Kind::kUpsert;
+        batch[0].entity =
+            task.Target().entity(rng.PickIndex(task.Target().size()));
+        batch[0].entity.set_id("stress_" + std::to_string(fresh++));
+        batch[1].kind = LiveOp::Kind::kRemove;
+        batch[1].id = batch[0].entity.id();
+        ASSERT_TRUE(live.ApplyBatch(batch, live.schema()).ok());
+      } else {
+        ASSERT_TRUE(live.Compact().ok());
+      }
+      ++mutations;
+      if (i == 200) {
+        auto next = RuleBuilder()
+                        .Compare("levenshtein", 2.0, Prop("name").Lower(),
+                                 Prop("name").Lower())
+                        .Build();
+        ASSERT_TRUE(next.ok());
+        MatchOptions next_options = options;
+        next_options.threshold = 0.6;
+        ASSERT_TRUE(live.DeployRule(*next, next_options).ok());
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  // Readers: single queries, batches and stats polls against whatever
+  // snapshot is current; epochs observed must be monotone per reader.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(1000 + r);
+      uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const uint64_t epoch = live.epoch();
+        EXPECT_GE(epoch, last_epoch);
+        last_epoch = epoch;
+        const Entity& query =
+            task.Target().entity(rng.PickIndex(task.Target().size()));
+        const auto links = live.MatchEntity(query, task.Target().schema());
+        for (const auto& link : links) EXPECT_NE(link.id_b, query.id());
+        if (rng.Bernoulli(0.2)) {
+          std::vector<Entity> batch;
+          for (int q = 0; q < 4; ++q) {
+            batch.push_back(
+                task.Target().entity(rng.PickIndex(task.Target().size())));
+          }
+          const auto batch_links =
+              live.MatchBatch(std::span<const Entity>(batch),
+                              task.Target().schema());
+          (void)batch_links;
+        }
+        if (rng.Bernoulli(0.1)) {
+          const LiveCorpusStats stats = live.stats();
+          EXPECT_GE(stats.live_entities, 1u);
+        }
+        ++queries;
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& reader : readers) reader.join();
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_EQ(mutations.load(), 400u);
+  EXPECT_GT(live.stats().compactions, 0u);
+
+  // The end state still answers and materializes coherently.
+  auto logical = live.MaterializeLogical();
+  ASSERT_TRUE(logical.ok());
+  EXPECT_EQ(logical->size(), live.stats().live_entities);
+}
+
+}  // namespace
+}  // namespace genlink

@@ -304,6 +304,23 @@ class ServeDaemonTest : public ::testing::Test {
     ASSERT_TRUE(daemon_->Start().ok());
   }
 
+  // StartDaemon in live mode: /upsert, /delete and /compact mutate the
+  // corpus between queries (live/live_corpus.h).
+  void StartLiveDaemon(ServeOptions options, LinkageRule rule = NameRule(),
+                       LiveCorpusOptions live_options = {}) {
+    artifact_path_ = ::testing::TempDir() + "serve_test_" +
+                     ::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name() +
+                     ".artifact";
+    WriteArtifactFile(artifact_path_, std::move(rule), "serve-live-test");
+    state_ = std::make_unique<ServingState>(corpus_, /*num_threads=*/1,
+                                            live_options);
+    ASSERT_TRUE(state_->ReloadFromFile(artifact_path_).ok());
+    daemon_ = std::make_unique<ServeDaemon>(*state_, options);
+    ASSERT_TRUE(daemon_->Start().ok());
+  }
+
   uint16_t port() const { return daemon_->port(); }
 
   Dataset corpus_;
@@ -549,6 +566,160 @@ TEST_F(ServeDaemonTest, CorruptReloadNeverChangesServedAnswers) {
   auto health2 = HttpCall(port(), "GET", "/healthz");
   ASSERT_TRUE(health2.ok());
   EXPECT_EQ(health2->body, "ok generation=2 stale=0\n");
+}
+
+// ---------------------------------------------------------------------------
+// Live mode: streaming mutations through the daemon.
+
+TEST_F(ServeDaemonTest, LiveModeIsOffByDefault) {
+  StartDaemon({});
+  for (const char* path : {"/upsert", "/delete", "/compact"}) {
+    auto response = HttpCall(port(), "POST", path, "x\n");
+    ASSERT_TRUE(response.ok()) << path;
+    EXPECT_EQ(response->status, 404) << path;
+  }
+  // And /healthz carries no epoch outside live mode.
+  auto health = HttpCall(port(), "GET", "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->body.find("epoch="), std::string::npos);
+}
+
+TEST_F(ServeDaemonTest, LiveUpsertDeleteCompactRoundTrip) {
+  ServeOptions options;
+  options.csv.id_column = "id";
+  StartLiveDaemon(options);
+
+  // Live health carries generation AND epoch (the CI probe greps the
+  // generation/stale prefix as a substring, so epoch is appended).
+  auto health = HttpCall(port(), "GET", "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->body, "ok generation=1 stale=0 epoch=0\n");
+
+  const std::string query_csv = "id,name,city\nq,record number 0,berlin\n";
+  auto baseline = HttpCall(port(), "POST", "/match", query_csv);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_EQ(baseline->status, 200);
+  EXPECT_NE(baseline->body, kGeneratedLinksCsvHeader);
+
+  // Upsert a new duplicate of record 0; one batch = one epoch.
+  auto upsert = HttpCall(port(), "POST", "/upsert",
+                         "id,name,city\nlive0,record number 0,berlin\n");
+  ASSERT_TRUE(upsert.ok());
+  ASSERT_EQ(upsert->status, 200) << upsert->body;
+  EXPECT_EQ(upsert->body, "upserted 1 epoch=1\n");
+
+  // The served answer now includes the new entity, bit-identically to
+  // a fresh index over the mutated corpus.
+  auto after_upsert = HttpCall(port(), "POST", "/match", query_csv);
+  ASSERT_TRUE(after_upsert.ok());
+  ASSERT_EQ(after_upsert->status, 200);
+  EXPECT_NE(after_upsert->body, baseline->body);
+  EXPECT_NE(after_upsert->body.find("live0"), std::string::npos);
+  {
+    Dataset mutated = MakeCorpus(30);
+    Entity fresh("live0");
+    fresh.AddValue(*mutated.schema().FindProperty("name"), "record number 0");
+    fresh.AddValue(*mutated.schema().FindProperty("city"), "berlin");
+    ASSERT_TRUE(mutated.AddEntity(std::move(fresh)).ok());
+    Result<RuleArtifact> artifact = LoadArtifact(artifact_path_);
+    ASSERT_TRUE(artifact.ok());
+    MatchOptions match_options = artifact->options;
+    match_options.num_threads = 1;
+    auto index = MatcherIndex::Build(mutated, artifact->rule, match_options);
+    std::istringstream in{query_csv};
+    CsvDatasetOptions csv;
+    csv.id_column = "id";
+    CsvEntityStream queries(in, csv);
+    std::vector<Entity> entities;
+    Entity entity;
+    while (queries.Next(&entity)) entities.push_back(std::move(entity));
+    ASSERT_TRUE(queries.status().ok());
+    std::string expected{kGeneratedLinksCsvHeader};
+    for (const GeneratedLink& link :
+         index->MatchBatch(entities, queries.schema())) {
+      expected += GeneratedLinkCsvRow(link);
+    }
+    EXPECT_EQ(after_upsert->body, expected);
+  }
+
+  // Delete restores the baseline answer bytes.
+  auto removed = HttpCall(port(), "POST", "/delete", "live0\n");
+  ASSERT_TRUE(removed.ok());
+  ASSERT_EQ(removed->status, 200) << removed->body;
+  EXPECT_EQ(removed->body, "deleted 1 epoch=2\n");
+  auto after_delete = HttpCall(port(), "POST", "/match", query_csv);
+  ASSERT_TRUE(after_delete.ok());
+  EXPECT_EQ(after_delete->body, baseline->body);
+
+  // Deleting an id that is not live is NotFound and changes nothing.
+  auto missing = HttpCall(port(), "POST", "/delete", "live0\n");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+  auto empty_upsert = HttpCall(port(), "POST", "/upsert", "");
+  ASSERT_TRUE(empty_upsert.ok());
+  EXPECT_EQ(empty_upsert->status, 400);
+
+  // Compact drains the delta log and publishes another epoch; the
+  // answer bytes do not move.
+  auto compact = HttpCall(port(), "POST", "/compact", "");
+  ASSERT_TRUE(compact.ok());
+  ASSERT_EQ(compact->status, 200) << compact->body;
+  EXPECT_EQ(compact->body, "compacted epoch=3\n");
+  auto after_compact = HttpCall(port(), "POST", "/match", query_csv);
+  ASSERT_TRUE(after_compact.ok());
+  EXPECT_EQ(after_compact->body, baseline->body);
+
+  // /varz exposes the live corpus counters; /healthz tracks the epoch.
+  auto varz = HttpCall(port(), "GET", "/varz");
+  ASSERT_TRUE(varz.ok());
+  EXPECT_NE(varz->body.find("live_epoch 3\n"), std::string::npos);
+  EXPECT_NE(varz->body.find("live_entities 30\n"), std::string::npos);
+  EXPECT_NE(varz->body.find("live_delta_entities 0\n"), std::string::npos);
+  EXPECT_NE(varz->body.find("live_tombstones 0\n"), std::string::npos);
+  EXPECT_NE(varz->body.find("live_upserts 1\n"), std::string::npos);
+  EXPECT_NE(varz->body.find("live_removes 1\n"), std::string::npos);
+  EXPECT_NE(varz->body.find("live_compactions 1\n"), std::string::npos);
+  EXPECT_NE(varz->body.find("live_delta_store_bytes "), std::string::npos);
+  auto health2 = HttpCall(port(), "GET", "/healthz");
+  ASSERT_TRUE(health2.ok());
+  EXPECT_EQ(health2->body, "ok generation=1 stale=0 epoch=3\n");
+}
+
+TEST_F(ServeDaemonTest, LiveReloadHotSwapsTheRuleOverTheMutatedCorpus) {
+  ServeOptions options;
+  options.csv.id_column = "id";
+  StartLiveDaemon(options);
+  auto upsert = HttpCall(port(), "POST", "/upsert",
+                         "id,name,city\nlive1,record number 1,berlin\n");
+  ASSERT_TRUE(upsert.ok());
+  ASSERT_EQ(upsert->status, 200);
+
+  // Swap to the stricter name+city rule; the delta entry re-evaluates.
+  WriteArtifactFile(artifact_path_, NameCityRule(), "serve-live-v2");
+  auto reload = HttpCall(port(), "POST", "/reload", artifact_path_);
+  ASSERT_TRUE(reload.ok());
+  ASSERT_EQ(reload->status, 200) << reload->body;
+  EXPECT_EQ(reload->body, "reloaded generation=2\n");
+
+  const std::string query_csv = "id,name,city\nq,record number 1,berlin\n";
+  auto response = HttpCall(port(), "POST", "/match", query_csv);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200);
+  EXPECT_NE(response->body.find("live1"), std::string::npos);
+
+  // A corrupt push degrades to stale; the mutated corpus keeps serving
+  // the old rule's exact answers.
+  ASSERT_TRUE(
+      WriteStringToFile(artifact_path_, "genlink-artifact v99\nnope\n").ok());
+  auto bad_reload = HttpCall(port(), "POST", "/reload", artifact_path_);
+  ASSERT_TRUE(bad_reload.ok());
+  EXPECT_EQ(bad_reload->status, 500);
+  auto health = HttpCall(port(), "GET", "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_NE(health->body.find("generation=2 stale=1"), std::string::npos);
+  auto again = HttpCall(port(), "POST", "/match", query_csv);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->body, response->body);
 }
 
 TEST_F(ServeDaemonTest, GracefulDrainFinishesInFlightRequests) {

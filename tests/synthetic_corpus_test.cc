@@ -1,7 +1,10 @@
 // The synthetic corpus generator (datasets/synthetic.h): determinism —
 // same seed means byte-identical corpora for any thread count and
 // across process runs (a pinned golden fingerprint) — ground-truth
-// link-set soundness, and a 50k-entity scale smoke.
+// link-set soundness, and a 50k-entity scale smoke. The streaming
+// delta generator (GenerateSyntheticDeltas) is pinned the same way,
+// plus stream soundness: every delete targets an id that is live at
+// that point of the stream.
 
 #include <gtest/gtest.h>
 
@@ -88,6 +91,70 @@ TEST(SyntheticCorpusTest, GroundTruthLinksAreSound) {
       SmallConfig().duplicate_rate * static_cast<double>(task.a.size());
   EXPECT_NEAR(static_cast<double>(task.links.positives().size()), expected,
               0.15 * expected);
+}
+
+SyntheticDeltaConfig SmallDeltaConfig() {
+  SyntheticDeltaConfig config;
+  config.base = SmallConfig();
+  config.num_deltas = 500;
+  return config;
+}
+
+// Pinned the same way as the corpus fingerprint above: `genlink gen
+// --entities 2000 --deltas 500` must keep printing this value. If a
+// deliberate generator change lands, regenerate with
+// FingerprintDeltas(GenerateSyntheticDeltas(SmallDeltaConfig())) and
+// say so in the commit.
+constexpr uint64_t kGoldenDeltaFingerprint = 0x9e1751c5138aee35ULL;
+
+TEST(SyntheticDeltaTest, FingerprintMatchesPinnedGolden) {
+  EXPECT_EQ(FingerprintDeltas(GenerateSyntheticDeltas(SmallDeltaConfig())),
+            kGoldenDeltaFingerprint);
+}
+
+TEST(SyntheticDeltaTest, SameConfigIsIdenticalAcrossTwoGenerations) {
+  EXPECT_EQ(FingerprintDeltas(GenerateSyntheticDeltas(SmallDeltaConfig())),
+            FingerprintDeltas(GenerateSyntheticDeltas(SmallDeltaConfig())));
+}
+
+TEST(SyntheticDeltaTest, DifferentSeedsDiffer) {
+  SyntheticDeltaConfig other = SmallDeltaConfig();
+  other.seed += 1;
+  EXPECT_NE(FingerprintDeltas(GenerateSyntheticDeltas(SmallDeltaConfig())),
+            FingerprintDeltas(GenerateSyntheticDeltas(other)));
+}
+
+TEST(SyntheticDeltaTest, StreamIsSound) {
+  const SyntheticDeltas deltas = GenerateSyntheticDeltas(SmallDeltaConfig());
+  ASSERT_EQ(deltas.ops.size(), 500u);
+  ASSERT_EQ(deltas.schema.NumProperties(), 5u);
+
+  // Replay the stream against the logical alive set the generator
+  // promises to respect: deletes always hit a live id, so ANY
+  // contiguous batching passes LiveCorpus::ApplyBatch validation.
+  std::set<std::string> alive;
+  for (size_t i = 0; i < SmallConfig().num_entities; ++i) {
+    alive.insert("b" + std::to_string(i));
+  }
+  size_t removes = 0;
+  size_t new_entities = 0;
+  for (const SyntheticDelta& op : deltas.ops) {
+    ASSERT_FALSE(op.entity.id().empty());
+    if (op.remove) {
+      ++removes;
+      EXPECT_EQ(alive.erase(op.entity.id()), 1u)
+          << "delete of dead id " << op.entity.id();
+    } else {
+      if (alive.insert(op.entity.id()).second &&
+          op.entity.id().front() == 'u') {
+        ++new_entities;
+      }
+    }
+  }
+  // The stream exercises all three mutation kinds.
+  EXPECT_GT(removes, 0u);
+  EXPECT_GT(new_entities, 0u);
+  EXPECT_GT(deltas.ops.size() - removes - new_entities, 0u);
 }
 
 TEST(SyntheticCorpusTest, ScaleSmoke50k) {

@@ -5,6 +5,7 @@
 //   genlink index   precompute a corpus into a mmap-able v2 index artifact
 //   genlink query   serve queries against a prebuilt matcher index
 //   genlink serve   HTTP daemon over a prebuilt matcher index
+//   genlink apply   stream a delta CSV through a live corpus
 //   genlink eval    score a rule against reference links
 //   genlink gen     emit a synthetic matching corpus at configurable scale
 //   genlink --version / genlink <command> --help
@@ -27,6 +28,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -37,6 +39,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,6 +55,8 @@
 #include "io/csv.h"
 #include "io/link_io.h"
 #include "io/ntriples.h"
+#include "live/delta_csv.h"
+#include "live/live_corpus.h"
 #include "matcher/matcher.h"
 #include "rule/parse.h"
 #include "rule/serialize.h"
@@ -289,12 +294,60 @@ const std::vector<CommandSpec>& Commands() {
             "(default 5000)"},
            {"threads", "N", "matcher worker threads, 0 = hardware (default 0)"},
            {"id-column", "NAME", "CSV id column of query bodies (default 'id')"},
+           {"live", nullptr,
+            "serve a mutable live corpus: POST /upsert, /delete and "
+            "/compact mutate it between queries (docs/STREAMING.md)"},
+           {"compact-threshold", "N",
+            "with --live: auto-compact once the delta log holds N "
+            "entries (default 0 = manual /compact only)"},
        },
        "serve answers GET /healthz, GET /varz, POST /match (CSV entities\n"
-       "in, links CSV out) and POST /reload on 127.0.0.1. Overloaded\n"
-       "connections get an immediate 503 + Retry-After; SIGTERM drains\n"
-       "in-flight requests and exits 0. Pass exactly one of --target or\n"
-       "--index. See docs/SERVING.md."},
+       "in, links CSV out) and POST /reload on 127.0.0.1; with --live\n"
+       "also POST /upsert, /delete and /compact. Overloaded connections\n"
+       "get an immediate 503 + Retry-After; SIGTERM drains in-flight\n"
+       "requests and exits 0. Pass exactly one of --target or --index.\n"
+       "See docs/SERVING.md."},
+      {"apply",
+       "stream a delta CSV (upserts/deletes) through a live corpus",
+       {
+           {"target", "FILE", "base corpus dataset (.csv or .nt)"},
+           {"index", "FILE",
+            "mmap a v2 corpus artifact from `genlink index` instead of "
+            "--target (upserts/deletes work; compaction and --verify "
+            "need --target)"},
+           {"artifact", "FILE",
+            "deployment artifact from `learn --save-artifact` (rule + "
+            "options)"},
+           {"rule", "FILE",
+            "bare rule (.xml or .rule) with default options instead of "
+            "--artifact"},
+           {"deltas", "FILE",
+            "delta CSV from `gen --out-deltas` (header op,id,<props>)", true},
+           {"batch-size", "N",
+            "ops per ApplyBatch epoch (default 256; each batch publishes "
+            "one snapshot)"},
+           {"compact-every", "N",
+            "run a compaction after every N batches (default 0 = never)"},
+           {"compact-threshold", "N",
+            "auto-compact once the delta log holds N entries (default 0 "
+            "= manual)"},
+           {"out-index", "FILE",
+            "after the stream, compact and persist the final corpus as a "
+            "v2 index artifact (crash-safe write)"},
+           {"verify", nullptr,
+            "after the stream, rebuild a fresh index over the logical "
+            "corpus and check the mutated index answers bit-identically"},
+           {"threshold", "T", "override the artifact's threshold"},
+           {"best-match", nullptr, "keep only the best link per query"},
+           {"threads", "N", "worker threads, 0 = hardware (default 0)"},
+           {"id-column", "NAME", "CSV id column (default 'id')"},
+       },
+       "apply feeds the delta stream through the same LiveCorpus layer\n"
+       "`serve --live` uses: batches publish epoch snapshots, deletes\n"
+       "tombstone, compactions fold base+delta into a fresh base. Pass\n"
+       "exactly one of --target or --index and exactly one of --artifact\n"
+       "or --rule. --verify proves the streamed index bit-identical to a\n"
+       "cold rebuild of the final corpus (docs/STREAMING.md)."},
       {"gen",
        "emit a synthetic matching corpus at configurable scale",
        {
@@ -317,13 +370,26 @@ const std::vector<CommandSpec>& Commands() {
            {"threads", "N",
             "generation threads, 0 = hardware (default 0); output is "
             "byte-identical for any value"},
+           {"deltas", "N",
+            "also emit N streaming mutations (updates/deletes/new "
+            "records) against the target side (default 0)"},
+           {"out-deltas", "FILE",
+            "write the delta stream as delta CSV (required with --deltas; "
+            "feeds `genlink apply --deltas`)"},
+           {"delta-delete-rate", "P",
+            "probability a delta removes a live entity (default 0.2)"},
+           {"delta-new-rate", "P",
+            "probability an upsert introduces a new entity instead of "
+            "rewriting one (default 0.25)"},
+           {"delta-seed", "N", "delta stream seed (default 29)"},
        },
        "gen writes a person-directory corpus (name, address, city, phone,\n"
        "birth year) whose target side perturbs duplicates with typos,\n"
        "abbreviations, case noise, phone reformatting and missing fields\n"
        "(src/datasets/synthetic.h). Same seed => byte-identical output for\n"
        "any --threads value. The three files feed `genlink learn`,\n"
-       "`match` and `eval` directly."},
+       "`match` and `eval` directly; --deltas adds a deterministic\n"
+       "update/delete stream for `genlink apply` and `serve --live`."},
       {"eval",
        "evaluate a rule's generated links against reference links",
        {
@@ -914,6 +980,7 @@ int RunServe(const Args& args) {
   size_t read_timeout_ms = 5000;
   size_t drain_deadline_ms = 5000;
   size_t threads = 0;
+  size_t compact_threshold = 0;
   if (!FlagAsCount(args, "serve", "port", 0, &port) ||
       !FlagAsCount(args, "serve", "workers", 1, &workers) ||
       !FlagAsCount(args, "serve", "max-queue", 0, &max_queue) ||
@@ -921,12 +988,23 @@ int RunServe(const Args& args) {
                    &request_deadline_ms) ||
       !FlagAsCount(args, "serve", "read-timeout-ms", 1, &read_timeout_ms) ||
       !FlagAsCount(args, "serve", "drain-deadline-ms", 1, &drain_deadline_ms) ||
-      !FlagAsCount(args, "serve", "threads", 0, &threads)) {
+      !FlagAsCount(args, "serve", "threads", 0, &threads) ||
+      !FlagAsCount(args, "serve", "compact-threshold", 0, &compact_threshold)) {
     return 2;
   }
   if (port > 65535) {
     std::fprintf(stderr, "genlink serve: flag '--port' expects <= 65535\n");
     return 2;
+  }
+  if (args.Has("compact-threshold") && !args.Has("live")) {
+    std::fprintf(stderr,
+                 "genlink serve: flag '--compact-threshold' needs --live\n");
+    return 2;
+  }
+  std::optional<LiveCorpusOptions> live;
+  if (args.Has("live")) {
+    live.emplace();
+    live->compact_delta_threshold = compact_threshold;
   }
   const char* target_path = args.Get("target");
   const char* index_path = args.Get("index");
@@ -950,13 +1028,13 @@ int RunServe(const Args& args) {
       return FailFlagFile("serve", "target", target_path, loaded.status());
     }
     target.emplace(std::move(*loaded));
-    state.emplace(*target, threads);
+    state.emplace(*target, threads, live);
   } else {
     auto loaded = MappedCorpus::Load(index_path);
     if (!loaded.ok()) {
       return FailFlagFile("serve", "index", index_path, loaded.status());
     }
-    state.emplace(std::move(*loaded), threads);
+    state.emplace(std::move(*loaded), threads, live);
   }
 
   const char* artifact_path = args.Get("artifact");
@@ -1006,10 +1084,194 @@ int RunServe(const Args& args) {
   return clean ? 0 : 1;
 }
 
+int RunApply(const Args& args) {
+  const char* artifact_path = args.Get("artifact");
+  const char* rule_path = args.Get("rule");
+  if ((artifact_path == nullptr) == (rule_path == nullptr)) {
+    std::fprintf(stderr,
+                 "genlink apply: pass exactly one of --artifact or --rule\n"
+                 "(run 'genlink apply --help' for usage)\n");
+    return 2;
+  }
+  const char* target_path = args.Get("target");
+  const char* index_path = args.Get("index");
+  if ((target_path == nullptr) == (index_path == nullptr)) {
+    std::fprintf(stderr,
+                 "genlink apply: pass exactly one of --target or --index\n"
+                 "(run 'genlink apply --help' for usage)\n");
+    return 2;
+  }
+  size_t batch_size = 256;
+  size_t compact_every = 0;
+  size_t compact_threshold = 0;
+  size_t threads_override = 0;
+  double threshold_override = 0.0;
+  if (!FlagAsCount(args, "apply", "batch-size", 1, &batch_size) ||
+      !FlagAsCount(args, "apply", "compact-every", 0, &compact_every) ||
+      !FlagAsCount(args, "apply", "compact-threshold", 0, &compact_threshold) ||
+      !FlagAsCount(args, "apply", "threads", 0, &threads_override) ||
+      !FlagAsDouble(args, "apply", "threshold", &threshold_override)) {
+    return 2;
+  }
+  if (index_path != nullptr &&
+      (args.Has("verify") || args.Has("out-index") ||
+       args.Has("compact-every") || args.Has("compact-threshold"))) {
+    // A mapped artifact stores transformed value spans, not raw
+    // values, so the logical corpus cannot be rematerialized from it
+    // (live/live_corpus.h).
+    std::fprintf(stderr,
+                 "genlink apply: --verify, --out-index and compaction need "
+                 "--target (a mapped --index base cannot compact)\n");
+    return 2;
+  }
+
+  std::optional<Dataset> target;
+  std::shared_ptr<const MappedCorpus> mapped;
+  if (target_path != nullptr) {
+    auto loaded = LoadDataset(target_path, args.Get("id-column", "id"), "target");
+    if (!loaded.ok()) {
+      return FailFlagFile("apply", "target", target_path, loaded.status());
+    }
+    target.emplace(std::move(*loaded));
+  } else {
+    auto loaded = MappedCorpus::Load(index_path);
+    if (!loaded.ok()) {
+      return FailFlagFile("apply", "index", index_path, loaded.status());
+    }
+    mapped = std::move(*loaded);
+  }
+
+  RuleArtifact artifact;
+  if (artifact_path != nullptr) {
+    auto loaded = LoadArtifact(artifact_path);
+    if (!loaded.ok()) {
+      return FailFlagFile("apply", "artifact", artifact_path, loaded.status());
+    }
+    artifact = std::move(*loaded);
+  } else {
+    auto rule = LoadRule(rule_path);
+    if (!rule.ok()) {
+      return FailFlagFile("apply", "rule", rule_path, rule.status());
+    }
+    artifact.rule = std::move(*rule);
+  }
+  if (args.Has("best-match")) artifact.options.best_match_only = true;
+  if (args.Has("threshold")) artifact.options.threshold = threshold_override;
+  if (args.Has("threads")) artifact.options.num_threads = threads_override;
+
+  LiveCorpusOptions live_options;
+  live_options.compact_delta_threshold = compact_threshold;
+  Result<std::unique_ptr<LiveCorpus>> live =
+      mapped != nullptr
+          ? LiveCorpus::Create(mapped, artifact.rule, artifact.options,
+                               live_options)
+          : LiveCorpus::Create(*target, artifact.rule, artifact.options,
+                               live_options);
+  if (!live.ok()) return Fail(live.status());
+
+  auto content = ReadFileToString(args.Get("deltas"));
+  if (!content.ok()) {
+    return FailFlagFile("apply", "deltas", args.Get("deltas"),
+                        content.status());
+  }
+  Result<DeltaBatch> batch = ReadDeltaCsv(*content);
+  if (!batch.ok()) {
+    return FailFlagFile("apply", "deltas", args.Get("deltas"), batch.status());
+  }
+
+  // The stream applies in --batch-size chunks, each publishing one
+  // epoch snapshot; SIGINT/SIGTERM stop at the next batch boundary
+  // (batches are atomic — nothing is ever half-applied).
+  const std::span<const LiveOp> ops(batch->ops);
+  const auto start = std::chrono::steady_clock::now();
+  size_t applied = 0;
+  size_t batches = 0;
+  for (size_t offset = 0; offset < ops.size(); offset += batch_size) {
+    if (g_interrupted.load(std::memory_order_relaxed)) break;
+    const size_t count = std::min(batch_size, ops.size() - offset);
+    Status status =
+        (*live)->ApplyBatch(ops.subspan(offset, count), batch->schema);
+    if (!status.ok()) {
+      return FailFlagFile("apply", "deltas", args.Get("deltas"), status);
+    }
+    applied += count;
+    ++batches;
+    if (compact_every > 0 && batches % compact_every == 0) {
+      Status compacted = (*live)->Compact();
+      if (!compacted.ok()) return Fail(compacted);
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const LiveCorpusStats stats = (*live)->stats();
+  std::fprintf(stderr,
+               "applied %zu/%zu ops in %zu batches (%.3fs, %.0f ops/s): "
+               "epoch %llu, %zu live entities, %llu upserts, %llu removes, "
+               "%llu compactions\n",
+               applied, ops.size(), batches, seconds,
+               seconds > 0.0 ? applied / seconds : 0.0,
+               static_cast<unsigned long long>(stats.epoch),
+               stats.live_entities,
+               static_cast<unsigned long long>(stats.upserts),
+               static_cast<unsigned long long>(stats.removes),
+               static_cast<unsigned long long>(stats.compactions));
+  if (g_interrupted.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "interrupted by %s; applied batches are committed\n",
+                 SignalName());
+    return InterruptExitCode();
+  }
+
+  // apply --verify: the streamed index must answer bit-identically to
+  // a cold rebuild over the final logical corpus — the LiveCorpus
+  // correctness gate (tests/live_corpus_test.cc), checked here over
+  // real files.
+  if (args.Has("verify")) {
+    Result<Dataset> logical = (*live)->MaterializeLogical();
+    if (!logical.ok()) return Fail(logical.status());
+    const std::shared_ptr<const MatcherIndex> fresh =
+        MatcherIndex::Build(*logical, artifact.rule, artifact.options);
+    const std::vector<GeneratedLink> got =
+        (*live)->MatchBatch(logical->entities(), logical->schema());
+    const std::vector<GeneratedLink> want =
+        fresh->MatchBatch(logical->entities(), logical->schema());
+    bool identical = got.size() == want.size();
+    for (size_t i = 0; identical && i < got.size(); ++i) {
+      identical = got[i].id_a == want[i].id_a &&
+                  got[i].id_b == want[i].id_b &&
+                  got[i].score == want[i].score;
+    }
+    if (!identical) {
+      std::fprintf(stderr,
+                   "VERIFY FAILED: streamed index diverges from a cold "
+                   "rebuild (%zu vs %zu links)\n",
+                   got.size(), want.size());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "verify: OK — %zu links bit-identical to a cold rebuild "
+                 "of %zu entities\n",
+                 got.size(), logical->size());
+  }
+
+  if (const char* out_index = args.Get("out-index")) {
+    Status persisted = (*live)->CompactTo(out_index);
+    if (!persisted.ok()) {
+      return FailFlagFile("apply", "out-index", out_index, persisted);
+    }
+    std::fprintf(stderr, "final corpus persisted to %s (epoch %llu)\n",
+                 out_index,
+                 static_cast<unsigned long long>((*live)->epoch()));
+  }
+  return 0;
+}
+
 int RunGen(const Args& args) {
   SyntheticConfig config;
   config.num_threads = 0;  // generation is parallel-safe; use all cores
   size_t seed_value = config.seed;
+  SyntheticDeltaConfig delta_config;
+  size_t delta_seed = delta_config.seed;
   if (!FlagAsCount(args, "gen", "entities", 1, &config.num_entities) ||
       !FlagAsCount(args, "gen", "seed", 0, &seed_value) ||
       !FlagAsCount(args, "gen", "threads", 0, &config.num_threads) ||
@@ -1017,10 +1279,23 @@ int RunGen(const Args& args) {
       !FlagAsDouble(args, "gen", "confusable-rate", &config.confusable_rate) ||
       !FlagAsDouble(args, "gen", "typo-rate", &config.typo_probability) ||
       !FlagAsDouble(args, "gen", "missing-rate",
-                    &config.missing_field_probability)) {
+                    &config.missing_field_probability) ||
+      !FlagAsCount(args, "gen", "deltas", 0, &delta_config.num_deltas) ||
+      !FlagAsCount(args, "gen", "delta-seed", 0, &delta_seed) ||
+      !FlagAsDouble(args, "gen", "delta-delete-rate",
+                    &delta_config.delete_rate) ||
+      !FlagAsDouble(args, "gen", "delta-new-rate",
+                    &delta_config.new_entity_rate)) {
     return 2;
   }
   config.seed = seed_value;
+  delta_config.seed = delta_seed;
+  if (args.Has("deltas") != args.Has("out-deltas")) {
+    std::fprintf(stderr,
+                 "genlink gen: --deltas and --out-deltas go together\n"
+                 "(run 'genlink gen --help' for usage)\n");
+    return 2;
+  }
 
   const MatchingTask task = GenerateSynthetic(config);
 
@@ -1087,6 +1362,36 @@ int RunGen(const Args& args) {
                task.links.negatives().size(),
                static_cast<unsigned long long>(config.seed),
                static_cast<unsigned long long>(FingerprintTask(task)));
+
+  // gen --deltas: a deterministic update/delete stream against the
+  // target side, written in the delta CSV format `genlink apply
+  // --deltas` consumes.
+  if (delta_config.num_deltas > 0) {
+    delta_config.base = config;
+    const SyntheticDeltas deltas = GenerateSyntheticDeltas(delta_config);
+    std::vector<LiveOp> ops;
+    ops.reserve(deltas.ops.size());
+    for (const SyntheticDelta& delta : deltas.ops) {
+      LiveOp op;
+      if (delta.remove) {
+        op.kind = LiveOp::Kind::kRemove;
+        op.id = delta.entity.id();
+      } else {
+        op.entity = delta.entity;
+      }
+      ops.push_back(std::move(op));
+    }
+    status = WriteStringToFile(args.Get("out-deltas"),
+                               WriteDeltaCsv(deltas.schema, ops));
+    if (!status.ok()) {
+      return FailFlagFile("gen", "out-deltas", args.Get("out-deltas"), status);
+    }
+    std::fprintf(stderr,
+                 "generated %zu deltas (seed %llu, fingerprint %016llx)\n",
+                 deltas.ops.size(),
+                 static_cast<unsigned long long>(delta_config.seed),
+                 static_cast<unsigned long long>(FingerprintDeltas(deltas)));
+  }
   return 0;
 }
 
@@ -1155,6 +1460,7 @@ int Main(int argc, char** argv) {
   if (command == "index") return RunIndex(args);
   if (command == "query") return RunQuery(args);
   if (command == "serve") return RunServe(args);
+  if (command == "apply") return RunApply(args);
   if (command == "gen") return RunGen(args);
   return RunEval(args);
 }
